@@ -1,0 +1,48 @@
+"""Shared helpers for the chapter-5 benchmark suite.
+
+Simulation runs are cached per (network, users, seed) within the
+session so the table benches and the figure benches reuse identical
+runs, exactly as the thesis derived its tables from the same
+measurement campaign as its charts.  Rendered outputs are written under
+``benchmarks/output/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.simulation import SimulationResult, run_simulation
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+_CACHE: dict[tuple[str, int, int], SimulationResult] = {}
+
+
+def cached_simulation(network: str, users: int, seed: int = 1) -> SimulationResult:
+    """Run (or reuse) one workload simulation.
+
+    First computation also drops the raw per-user CSV under
+    ``benchmarks/output/`` for external re-plotting.
+    """
+    key = (network, users, seed)
+    if key not in _CACHE:
+        result = run_simulation(network, users, seed=seed)
+        _CACHE[key] = result
+        write_output(f"raw_{network}_{users}u_seed{seed}.csv", result.to_csv().rstrip("\n"))
+    return _CACHE[key]
+
+
+def write_output(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered table/figure next to the benches."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def sim_cache():
+    """Access the session-wide simulation cache."""
+    return cached_simulation

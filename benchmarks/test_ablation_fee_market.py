@@ -1,0 +1,60 @@
+"""Ablation: EIP-1559 variable fees vs. Algorand-style flat fees.
+
+The thesis attributes Goerli/Polygon's day-to-day cost swings to the
+congestion-driven fee market ("the same blockchain will have variable
+fees depending on the congestion of the network", section 1.4.1.3) and
+Algorand's flat costs to its fixed minimum fee.  This bench runs the
+same attach workload on calm vs. congested days of each network and
+compares the fee ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import write_output
+
+from repro.chain.params import PROFILES
+from repro.bench.metrics import summarize
+from repro.bench.simulation import run_simulation
+
+
+def run_days():
+    results = {}
+    for network in ("goerli", "algorand-testnet"):
+        base = PROFILES[network]
+        calm = dataclasses.replace(base, congestion_mean=min(base.congestion_mean, 0.35))
+        busy = dataclasses.replace(
+            base, congestion_mean=0.9, congestion_volatility=max(base.congestion_volatility, 0.05)
+        )
+        fees = {}
+        for label, profile in (("calm", calm), ("busy", busy)):
+            PROFILES[network] = profile
+            try:
+                sim = run_simulation(network, 8, seed=3)
+                fees[label] = summarize(network, "attach", sim.attaches()).total_fees_base
+            finally:
+                PROFILES[network] = base
+        results[network] = fees
+    return results
+
+
+def test_ablation_fee_market_vs_flat_fees(benchmark):
+    results = benchmark.pedantic(run_days, rounds=1, iterations=1)
+    goerli = results["goerli"]
+    algorand = results["algorand-testnet"]
+    goerli_ratio = goerli["busy"] / max(goerli["calm"], 1)
+    algo_ratio = algorand["busy"] / max(algorand["calm"], 1)
+
+    lines = [
+        "Attach fees on a calm vs. congested day (8 users):",
+        f"  goerli   calm {goerli['calm']:>16} wei    busy {goerli['busy']:>16} wei   ratio {goerli_ratio:5.2f}x",
+        f"  algorand calm {algorand['calm']:>16} uA     busy {algorand['busy']:>16} uA    ratio {algo_ratio:5.2f}x",
+    ]
+    write_output("ablation_fee_market.txt", "\n".join(lines))
+
+    # EIP-1559 fees move with congestion ("increased by more than 100%"
+    # was the thesis's Polygon observation)...
+    assert goerli_ratio > 1.5
+    # ...while the flat-fee network costs exactly the same.
+    assert algo_ratio == 1.0

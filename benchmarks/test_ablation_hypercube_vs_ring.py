@@ -1,0 +1,60 @@
+"""Ablation: hypercube routing vs. a classical DHT (section 1.3's claim).
+
+"[the hypercube] speeds up the look-up operations by reducing the
+number of hops needed to locate contents compared to a classical DHT."
+We quantify it at equal node counts (2**r nodes) against a ring with
+successor-only routing and against a Chord-style finger-table ring.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import write_output
+
+from repro.dht import HypercubeDHT, NodeContent, RingDHT
+from repro.geo import encode
+
+R = 8  # 256 nodes
+LOOKUPS = 300
+
+
+def run_comparison():
+    rng = random.Random(42)
+    cube = HypercubeDHT(r=R)
+    plain_ring = RingDHT(size=1 << R, use_fingers=False)
+    finger_ring = RingDHT(size=1 << R, use_fingers=True)
+    keywords = [encode(rng.uniform(-80, 80), rng.uniform(-170, 170)) for _ in range(LOOKUPS)]
+    for index, keyword in enumerate(keywords):
+        content = NodeContent(contract_id=f"c{index}", olc=keyword)
+        try:
+            cube.register_contract(keyword, f"c{index}")
+        except Exception:
+            pass  # r-bit collisions: same responsible node, fine for hops
+        plain_ring.store(keyword, content)
+        finger_ring.store(keyword, content)
+    origins = [rng.randrange(1 << R) for _ in keywords]
+    cube_hops = [cube.lookup(k, origin_id=o).hops for k, o in zip(keywords, origins)]
+    plain_hops = [plain_ring.lookup(k, origin_id=o)[1] for k, o in zip(keywords, origins)]
+    finger_hops = [finger_ring.lookup(k, origin_id=o)[1] for k, o in zip(keywords, origins)]
+    return cube_hops, plain_hops, finger_hops
+
+
+def test_ablation_hypercube_vs_ring(benchmark):
+    cube_hops, plain_hops, finger_hops = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    lines = [
+        f"Hop counts over {LOOKUPS} lookups, {1 << R} nodes:",
+        f"  hypercube (r={R}):        mean {mean(cube_hops):6.2f}  max {max(cube_hops):3}",
+        f"  ring (successor only):   mean {mean(plain_hops):6.2f}  max {max(plain_hops):3}",
+        f"  ring (finger tables):    mean {mean(finger_hops):6.2f}  max {max(finger_hops):3}",
+    ]
+    write_output("ablation_hypercube_vs_ring.txt", "\n".join(lines))
+
+    # The hypercube never exceeds its diameter r.
+    assert max(cube_hops) <= R
+    # Orders of magnitude below the naive classical DHT.
+    assert mean(cube_hops) * 10 < mean(plain_hops)
+    # Competitive with (within 2x of) Chord-style fingers.
+    assert mean(cube_hops) <= 2 * mean(finger_hops) + 1

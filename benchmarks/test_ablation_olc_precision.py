@@ -1,0 +1,61 @@
+"""Ablation: OLC precision vs. privacy vs. contract density (section 2.6).
+
+The thesis chose 10-digit codes ("an area precision of 10.5m x 13.9m")
+to balance utility and privacy: fewer digits mean a larger anonymity
+area (better privacy, per section 2.7's GDPR discussion) but more users
+share one contract; more digits shrink the area towards an exact
+position.  This bench sweeps the precision and reports area size and
+how many of a simulated crowd collide into the same code.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import write_output
+
+from repro.geo import decode, encode
+from repro.geo.distance import haversine_km
+
+CROWD = 400
+
+
+def run_sweep():
+    rng = random.Random(7)
+    # A crowd within a ~1 km square in Bologna.
+    people = [(44.494 + rng.uniform(0, 0.009), 11.342 + rng.uniform(0, 0.009)) for _ in range(CROWD)]
+    rows = []
+    for digits in (4, 6, 8, 10, 11):
+        codes = [encode(lat, lng, digits) for lat, lng in people]
+        area = decode(codes[0])
+        height_m = haversine_km(
+            area.latitude_low, area.longitude_low, area.latitude_high, area.longitude_low
+        ) * 1000
+        width_m = haversine_km(
+            area.latitude_low, area.longitude_low, area.latitude_low, area.longitude_high
+        ) * 1000
+        distinct = len(set(codes))
+        rows.append((digits, height_m, width_m, distinct))
+    return rows
+
+
+def test_ablation_olc_precision(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [f"{'digits':>6} {'cell height':>12} {'cell width':>12} {'distinct codes':>15} / {CROWD} people"]
+    for digits, height_m, width_m, distinct in rows:
+        lines.append(f"{digits:>6} {height_m:>10.1f} m {width_m:>10.1f} m {distinct:>15}")
+    write_output("ablation_olc_precision.txt", "\n".join(lines))
+
+    by_digits = {row[0]: row for row in rows}
+    # The thesis's default: 10 digits ~ 13.9 m cells.
+    assert 12.0 < by_digits[10][1] < 16.0
+    # Monotonicity: more digits -> smaller cells -> more distinct codes.
+    heights = [row[1] for row in rows]
+    distincts = [row[3] for row in rows]
+    assert heights == sorted(heights, reverse=True)
+    assert distincts == sorted(distincts)
+    # Privacy extreme: at 4 digits the whole crowd shares one code.
+    assert by_digits[4][3] == 1
+    # Utility extreme: at 11 digits nearly everyone has their own code.
+    assert by_digits[11][3] > CROWD * 0.8

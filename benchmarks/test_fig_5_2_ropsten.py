@@ -1,0 +1,42 @@
+"""Figure 5.2: Ropsten testnet, 8 users (2 deploys + 6 attaches).
+
+The thesis's finding: "the interaction time between users and smart
+contracts is unstable and can be very high ... the deploy phases are
+the ones that require more time".  Ropsten runs the congested, volatile
+profile (it was deprecated mid-evaluation).
+"""
+
+from __future__ import annotations
+
+from conftest import cached_simulation, write_output
+
+from repro.bench.figures import figure_svg
+from repro.bench.metrics import render_bar_chart
+
+
+def test_fig_5_2_ropsten_8_users(benchmark):
+    result = benchmark.pedantic(
+        lambda: cached_simulation("ropsten", 8, seed=2), rounds=1, iterations=1
+    )
+    chart = render_bar_chart(
+        "Figure 5.2 -- Ropsten: total interaction time, 8 users", result.per_user_series()
+    )
+    write_output("fig_5_2_ropsten.txt", chart)
+    write_output("fig_5_2_ropsten.svg", figure_svg("Figure 5.2 -- Ropsten: 8 users", result))
+
+    deploys = result.deploys()
+    attaches = result.attaches()
+    assert len(deploys) == 2
+    assert len(attaches) == 6
+
+    # Deploys require more time than attaches (the first and fifth bars
+    # dominate the thesis's chart).
+    mean_deploy = sum(t.latency for t in deploys) / len(deploys)
+    mean_attach = sum(t.latency for t in attaches) / len(attaches)
+    assert mean_deploy > mean_attach
+
+    # Instability: the spread across users is wide.
+    latencies = [t.latency for t in result.timings]
+    assert max(latencies) > 1.5 * min(latencies)
+    benchmark.extra_info["mean_deploy_s"] = round(mean_deploy, 2)
+    benchmark.extra_info["mean_attach_s"] = round(mean_attach, 2)

@@ -1,0 +1,47 @@
+"""Figure 5.4 (a-d): Polygon Mumbai per-user interaction times.
+
+Reproduced shape: "the fact that it is a layer-2 ... leads to
+processing many transactions per second and allows it to be faster than
+the Ethereum Goerli testnet, taking less than half the time" -- while
+remaining congestion-sensitive (no fully stable transaction time).
+"""
+
+from __future__ import annotations
+
+from conftest import cached_simulation, write_output
+
+from repro.bench.figures import figure_svg
+from repro.bench.metrics import render_bar_chart
+
+USER_SWEEP = (8, 16, 24, 32)
+
+
+def run_sweep():
+    polygon = {users: cached_simulation("polygon-mumbai", users, seed=1) for users in USER_SWEEP}
+    goerli = {users: cached_simulation("goerli", users, seed=1) for users in USER_SWEEP}
+    return polygon, goerli
+
+
+def test_fig_5_4_polygon_sweep(benchmark):
+    polygon, goerli = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    charts = [
+        render_bar_chart(
+            f"Figure 5.4 -- Polygon: performances with {users} users", result.per_user_series()
+        )
+        for users, result in polygon.items()
+    ]
+    write_output("fig_5_4_polygon.txt", "\n\n".join(charts))
+    for users, result in polygon.items():
+        write_output(f"fig_5_4_polygon_{users}u.svg", figure_svg(f"Figure 5.4 -- Polygon: {users} users", result))
+
+    for users in USER_SWEEP:
+        p_mean = sum(t.latency for t in polygon[users].timings) / users
+        g_mean = sum(t.latency for t in goerli[users].timings) / users
+        # "taking less than half the time" of Goerli overall.
+        assert p_mean < 0.65 * g_mean, f"{users} users: polygon {p_mean:.1f}s vs goerli {g_mean:.1f}s"
+
+    # Not perfectly stable either: some users take longer than others.
+    for result in polygon.values():
+        latencies = [t.latency for t in result.timings]
+        assert max(latencies) > 1.05 * min(latencies)

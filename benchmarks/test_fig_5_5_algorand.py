@@ -1,0 +1,62 @@
+"""Figure 5.5 (a-d): Algorand per-user interaction times.
+
+Reproduced shape: "Algorand has a low and stable total transaction
+times compared to Ethereum ... there is little dispersion of the
+required time for each user" -- deploys cluster at one level, attaches
+at a lower one, at every sweep size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import cached_simulation, write_output
+
+from repro.bench.figures import figure_svg
+from repro.bench.metrics import render_bar_chart
+
+USER_SWEEP = (8, 16, 24, 32)
+
+
+def run_sweep():
+    algorand = {users: cached_simulation("algorand-testnet", users, seed=1) for users in USER_SWEEP}
+    goerli = {users: cached_simulation("goerli", users, seed=1) for users in USER_SWEEP}
+    return algorand, goerli
+
+
+def _std(values):
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+def test_fig_5_5_algorand_sweep(benchmark):
+    algorand, goerli = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    charts = [
+        render_bar_chart(
+            f"Figure 5.5 -- Algorand: performances with {users} users", result.per_user_series()
+        )
+        for users, result in algorand.items()
+    ]
+    write_output("fig_5_5_algorand.txt", "\n\n".join(charts))
+    for users, result in algorand.items():
+        write_output(f"fig_5_5_algorand_{users}u.svg", figure_svg(f"Figure 5.5 -- Algorand: {users} users", result))
+
+    for users in USER_SWEEP:
+        a_deploys = [t.latency for t in algorand[users].deploys()]
+        a_attaches = [t.latency for t in algorand[users].attaches()]
+        g_attaches = [t.latency for t in goerli[users].attaches()]
+        # Low dispersion compared to Goerli.
+        assert _std(a_attaches) < 0.5 * _std(g_attaches)
+        # Attach is faster than on every other network (table 5.3/5.4).
+        assert sum(a_attaches) / len(a_attaches) < 20
+        # Deploys take longer than attaches (4 transactions vs 2).
+        assert min(a_deploys) > max(a_attaches) * 0.9
+
+    # Stability across sweep sizes: "Algorand maintains the same
+    # performance while the other two blockchains do not."
+    means = [
+        sum(t.latency for t in algorand[users].attaches()) / len(algorand[users].attaches())
+        for users in USER_SWEEP
+    ]
+    assert max(means) - min(means) < 4.0

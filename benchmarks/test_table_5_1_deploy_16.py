@@ -1,0 +1,50 @@
+"""Table 5.1: performances of the deployment operation, 16 users.
+
+Paper row reference (means): Goerli 56.15 s / 0.06 ETH; Polygon
+23.44 s / 0.002 MATIC; Algorand 28.53 s / 0.005 ALGO (per deploy), with
+Algorand's standard deviation "nice below the other two blockchains".
+"""
+
+from __future__ import annotations
+
+from conftest import cached_simulation, write_output
+
+from repro.bench.metrics import render_table, summarize
+
+NETWORKS = ("goerli", "polygon-mumbai", "algorand-testnet")
+USERS = 16
+
+
+def run_rows():
+    rows = []
+    for network in NETWORKS:
+        result = cached_simulation(network, USERS, seed=1)
+        rows.append(summarize(network, "deploy", result.deploys()))
+    return rows
+
+
+def test_table_5_1_deploy_16_users(benchmark):
+    rows = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    table = render_table("Table 5.1 -- Deploy | 16 users", rows)
+    write_output("table_5_1_deploy_16.txt", table)
+
+    by_network = {row.network: row for row in rows}
+    goerli, polygon, algorand = (
+        by_network["goerli"],
+        by_network["polygon-mumbai"],
+        by_network["algorand-testnet"],
+    )
+
+    # Who wins: Goerli is slowest; Polygon's deploy beats Algorand's.
+    assert goerli.mean > algorand.mean > polygon.mean
+    # Stability: Algorand's deviation is well below the EVM networks'.
+    assert algorand.std_dev < goerli.std_dev
+    assert algorand.std_dev < 5.0
+    # Cost: Goerli is orders of magnitude more expensive in EUR.
+    assert goerli.total_fees_eur > 100 * polygon.total_fees_eur
+    assert goerli.total_fees_eur > 100 * algorand.total_fees_eur
+    # Rough bands around the paper's means.
+    assert 40 < goerli.mean < 80
+    assert 18 < polygon.mean < 32
+    assert 22 < algorand.mean < 38
+    benchmark.extra_info["means"] = {row.network: round(row.mean, 2) for row in rows}

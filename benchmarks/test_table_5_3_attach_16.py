@@ -1,0 +1,51 @@
+"""Table 5.3: performances of the attach operation, 16 users.
+
+Paper reference (means): Goerli 35.95 s / 0.0137 ETH summed across
+attachers; Polygon 20.6 s; Algorand 14.54 s -- "the attach operation
+for Algorand is faster than the other two blockchains".
+"""
+
+from __future__ import annotations
+
+from conftest import cached_simulation, write_output
+
+from repro.bench.metrics import render_table, summarize
+
+NETWORKS = ("goerli", "polygon-mumbai", "algorand-testnet")
+
+
+def run_rows():
+    rows = []
+    for network in NETWORKS:
+        result = cached_simulation(network, 16, seed=1)
+        rows.append(summarize(network, "attach", result.attaches()))
+    return rows
+
+
+def test_table_5_3_attach_16_users(benchmark):
+    rows = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    table = render_table("Table 5.3 -- Attach | 16 users", rows)
+    write_output("table_5_3_attach_16.txt", table)
+
+    by_network = {row.network: row for row in rows}
+    goerli, polygon, algorand = (
+        by_network["goerli"],
+        by_network["polygon-mumbai"],
+        by_network["algorand-testnet"],
+    )
+
+    # Who wins: Algorand < Polygon < Goerli on attach latency.
+    assert algorand.mean < polygon.mean < goerli.mean
+    # Algorand is the most stable.
+    assert algorand.std_dev < goerli.std_dev
+    # Fee shape: Goerli's summed attach fees are ~0.0137 ETH-scale;
+    # Polygon/Algorand cost fractions of a cent.
+    assert 0.005 < goerli.total_fees_tokens < 0.03
+    assert goerli.total_fees_eur > 1.0
+    assert polygon.total_fees_eur < 0.01
+    assert algorand.total_fees_eur < 0.05
+    # Bands around the paper's means.
+    assert 22 < goerli.mean < 55
+    assert 15 < polygon.mean < 28
+    assert 9 < algorand.mean < 20
+    benchmark.extra_info["means"] = {row.network: round(row.mean, 2) for row in rows}

@@ -1,0 +1,57 @@
+// A crowdfunding DApp in the textual syntax -- one of the section 1.4.1
+// smart-contract examples ("lending apps, ... crowdfunding apps").
+// Backers pledge during the funding phase; if the goal is met the owner
+// sweeps the pot, otherwise backers reclaim their pledges.
+
+contract "crowdfunding" {
+    participant Owner;
+
+    global raised = 0;
+    global goal = 10000;
+    global open = 1;
+
+    map pledges : UInt => Bytes(64);
+
+    publish(campaign: Bytes(128)) {
+        open := 1;
+    }
+
+    phase funding while (raised < goal) timeout (100) {}
+    {
+        api backerAPI {
+            pledge(backer: UInt, amount: UInt) returns UInt pays amount {
+                require(amount > 0, "pledge must be positive");
+                require(!pledges.has(backer), "backer already pledged");
+                pledges[backer] = "pledged";
+                raised := raised + amount;
+                return raised;
+            }
+        }
+    }
+
+    phase settlement while (open > 0) timeout (100) {
+        transfer(balance()).to(creator);
+    }
+    {
+        api settleAPI {
+            sweep(target: Address) returns UInt {
+                require(this == creator, "only the owner sweeps");
+                require(balance() >= goal, "goal not reached");
+                transfer(balance()).to(target);
+                open := 0;
+                return 1;
+            }
+            refund(backer: UInt, wallet: Address, amount: UInt) returns UInt {
+                require(pledges.has(backer), "no pledge recorded");
+                require(balance() < goal, "campaign succeeded; no refunds");
+                if (balance() >= amount) {
+                    transfer(amount).to(wallet);
+                    delete pledges[backer];
+                }
+                return amount;
+            }
+        }
+    }
+
+    view getRaised = raised;
+}

@@ -1,0 +1,67 @@
+// The Proof-of-Location contract, in the textual surface syntax.
+// Mirrors thesis chapter 4 (and repro.core.contract.build_pol_program
+// with max_users = 4, reward = 10000): one Creator participant, a
+// DID-keyed Map of proof records, an attach phase and a verify phase.
+
+contract "proof-of-location" {
+    participant Creator;
+
+    global sits = 4;
+    global pending = 0;
+    global reward = 10000;
+    global position = "";
+
+    map easy_map : UInt => Bytes(512);
+
+    publish(pos: Bytes(128), did: UInt, data_inserted: Bytes(512)) {
+        position := pos;
+        easy_map[did] = data_inserted;
+        sits := 3;
+        pending := 1;
+        emit reportData(did, data_inserted);
+    }
+
+    phase attach while (sits > 0) timeout (86400) {}
+    {
+        api attacherAPI {
+            insert_data(data: Bytes(512), did: UInt) returns UInt {
+                require(!easy_map.has(did), "DID already attached");
+                easy_map[did] = easy_map.get(did, data);
+                sits := sits - 1;
+                pending := pending + 1;
+                emit reportData(did, data);
+                return sits;
+            }
+        }
+    }
+
+    phase verify while (pending > 0) timeout (86400) {
+        transfer(balance()).to(creator);
+    }
+    {
+        api verifierAPI {
+            insert_money(amount: UInt) returns UInt pays amount {
+                require(amount > 0, "must insert a positive amount");
+                return amount;
+            }
+            verify(did: UInt, wallet: Address) returns Address {
+                require(easy_map.has(did), "unknown DID");
+                if (balance() >= reward) {
+                    transfer(reward).to(wallet);
+                    delete easy_map[did];
+                    pending := pending - 1;
+                    emit reportVerification(did, this);
+                    if (pending == 0) {
+                        transfer(balance()).to(creator);
+                    }
+                } else {
+                    emit issueDuringVerification(did);
+                }
+                return wallet;
+            }
+        }
+    }
+
+    view getCtcBalance = balance();
+    view getReward = reward;
+}

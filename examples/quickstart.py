@@ -1,0 +1,64 @@
+"""Quickstart: one proof of location, end to end, in ~40 lines of API.
+
+Runs the whole pipeline of the paper on an in-process Ethereum devnet:
+onboard a prover, a witness and a verifier; obtain a witness-signed
+location proof over a report; store it in the per-location smart
+contract; verify, reward and publish.
+
+    python examples/quickstart.py
+"""
+
+from repro.chain.ethereum import EthereumChain
+from repro.core.proof import ProofFailure
+from repro.core.system import ProofOfLocationSystem
+
+ETH = 10**18
+REWARD = 10_000
+LAT, LNG = 44.4949, 11.3426  # Bologna
+
+
+def main() -> None:
+    chain = EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+    system = ProofOfLocationSystem(chain=chain, reward=REWARD, max_users=2)
+
+    # 1. Onboard: wallets, DIDs, Bluetooth radios.
+    anna = system.register_prover("anna", LAT, LNG, funding=ETH)
+    bruno = system.register_prover("bruno", LAT, LNG, funding=ETH)
+    system.register_witness("walter", LAT, LNG + 0.0002)
+    system.register_verifier("vera", funding=ETH)
+    print(f"anna's DID:  {anna.did}")
+    print(f"anna's OLC:  {anna.olc}")
+
+    # 2. Anna uploads a report to IPFS and gets a proof from Walter.
+    request, proof, cid = system.request_location_proof(
+        "anna", "walter", b'{"title": "Oily spots on the Reno river"}'
+    )
+    print(f"report CID:  {cid}")
+    print(f"proof hash:  {proof.hashed_proof_hex[:32]}... signed by walter")
+
+    # 3. Submit: no contract exists for this OLC yet, so Anna deploys one.
+    outcome = system.submit("anna", request, proof)
+    print(f"deployed:    contract {outcome.deployed.ref} ({outcome.operation.latency:.1f}s, "
+          f"{len(outcome.operation.receipts)} txs)")
+
+    # 4. Bruno files at the same place -> attaches to Anna's contract.
+    request_b, proof_b, _ = system.request_location_proof("bruno", "walter", b'{"title": "Same spot"}')
+    outcome_b = system.submit("bruno", request_b, proof_b)
+    print(f"attached:    {outcome_b.operation.latency:.1f}s, {len(outcome_b.operation.receipts)} txs")
+
+    # 5. Vera funds the contract and verifies Anna; Anna gets the reward.
+    system.fund_contract("vera", request.olc, REWARD * 2)
+    before = chain.balance_of(system.accounts["anna"].address)
+    result = system.verify_and_reward("vera", request.olc, anna.did_uint)
+    earned = chain.balance_of(system.accounts["anna"].address) - before
+    assert result is ProofFailure.OK
+    print(f"verified:    {result.value}; anna earned {earned} wei")
+
+    # 6. The report is now public: hypercube -> IPFS.
+    reports = system.display_reports(request.olc)
+    print(f"published:   {len(reports)} verified report(s) at {request.olc}")
+    print(f"             {reports[0].decode()}")
+
+
+if __name__ == "__main__":
+    main()

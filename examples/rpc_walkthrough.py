@@ -1,0 +1,74 @@
+"""The Reach-RPC walkthrough: the thesis's test-suite flow, verbatim.
+
+Mirrors the thesis's ``startSimulation.py`` / ``index.py`` pair: a
+Python frontend driving the compiled backend over the RPC protocol
+(``/stdlib/METHOD``, ``/acc/contract``, ``/ctc/apis/...``,
+``rpc_callbacks`` with the Creator's participant interface), plus the
+figure-3.1 explorer view of the resulting contract lifecycle.
+
+    python examples/rpc_walkthrough.py
+"""
+
+from repro.chain.ethereum import EthereumChain
+from repro.chain.explorer import Explorer
+from repro.core.contract import build_pol_program, pol_record
+from repro.reach.compiler import compile_program
+from repro.reach.rpc import ReachRpcServer
+
+
+def main() -> None:
+    chain = EthereumChain(profile="eth-devnet", seed=8, validator_count=4)
+    compiled = compile_program(build_pol_program(max_users=2, reward=2_000))
+    server = ReachRpcServer(chain=chain, compiled=compiled)
+
+    # --- the Creator (thesis listing 4.20-4.21) --------------------------
+    acc_creator = server.rpc("/stdlib/newTestAccount", 100)
+    ctc_creator = server.rpc("/acc/contract", acc_creator)
+
+    def report_data(did, data):
+        print(f'New data inserted\n DID: "{did}"\n data: "{data[:40]}..."')
+
+    creator_address = server.rpc("/acc/getAddress", acc_creator)
+    server.rpc_callbacks(
+        "/backend/Creator",
+        ctc_creator,
+        {
+            "position": "7H369F4W+Q8",
+            "did": 9_999,
+            "data_inserted": pol_record("hash-c", "sig-c", creator_address, 11, "cid-c"),
+            "reportData": report_data,
+        },
+    )
+    info = server.rpc("/ctc/getInfo", ctc_creator)
+    print(f"The contract is deployed as={info}")
+
+    # --- an attacher (listing 4.23) ---------------------------------------
+    acc_attacher = server.rpc("/stdlib/newTestAccount", 100)
+    ctc_attacher = server.rpc("/acc/contract", acc_attacher, info)
+    attacher_address = server.rpc("/acc/getAddress", acc_attacher)
+    seats = server.rpc(
+        "/ctc/apis/attacherAPI/insert_data",
+        ctc_attacher,
+        pol_record("hash-a", "sig-a", attacher_address, 22, "cid-a"),
+        12,
+    )
+    print(f"attacher inserted; remaining seats = {seats}")
+
+    # --- a verifier (listings 4.24 / 4.17-4.18) ----------------------------
+    acc_verifier = server.rpc("/stdlib/newTestAccount", 100)
+    ctc_verifier = server.rpc("/acc/contract", acc_verifier, info)
+    payment = server.rpc("/stdlib/parseCurrency", 0.5)
+    inserted = server.rpc("/ctc/apis/verifierAPI/insert_money", ctc_verifier, payment)
+    print(f"verifier funded the contract with {server.rpc('/stdlib/formatCurrency', inserted)} ETH")
+    print(f"getCtcBalance view = {server.rpc('/ctc/views/getCtcBalance', ctc_verifier)}")
+
+    rewarded = server.rpc("/ctc/apis/verifierAPI/verify", ctc_verifier, 12, attacher_address)
+    print(f'DID "12" has been verified; reward sent to {rewarded[:12]}...')
+
+    # --- figure 3.1: the explorer's view of the lifecycle ------------------
+    print()
+    print(Explorer(chain).render_lifecycle(info))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+A scriptable counterpart of the thesis's console frontend (section
+4.5's ``reach run`` flows), driving the in-process simulators:
+
+    python -m repro demo                 # the quickstart PoL pipeline
+    python -m repro simulate goerli 16   # one chapter-5 measurement run
+    python -m repro compare              # tables across the three networks
+    python -m repro verify-contract      # compile + theorem report + analysis
+    python -m repro attacks              # run the attack gauntlet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.metrics import render_bar_chart, render_table, summarize
+from repro.bench.simulation import run_simulation
+from repro.chain.params import PROFILES
+
+
+def _cmd_demo(_args) -> int:
+    from repro.chain.ethereum import EthereumChain
+    from repro.core.proof import ProofFailure
+    from repro.core.system import ProofOfLocationSystem
+
+    chain = EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+    system = ProofOfLocationSystem(chain=chain, reward=10_000, max_users=2)
+    system.register_prover("anna", 44.4949, 11.3426, funding=10**18)
+    system.register_prover("bruno", 44.4949, 11.3426, funding=10**18)
+    system.register_witness("walter", 44.4949, 11.3428)
+    system.register_verifier("vera", funding=10**18)
+    for name in ("anna", "bruno"):
+        request, proof, cid = system.request_location_proof(name, "walter", f"report by {name}".encode())
+        outcome = system.submit(name, request, proof)
+        action = "deployed" if outcome.was_deploy else "attached"
+        print(f"{name}: {action} at {outcome.olc} in {outcome.operation.latency:.1f}s (CID {cid[:16]}...)")
+    olc = system.provers["anna"].olc
+    system.fund_contract("vera", olc, 20_000)
+    for name in ("anna", "bruno"):
+        outcome = system.verify_and_reward("vera", olc, system.provers[name].did_uint)
+        print(f"{name}: verification {outcome.value}")
+        if outcome is not ProofFailure.OK:
+            return 1
+    print(f"published reports at {olc}: {len(system.display_reports(olc))}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.network not in PROFILES:
+        print(f"unknown network {args.network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
+        return 2
+    result = run_simulation(args.network, args.users, seed=args.seed)
+    print(render_bar_chart(f"{args.network}: {args.users} users", result.per_user_series()))
+    print()
+    rows = [
+        summarize(args.network, "deploy", result.deploys()),
+        summarize(args.network, "attach", result.attaches()),
+    ]
+    print(render_table(f"{args.network} | {args.users} users (deploy, attach)", rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    networks = ("goerli", "polygon-mumbai", "algorand-testnet")
+    for operation in ("deploy", "attach"):
+        rows = []
+        for network in networks:
+            result = run_simulation(network, args.users, seed=args.seed)
+            timings = result.deploys() if operation == "deploy" else result.attaches()
+            rows.append(summarize(network, operation, timings))
+        print(render_table(f"{operation.capitalize()} | {args.users} users", rows))
+        print()
+    return 0
+
+
+def _cmd_verify_contract(args) -> int:
+    from repro.core.contract import build_pol_program
+    from repro.reach.analysis import conservative_analysis
+    from repro.reach.compiler import compile_program
+    from repro.reach.parser import ParseError, parse_contract_file
+
+    if getattr(args, "source", None):
+        try:
+            program = parse_contract_file(args.source)
+        except (ParseError, OSError) as exc:
+            print(f"cannot compile {args.source}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        program = build_pol_program()
+    compiled = compile_program(program, check=False)
+    print(compiled.verification.summary())
+    print()
+    print(conservative_analysis(compiled).render())
+    print()
+    print(
+        f"artifacts: EVM {compiled.evm_code.byte_size()} bytes "
+        f"({len(compiled.evm_code.instrs)} instructions), "
+        f"TEAL {len(compiled.teal_source.splitlines())} lines"
+    )
+    return 0 if compiled.verification.ok else 1
+
+
+def _cmd_report(args) -> int:
+    """A full chapter-5-style measurement report to stdout."""
+    networks = ("goerli", "polygon-mumbai", "algorand-testnet")
+    print("# Measurement report (calibrated simulators)\n")
+    for users in (16, 32):
+        for operation in ("deploy", "attach"):
+            rows = []
+            for network in networks:
+                result = run_simulation(network, users, seed=args.seed)
+                timings = result.deploys() if operation == "deploy" else result.attaches()
+                rows.append(summarize(network, operation, timings))
+            print(render_table(f"{operation.capitalize()} | {users} users", rows))
+            print()
+    print("EUR at the paper's Nov 17 2022 rates; fees summed per operation class.")
+    return 0
+
+
+def _cmd_attacks(_args) -> int:
+    from repro.chain.ethereum import EthereumChain
+    from repro.core.attacks import run_all_attacks
+    from repro.core.system import ProofOfLocationSystem
+
+    chain = EthereumChain(profile="eth-devnet", seed=13, validator_count=4)
+    system = ProofOfLocationSystem(chain=chain, reward=5_000, max_users=4)
+    system.register_prover("mallory", 44.4949, 11.3426, funding=10**18)
+    system.register_witness("walter", 44.4949, 11.3428)
+    system.register_witness("remota", 45.4949, 12.3426)
+    system.register_verifier("vera", funding=10**18)
+    outcomes = run_all_attacks(system, "mallory", "walter", "remota", "vera")
+    for outcome in outcomes:
+        status = "SUCCEEDED" if outcome.succeeded else "defeated "
+        print(f"{status} {outcome.attack:20} {outcome.detail}")
+    return 0 if all(not o.succeeded for o in outcomes) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="run the quickstart PoL pipeline")
+
+    simulate = subparsers.add_parser("simulate", help="run one evaluation workload")
+    simulate.add_argument("network", help="network profile (e.g. goerli, algorand-testnet)")
+    simulate.add_argument("users", type=int, nargs="?", default=16)
+    simulate.add_argument("--seed", type=int, default=1)
+
+    compare = subparsers.add_parser("compare", help="the chapter-5 comparison tables")
+    compare.add_argument("users", type=int, nargs="?", default=16)
+    compare.add_argument("--seed", type=int, default=1)
+
+    verify = subparsers.add_parser(
+        "verify-contract", help="compile + verify a contract (the PoL contract by default)"
+    )
+    verify.add_argument("source", nargs="?", help="a .rsh contract file to compile instead")
+    subparsers.add_parser("attacks", help="run the attack gauntlet")
+
+    report = subparsers.add_parser("report", help="full deploy/attach report, 16 and 32 users")
+    report.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "verify-contract": _cmd_verify_contract,
+        "attacks": _cmd_attacks,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

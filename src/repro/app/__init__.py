@@ -1,0 +1,11 @@
+"""The use case: environmental issue reports (thesis chapter 3).
+
+A crowdsensing DApp where users report environment problems (waste,
+pollution, road damage...) at their verified location, and truthful
+reporters earn token rewards.
+"""
+
+from repro.app.reports import Report, ReportCategory
+from repro.app.application import CrowdsensingApp
+
+__all__ = ["Report", "ReportCategory", "CrowdsensingApp"]

@@ -1,0 +1,76 @@
+"""Report records: what users file about their surroundings.
+
+"Users can report a specific situation with different typologies, such
+as a hole in the road, contaminated ground, waste on the street, a
+crowded place..." (section 3).  A report carries a title, description
+and optional picture bytes, and serializes to the JSON blob stored on
+IPFS (whose CID the location proof then binds).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ReportCategory(Enum):
+    """The report typologies the thesis motivates."""
+
+    WASTE = "illegally abandoned waste"
+    WATER_POLLUTION = "water pollution"
+    CONTAMINATED_GROUND = "contaminated ground"
+    ROAD_DAMAGE = "road damage"
+    CROWDED_PLACE = "crowded place"
+    VANDALISM = "vandalism"
+    NATURAL_DISASTER = "natural disaster"
+    OTHER = "other"
+
+
+@dataclass
+class Report:
+    """One environmental report."""
+
+    title: str
+    description: str
+    category: ReportCategory = ReportCategory.OTHER
+    photo: bytes = b""
+    reporter_did: int = 0
+    olc: str = ""
+    timestamp: float = 0.0
+    verified: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.title.strip():
+            raise ValueError("a report needs a title")
+        if not self.description.strip():
+            raise ValueError("a report needs a description")
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the IPFS payload."""
+        return json.dumps(
+            {
+                "title": self.title,
+                "description": self.description,
+                "category": self.category.name,
+                "photo_hex": self.photo.hex(),
+                "reporter_did": self.reporter_did,
+                "olc": self.olc,
+                "timestamp": self.timestamp,
+            },
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Report":
+        """Parse an IPFS payload back into a report."""
+        data = json.loads(payload.decode())
+        return cls(
+            title=data["title"],
+            description=data["description"],
+            category=ReportCategory[data["category"]],
+            photo=bytes.fromhex(data.get("photo_hex", "")),
+            reporter_did=int(data.get("reporter_did", 0)),
+            olc=data.get("olc", ""),
+            timestamp=float(data.get("timestamp", 0.0)),
+        )

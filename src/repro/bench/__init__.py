@@ -1,0 +1,20 @@
+"""Benchmark support: workloads, the simulation harness, metrics, tables.
+
+Everything the ``benchmarks/`` suite needs to regenerate chapter 5's
+tables and figures against the chain simulators.
+"""
+
+from repro.bench.workload import THESIS_LOCATIONS, ProverSpec, generate_workload
+from repro.bench.simulation import SimulationResult, UserTiming, run_simulation
+from repro.bench.metrics import OperationStats, summarize
+
+__all__ = [
+    "THESIS_LOCATIONS",
+    "ProverSpec",
+    "generate_workload",
+    "SimulationResult",
+    "UserTiming",
+    "run_simulation",
+    "OperationStats",
+    "summarize",
+]

@@ -1,0 +1,267 @@
+"""The simulation harness (the thesis's ``startSimulation.py``).
+
+Pre-creates and funds N prover accounts (the section 4.4 support
+scripts), then runs each prover through the deploy-or-attach flow
+against a named network profile, recording the *total interaction time
+between one user and the smart contract* -- exactly the quantity the
+thesis's charts plot.
+
+Proof generation and CID creation are deliberately skipped, as in the
+thesis: "their presence would not have relevance to the results"
+(section 4.3); records carry fabricated proof fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.algorand import AlgorandChain
+from repro.chain.base import BaseChain
+from repro.chain.ethereum import EthereumChain
+from repro.chain.polygon import PolygonChain
+from repro.chain.params import PROFILES
+from repro.core.contract import build_pol_program, pol_record
+from repro.reach.compiler import CompiledContract, compile_program
+from repro.reach.runtime import DeployedContract, ReachClient
+from repro.bench.workload import USERS_PER_CONTRACT, ProverSpec, generate_workload
+
+
+@dataclass(frozen=True)
+class UserTiming:
+    """One user's measured interaction."""
+
+    name: str
+    did: int
+    olc: str
+    operation: str  # "deploy" | "attach"
+    latency: float  # seconds, end to end across the operation's txs
+    fees: int  # base units
+    gas_used: int
+    transactions: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything a chapter-5 table or figure needs."""
+
+    network: str
+    user_count: int
+    timings: list[UserTiming] = field(default_factory=list)
+
+    def deploys(self) -> list[UserTiming]:
+        """The deploy operations in user order."""
+        return [t for t in self.timings if t.operation == "deploy"]
+
+    def attaches(self) -> list[UserTiming]:
+        """The attach operations in user order."""
+        return [t for t in self.timings if t.operation == "attach"]
+
+    def per_user_series(self) -> list[tuple[str, float]]:
+        """The figure 5.2-5.5 bar series: (user, total seconds)."""
+        return [(t.name, t.latency) for t in self.timings]
+
+    def to_csv(self) -> str:
+        """Raw per-user measurements for external re-plotting."""
+        lines = ["name,did,olc,operation,latency_s,fees_base_units,gas_used,transactions"]
+        for t in self.timings:
+            lines.append(
+                f"{t.name},{t.did},{t.olc},{t.operation},{t.latency:.4f},"
+                f"{t.fees},{t.gas_used},{t.transactions}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def make_chain(network: str, seed: int = 0) -> BaseChain:
+    """Instantiate the simulator for a named testnet profile."""
+    profile = PROFILES[network]
+    if network.startswith("polygon"):
+        return PolygonChain(profile=profile, seed=seed, validator_count=8)
+    if profile.family == "evm":
+        return EthereumChain(profile=profile, seed=seed, validator_count=8)
+    return AlgorandChain(profile=profile, seed=seed, participant_count=10)
+
+
+def run_simulation_concurrent(
+    network: str,
+    user_count: int,
+    seed: int = 0,
+    reward: int = 0,
+    compiled: CompiledContract | None = None,
+) -> SimulationResult:
+    """The thesis's Thread-based variant: attachers act concurrently.
+
+    Creators deploy sequentially (each location needs its contract id
+    first), then *all* attachers of all locations run their two-step
+    attach together: every handshake transaction is in flight at once,
+    then every API call.  Per-user latency spans the user's own first
+    submission to its own final confirmation.
+    """
+    chain = make_chain(network, seed=seed)
+    client = ReachClient(chain)
+    if compiled is None:
+        compiled = compile_program(
+            build_pol_program(max_users=USERS_PER_CONTRACT, reward=reward or 1_000)
+        )
+    workload = generate_workload(user_count)
+    funding = 10**18 if chain.profile.family == "evm" else 10**12
+    accounts = {
+        spec.name: chain.create_account(seed=f"sim/{network}/{spec.name}".encode(), funding=funding)
+        for spec in workload
+    }
+    records = {
+        spec.name: pol_record(
+            hashed_proof=f"hash-{spec.did}",
+            signed_proof=f"sig-{spec.did}",
+            wallet=accounts[spec.name].address,
+            nonce=spec.did * 7,
+            cid=f"cid-{spec.did}",
+        )
+        for spec in workload
+    }
+
+    result = SimulationResult(network=network, user_count=user_count)
+    contracts: dict[str, DeployedContract] = {}
+    for spec in (s for s in workload if s.is_creator):
+        deployed = client.deploy(compiled, accounts[spec.name], [spec.olc, spec.did, records[spec.name]])
+        contracts[spec.olc] = deployed
+        result.timings.append(
+            UserTiming(
+                name=spec.name, did=spec.did, olc=spec.olc, operation="deploy",
+                latency=deployed.deploy_result.latency, fees=deployed.deploy_result.fees,
+                gas_used=deployed.deploy_result.gas_used,
+                transactions=len(deployed.deploy_result.receipts),
+            )
+        )
+
+    attachers = [spec for spec in workload if not spec.is_creator]
+
+    def submit_wave(build_tx):
+        """Sign+submit one transaction per attacher; return txids."""
+        txids = {}
+        for spec in attachers:
+            tx = build_tx(spec)
+            chain.sign(accounts[spec.name], tx)
+            txids[spec.name] = chain.submit(tx)
+        return txids
+
+    def wait_wave(txids):
+        for txid in txids.values():
+            chain.wait(txid)
+
+    if chain.profile.family == "evm":
+        handshakes = submit_wave(
+            lambda spec: chain.make_transaction(
+                accounts[spec.name], "transfer", to=contracts[spec.olc].ref, value=0, gas_limit=21_000
+            )
+        )
+        wait_wave(handshakes)
+        calls = submit_wave(
+            lambda spec: chain.make_transaction(
+                accounts[spec.name],
+                "call",
+                to=contracts[spec.olc].ref,
+                data={"selector": "attacherAPI.insert_data", "args": [records[spec.name], spec.did]},
+                gas_limit=800_000,
+            )
+        )
+        wait_wave(calls)
+    else:
+        handshakes = submit_wave(
+            lambda spec: chain.make_transaction(
+                accounts[spec.name],
+                "call",
+                data={"app_id": int(contracts[spec.olc].ref), "on_complete": "optin", "args": []},
+            )
+        )
+        wait_wave(handshakes)
+        calls = submit_wave(
+            lambda spec: chain.make_transaction(
+                accounts[spec.name],
+                "call",
+                data={
+                    "app_id": int(contracts[spec.olc].ref),
+                    "args": ["attacherAPI.insert_data", records[spec.name], spec.did],
+                    "budget_txns": 1,
+                },
+            )
+        )
+        wait_wave(calls)
+
+    for spec in attachers:
+        first = chain.receipt(handshakes[spec.name])
+        last = chain.receipt(calls[spec.name])
+        result.timings.append(
+            UserTiming(
+                name=spec.name, did=spec.did, olc=spec.olc, operation="attach",
+                latency=(last.confirmed_at or 0.0) - first.submitted_at,
+                fees=first.fee_paid + last.fee_paid,
+                gas_used=first.gas_used + last.gas_used,
+                transactions=2,
+            )
+        )
+    return result
+
+
+def run_simulation(
+    network: str,
+    user_count: int,
+    seed: int = 0,
+    reward: int = 0,
+    compiled: CompiledContract | None = None,
+) -> SimulationResult:
+    """Run the chapter-5 workload on one network.
+
+    Returns per-user timings; deploy = contract creation + creator data
+    insert, attach = the two-transaction attach operation.
+    """
+    chain = make_chain(network, seed=seed)
+    client = ReachClient(chain)
+    if compiled is None:
+        compiled = compile_program(
+            build_pol_program(max_users=USERS_PER_CONTRACT, reward=reward or 1_000)
+        )
+    workload = generate_workload(user_count)
+
+    # Support scripts (section 4.4): create and fund every wallet first,
+    # so account creation does not pollute the latency measurements.
+    funding = 10**18 if chain.profile.family == "evm" else 10**12
+    accounts = {
+        spec.name: chain.create_account(seed=f"sim/{network}/{spec.name}".encode(), funding=funding)
+        for spec in workload
+    }
+
+    result = SimulationResult(network=network, user_count=user_count)
+    contracts: dict[str, DeployedContract] = {}  # the simulated hypercube
+    for spec in workload:
+        account = accounts[spec.name]
+        record = pol_record(
+            hashed_proof=f"hash-{spec.did}",
+            signed_proof=f"sig-{spec.did}",
+            wallet=account.address,
+            nonce=spec.did * 7,
+            cid=f"cid-{spec.did}",
+        )
+        deployed = contracts.get(spec.olc)
+        if deployed is None:
+            deployed = client.deploy(compiled, account, [spec.olc, spec.did, record])
+            contracts[spec.olc] = deployed
+            operation = deployed.deploy_result
+            kind = "deploy"
+        else:
+            operation = deployed.attach_and_call(
+                "attacherAPI.insert_data", record, spec.did, sender=account
+            )
+            kind = "attach"
+        result.timings.append(
+            UserTiming(
+                name=spec.name,
+                did=spec.did,
+                olc=spec.olc,
+                operation=kind,
+                latency=operation.latency,
+                fees=operation.fees,
+                gas_used=operation.gas_used,
+                transactions=len(operation.receipts),
+            )
+        )
+    return result

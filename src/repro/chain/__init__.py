@@ -1,0 +1,44 @@
+"""Blockchain substrate: Ethereum-, Polygon- and Algorand-style chains.
+
+The thesis evaluates one Reach contract on three live networks (Goerli,
+Polygon Mumbai, Algorand testnet).  This package provides in-process
+simulators for all three, sharing common account/transaction/block
+machinery (:mod:`repro.chain.base`) but with genuinely different
+execution engines and consensus:
+
+- :mod:`repro.chain.ethereum` -- an EVM-style stack VM with the
+  Yellow-Paper gas schedule, EIP-1559 base-fee dynamics and
+  proof-of-stake slot/committee consensus.
+- :mod:`repro.chain.polygon` -- a layer-2 parametrization of the EVM
+  chain (2 s blocks, low fees) with periodic L1 checkpoints.
+- :mod:`repro.chain.algorand` -- an AVM/TEAL-style VM with Pure
+  Proof-of-Stake: VRF sortition of leader + committee, immediate
+  finality, flat minimum fees.
+"""
+
+from repro.chain.base import (
+    Account,
+    Block,
+    BaseChain,
+    ChainError,
+    InsufficientFunds,
+    InvalidTransaction,
+    Receipt,
+    Transaction,
+    TxStatus,
+)
+from repro.chain.params import NetworkProfile, PROFILES
+
+__all__ = [
+    "Account",
+    "Block",
+    "BaseChain",
+    "ChainError",
+    "InsufficientFunds",
+    "InvalidTransaction",
+    "Receipt",
+    "Transaction",
+    "TxStatus",
+    "NetworkProfile",
+    "PROFILES",
+]

@@ -1,0 +1,18 @@
+"""Algorand-style chain: AVM/TEAL execution + Pure Proof-of-Stake."""
+
+from repro.chain.algorand.avm import AVM, Application, AvmError, AvmPanic
+from repro.chain.algorand.chain import AlgorandChain
+from repro.chain.algorand.teal import TealProgram, assemble
+from repro.chain.algorand.consensus import Sortition, sortition_seats
+
+__all__ = [
+    "AVM",
+    "Application",
+    "AvmError",
+    "AvmPanic",
+    "AlgorandChain",
+    "TealProgram",
+    "assemble",
+    "Sortition",
+    "sortition_seats",
+]

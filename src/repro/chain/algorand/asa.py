@@ -1,0 +1,148 @@
+"""Algorand Standard Assets (thesis section 2.8).
+
+"Regarding Algorand, in the future will be possible to create a new
+token and transfer it, using the Algorand Standard Assets (ASAs),
+instead of using the native cryptocurrency."  This module provides the
+ASA ledger the chain consults: asset creation, the opt-in rule
+(accounts must opt in before holding an asset), transfers, freezing and
+clawback -- the real ASA role model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AsaError(Exception):
+    """Asset-layer rule violation."""
+
+
+@dataclass
+class Asset:
+    """One created asset and its role addresses."""
+
+    asset_id: int
+    creator: str
+    name: str
+    unit_name: str
+    total: int
+    decimals: int = 0
+    manager: str = ""
+    freeze: str = ""
+    clawback: str = ""
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise AsaError("asset total supply must be positive")
+        if not self.name or not self.unit_name:
+            raise AsaError("asset needs a name and a unit name")
+        self.manager = self.manager or self.creator
+        self.freeze = self.freeze or self.creator
+        self.clawback = self.clawback or self.creator
+
+
+@dataclass
+class AsaLedger:
+    """Holdings, opt-ins and role enforcement for every asset."""
+
+    assets: dict[int, Asset] = field(default_factory=dict)
+    holdings: dict[int, dict[str, int]] = field(default_factory=dict)
+    frozen: dict[int, set[str]] = field(default_factory=dict)
+    _next_id: int = 1
+
+    def create(
+        self,
+        creator: str,
+        name: str,
+        unit_name: str,
+        total: int,
+        decimals: int = 0,
+        manager: str = "",
+        freeze: str = "",
+        clawback: str = "",
+    ) -> Asset:
+        """Create an asset; the whole supply lands with the creator."""
+        asset = Asset(
+            asset_id=self._next_id,
+            creator=creator,
+            name=name,
+            unit_name=unit_name,
+            total=total,
+            decimals=decimals,
+            manager=manager,
+            freeze=freeze,
+            clawback=clawback,
+        )
+        self._next_id += 1
+        self.assets[asset.asset_id] = asset
+        self.holdings[asset.asset_id] = {creator: total}
+        self.frozen[asset.asset_id] = set()
+        return asset
+
+    def _asset(self, asset_id: int) -> Asset:
+        asset = self.assets.get(asset_id)
+        if asset is None:
+            raise AsaError(f"asset {asset_id} does not exist")
+        return asset
+
+    def opted_in(self, asset_id: int, address: str) -> bool:
+        """Whether ``address`` can hold the asset."""
+        return address in self.holdings.get(asset_id, {})
+
+    def opt_in(self, asset_id: int, address: str) -> None:
+        """Open a zero-balance holding (required before receiving)."""
+        self._asset(asset_id)
+        self.holdings[asset_id].setdefault(address, 0)
+
+    def balance(self, asset_id: int, address: str) -> int:
+        """Asset units held by ``address`` (0 if not opted in)."""
+        return self.holdings.get(asset_id, {}).get(address, 0)
+
+    def transfer(self, asset_id: int, sender: str, receiver: str, amount: int) -> None:
+        """Move asset units; both the opt-in and freeze rules apply."""
+        self._asset(asset_id)
+        if amount < 0:
+            raise AsaError("cannot transfer a negative amount")
+        if not self.opted_in(asset_id, sender):
+            raise AsaError(f"{sender} holds no position in asset {asset_id}")
+        if not self.opted_in(asset_id, receiver):
+            raise AsaError(f"{receiver} has not opted in to asset {asset_id}")
+        if sender in self.frozen[asset_id]:
+            raise AsaError(f"{sender}'s holding of asset {asset_id} is frozen")
+        if receiver in self.frozen[asset_id]:
+            raise AsaError(f"{receiver}'s holding of asset {asset_id} is frozen")
+        if self.holdings[asset_id][sender] < amount:
+            raise AsaError(f"insufficient asset balance: {self.holdings[asset_id][sender]} < {amount}")
+        self.holdings[asset_id][sender] -= amount
+        self.holdings[asset_id][receiver] += amount
+
+    def set_frozen(self, asset_id: int, actor: str, target: str, frozen: bool) -> None:
+        """Freeze/unfreeze a holding; only the freeze address may."""
+        asset = self._asset(asset_id)
+        if actor != asset.freeze:
+            raise AsaError(f"{actor} is not the freeze address of asset {asset_id}")
+        if frozen:
+            self.frozen[asset_id].add(target)
+        else:
+            self.frozen[asset_id].discard(target)
+
+    def clawback_transfer(self, asset_id: int, actor: str, source: str, receiver: str, amount: int) -> None:
+        """Revoke units from ``source``; only the clawback address may.
+
+        Clawback bypasses the freeze state (its purpose is remediation).
+        """
+        asset = self._asset(asset_id)
+        if actor != asset.clawback:
+            raise AsaError(f"{actor} is not the clawback address of asset {asset_id}")
+        if not self.opted_in(asset_id, source):
+            raise AsaError(f"{source} holds no position in asset {asset_id}")
+        if not self.opted_in(asset_id, receiver):
+            raise AsaError(f"{receiver} has not opted in to asset {asset_id}")
+        if self.holdings[asset_id][source] < amount:
+            raise AsaError("insufficient balance for clawback")
+        self.holdings[asset_id][source] -= amount
+        self.holdings[asset_id][receiver] += amount
+
+    def circulating(self, asset_id: int) -> int:
+        """Supply conservation check: the sum of all holdings."""
+        return sum(self.holdings.get(asset_id, {}).values())

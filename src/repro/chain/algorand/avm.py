@@ -1,0 +1,337 @@
+"""The Algorand Virtual Machine: a stack engine for TEAL programs.
+
+"AVM contains a stack engine that evaluates smart contracts" (thesis
+1.4.2.2).  Faithful behaviours:
+
+- stateful applications with global key-value state and box storage
+  (the thesis's Reach Map lands in boxes, per its Algorand
+  box-storage discussion);
+- an opcode budget per application call (panics when exhausted);
+- ``assert``/``err`` panics abort the call with no state change;
+- inner payment transactions spend from the application account;
+- approval = top of stack non-zero at ``return``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import sha256
+from repro.chain.algorand.teal import TealInstr, TealProgram
+
+#: Real TEAL has a 700-op budget per app call, pooled across grouped
+#: transactions.  The Reach runtime groups budget transactions as needed;
+#: we model the pooled ceiling directly.
+DEFAULT_OPCODE_BUDGET = 700
+MAX_BUDGET_POOL = 16
+
+
+class AvmError(Exception):
+    """Malformed program or stack misuse."""
+
+
+class AvmPanic(Exception):
+    """An ``assert``/``err`` failure or exhausted budget; call rejected."""
+
+
+@dataclass
+class Application:
+    """An on-chain stateful application."""
+
+    app_id: int
+    approval: TealProgram
+    creator: str
+    address: str  # the application account that can hold/spend Algos
+    global_state: dict[bytes, Any] = field(default_factory=dict)
+    boxes: dict[bytes, bytes] = field(default_factory=dict)
+    opted_in: set[str] = field(default_factory=set)
+
+
+@dataclass
+class AvmResult:
+    """Outcome of an approved application call."""
+
+    approved: bool
+    ops_used: int
+    logs: list[bytes] = field(default_factory=list)
+    global_writes: dict[bytes, Any] = field(default_factory=dict)
+    global_deletes: set[bytes] = field(default_factory=set)
+    box_writes: dict[bytes, bytes] = field(default_factory=dict)
+    box_deletes: set[bytes] = field(default_factory=set)
+    inner_payments: list[tuple[str, int]] = field(default_factory=list)
+    return_value: Any = None
+
+
+@dataclass
+class CallContext:
+    """Fields visible to ``txn``/``global``/``txna`` opcodes."""
+
+    sender: str
+    application_id: int
+    app_args: list[Any]
+    amount: int = 0
+    round: int = 0
+    timestamp: float = 0.0
+    app_address: str = ""
+    app_balance: int = 0
+    budget_pool: int = 1  # grouped budget transactions (>=1)
+
+
+class AVM:
+    """Interprets a :class:`TealProgram` against an :class:`Application`."""
+
+    def execute(self, app: Application, ctx: CallContext) -> AvmResult:
+        """Run the approval program; raise :class:`AvmPanic` on rejection."""
+        budget = DEFAULT_OPCODE_BUDGET * min(max(ctx.budget_pool, 1), MAX_BUDGET_POOL)
+        stack: list[Any] = []
+        call_stack: list[int] = []
+        global_writes: dict[bytes, Any] = {}
+        global_deletes: set[bytes] = set()
+        box_writes: dict[bytes, bytes] = {}
+        box_deletes: set[bytes] = set()
+        inner_payments: list[tuple[str, int]] = []
+        logs: list[bytes] = []
+        spent = 0
+        ops_used = 0
+        pc = 0
+        instrs = app.approval.instrs
+
+        def pop() -> Any:
+            if not stack:
+                raise AvmError("stack underflow")
+            return stack.pop()
+
+        def pop_int() -> int:
+            value = pop()
+            if not isinstance(value, int):
+                raise AvmError(f"expected uint64, got {type(value).__name__}")
+            return value
+
+        def pop_bytes() -> bytes:
+            value = pop()
+            if isinstance(value, bytes):
+                return value
+            if isinstance(value, str):
+                return value.encode()
+            raise AvmError(f"expected bytes, got {type(value).__name__}")
+
+        while True:
+            if not 0 <= pc < len(instrs):
+                raise AvmError(f"program counter {pc} out of range")
+            ops_used += 1
+            if ops_used > budget:
+                raise AvmPanic("opcode budget exhausted")
+            instr: TealInstr = instrs[pc]
+            op = instr.op
+
+            if op == "int":
+                stack.append(instr.args[0])
+            elif op == "byte":
+                stack.append(instr.args[0])
+            elif op == "addr":
+                stack.append(instr.args[0])
+            elif op == "pop":
+                pop()
+            elif op == "dup":
+                value = pop()
+                stack.extend([value, value])
+            elif op == "dup2":
+                if len(stack) < 2:
+                    raise AvmError("stack underflow on dup2")
+                stack.extend(stack[-2:])
+            elif op == "swap":
+                a, b = pop(), pop()
+                stack.extend([a, b])
+            elif op in ("+", "-", "*", "/", "%"):
+                b, a = pop_int(), pop_int()
+                if op == "+":
+                    result = a + b
+                elif op == "-":
+                    if b > a:
+                        raise AvmPanic("uint64 underflow")
+                    result = a - b
+                elif op == "*":
+                    result = a * b
+                elif op == "/":
+                    if b == 0:
+                        raise AvmPanic("division by zero")
+                    result = a // b
+                else:
+                    if b == 0:
+                        raise AvmPanic("modulo by zero")
+                    result = a % b
+                if result >= 2**64:
+                    raise AvmPanic("uint64 overflow")
+                stack.append(result)
+            elif op in ("<", ">", "<=", ">="):
+                b, a = pop_int(), pop_int()
+                table = {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}
+                stack.append(1 if table[op] else 0)
+            elif op in ("==", "!="):
+                b, a = pop(), pop()
+                equal = _canonical(a) == _canonical(b)
+                stack.append(1 if (equal if op == "==" else not equal) else 0)
+            elif op == "&&":
+                b, a = pop_int(), pop_int()
+                stack.append(1 if (a and b) else 0)
+            elif op == "||":
+                b, a = pop_int(), pop_int()
+                stack.append(1 if (a or b) else 0)
+            elif op == "!":
+                stack.append(1 if pop_int() == 0 else 0)
+            elif op == "concat":
+                b, a = pop_bytes(), pop_bytes()
+                stack.append(a + b)
+            elif op == "itob":
+                stack.append(pop_int().to_bytes(8, "big"))
+            elif op == "btoi":
+                raw = pop_bytes()
+                if len(raw) > 8:
+                    raise AvmPanic("btoi of more than 8 bytes")
+                stack.append(int.from_bytes(raw, "big"))
+            elif op == "len":
+                stack.append(len(pop_bytes()))
+            elif op == "sha256":
+                stack.append(sha256(pop_bytes()))
+            elif op == "txn":
+                stack.append(_txn_field(ctx, instr.args[0]))
+            elif op == "txna":
+                fieldname, index = instr.args
+                if fieldname != "ApplicationArgs":
+                    raise AvmError(f"unsupported txna field {fieldname}")
+                if not 0 <= index < len(ctx.app_args):
+                    raise AvmPanic(f"ApplicationArgs index {index} out of range")
+                stack.append(ctx.app_args[index])
+            elif op == "global":
+                stack.append(_global_field(ctx, instr.args[0]))
+            elif op == "app_global_put":
+                value = pop()
+                key = pop_bytes()
+                global_writes[key] = value
+                global_deletes.discard(key)
+            elif op == "app_global_get":
+                key = pop_bytes()
+                if key in global_deletes:
+                    stack.append(0)
+                elif key in global_writes:
+                    stack.append(global_writes[key])
+                else:
+                    stack.append(app.global_state.get(key, 0))
+            elif op == "app_global_del":
+                key = pop_bytes()
+                global_writes.pop(key, None)
+                global_deletes.add(key)
+            elif op == "box_put":
+                value = pop_bytes()
+                key = pop_bytes()
+                box_writes[key] = value
+                box_deletes.discard(key)
+            elif op == "box_get":
+                key = pop_bytes()
+                if key in box_deletes:
+                    stack.extend([b"", 0])
+                elif key in box_writes:
+                    stack.extend([box_writes[key], 1])
+                elif key in app.boxes:
+                    stack.extend([app.boxes[key], 1])
+                else:
+                    stack.extend([b"", 0])
+            elif op == "box_del":
+                key = pop_bytes()
+                box_writes.pop(key, None)
+                box_deletes.add(key)
+            elif op == "itxn_pay":
+                amount = pop_int()
+                receiver = pop()
+                if not isinstance(receiver, str):
+                    receiver = receiver.decode() if isinstance(receiver, bytes) else str(receiver)
+                available = ctx.app_balance + ctx.amount - spent
+                if amount > available:
+                    raise AvmPanic("inner payment exceeds application balance")
+                spent += amount
+                inner_payments.append((receiver, amount))
+            elif op == "balance":
+                stack.append(ctx.app_balance + ctx.amount - spent)
+            elif op == "min_balance":
+                stack.append(100_000)
+            elif op == "log":
+                logs.append(pop_bytes())
+            elif op == "b":
+                pc = instr.args[0]
+                continue
+            elif op == "bz":
+                if pop_int() == 0:
+                    pc = instr.args[0]
+                    continue
+            elif op == "bnz":
+                if pop_int() != 0:
+                    pc = instr.args[0]
+                    continue
+            elif op == "callsub":
+                call_stack.append(pc + 1)
+                pc = instr.args[0]
+                continue
+            elif op == "retsub":
+                if not call_stack:
+                    raise AvmError("retsub with empty call stack")
+                pc = call_stack.pop()
+                continue
+            elif op == "assert":
+                if pop_int() == 0:
+                    raise AvmPanic("assert failed")
+            elif op == "err":
+                raise AvmPanic("err opcode")
+            elif op == "return":
+                approved = pop_int() != 0
+                if not approved:
+                    raise AvmPanic("approval program rejected")
+                return AvmResult(
+                    approved=True,
+                    ops_used=ops_used,
+                    logs=logs,
+                    global_writes=global_writes,
+                    global_deletes=global_deletes,
+                    box_writes=box_writes,
+                    box_deletes=box_deletes,
+                    inner_payments=inner_payments,
+                    return_value=logs[-1] if logs else None,
+                )
+            else:
+                raise AvmError(f"unknown opcode {op}")
+            pc += 1
+
+
+def _canonical(value: Any) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, int):
+        return value.to_bytes(8, "big")
+    if isinstance(value, str):
+        return value.encode()
+    raise AvmError(f"uncomparable value {value!r}")
+
+
+def _txn_field(ctx: CallContext, name: str) -> Any:
+    fields = {
+        "Sender": ctx.sender,
+        "ApplicationID": ctx.application_id,
+        "NumAppArgs": len(ctx.app_args),
+        "Amount": ctx.amount,
+    }
+    if name not in fields:
+        raise AvmError(f"unsupported txn field {name}")
+    return fields[name]
+
+
+def _global_field(ctx: CallContext, name: str) -> Any:
+    fields = {
+        "Round": ctx.round,
+        "LatestTimestamp": int(ctx.timestamp),
+        "CurrentApplicationID": ctx.application_id,
+        "CurrentApplicationAddress": ctx.app_address,
+        "MinTxnFee": 1_000,
+    }
+    if name not in fields:
+        raise AvmError(f"unsupported global field {name}")
+    return fields[name]

@@ -1,0 +1,470 @@
+"""Common chain machinery: accounts, transactions, blocks, mempool.
+
+Both VM families (EVM-style and AVM-style) share this layer.  A
+:class:`BaseChain` is bound to a :class:`~repro.simnet.events.EventQueue`
+and produces blocks on its profile's cadence; clients submit signed
+transactions and then *drive the event queue* until their receipt
+confirms, which is how the benchmarks measure end-to-end latency the
+same way the thesis's scripts measured wall-clock time against live
+testnets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.crypto.hashing import sha256, sha256_hex
+from repro.crypto.keys import KeyPair, PublicKey, Signature
+from repro.crypto.merkle import merkle_root
+from repro.simnet import CongestionProcess, EventQueue, LatencyModel
+from repro.chain.params import NetworkProfile
+
+
+class ChainError(Exception):
+    """Base class for chain-level failures."""
+
+
+class InvalidTransaction(ChainError):
+    """The transaction was rejected at admission (signature/nonce/fee)."""
+
+
+class InsufficientFunds(ChainError):
+    """The sender cannot cover value + maximum fee."""
+
+
+class TxStatus(Enum):
+    """Lifecycle of a submitted transaction."""
+
+    PENDING = "pending"
+    SUCCESS = "success"
+    REVERTED = "reverted"
+
+
+@dataclass
+class Account:
+    """A chain account: key pair, chain-specific address, local nonce."""
+
+    keypair: KeyPair
+    address: str
+    nonce: int = 0
+
+    @property
+    def public(self) -> PublicKey:
+        """The account's public key."""
+        return self.keypair.public
+
+    def next_nonce(self) -> int:
+        """Return the current nonce and advance it (client-side tracking)."""
+        value = self.nonce
+        self.nonce += 1
+        return value
+
+
+@dataclass
+class Transaction:
+    """A signed transaction.
+
+    ``kind`` is one of ``"transfer"``, ``"create"`` (contract/app
+    deployment) or ``"call"`` (message/application call).  ``data`` is a
+    JSON-serializable payload interpreted by the chain's VM adapter.
+    """
+
+    sender: str
+    nonce: int
+    kind: str
+    to: str | None
+    value: int
+    data: dict[str, Any] = field(default_factory=dict)
+    gas_limit: int = 0
+    max_fee_per_gas: int = 0  # EVM, base units per gas
+    priority_fee_per_gas: int = 0  # EVM
+    flat_fee: int = 0  # AVM
+    signature: Signature | None = None
+
+    def signing_payload(self) -> bytes:
+        """Canonical bytes covered by the signature."""
+        body = {
+            "sender": self.sender,
+            "nonce": self.nonce,
+            "kind": self.kind,
+            "to": self.to,
+            "value": self.value,
+            "data": self.data,
+            "gas_limit": self.gas_limit,
+            "max_fee_per_gas": self.max_fee_per_gas,
+            "priority_fee_per_gas": self.priority_fee_per_gas,
+            "flat_fee": self.flat_fee,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":"), default=_json_default).encode()
+
+    @property
+    def txid(self) -> str:
+        """The transaction hash (covers the signature)."""
+        tail = self.signature.to_bytes() if self.signature else b""
+        return sha256_hex(self.signing_payload(), tail)
+
+    def data_size(self) -> int:
+        """Approximate serialized payload size in bytes (for gas/fees)."""
+        return len(json.dumps(self.data, sort_keys=True, default=_json_default).encode())
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    raise TypeError(f"unserializable transaction field {type(value).__name__}")
+
+
+@dataclass
+class Receipt:
+    """The result of an included transaction."""
+
+    txid: str
+    status: TxStatus = TxStatus.PENDING
+    error: str = ""
+    block_number: int | None = None
+    gas_used: int = 0
+    fee_paid: int = 0
+    contract_address: str | None = None
+    return_value: Any = None
+    logs: list[tuple[str, tuple[Any, ...]]] = field(default_factory=list)
+    submitted_at: float = 0.0
+    included_at: float | None = None
+    confirmed_at: float | None = None
+
+    @property
+    def latency(self) -> float | None:
+        """Client-observed seconds from submission to confirmation."""
+        if self.confirmed_at is None:
+            return None
+        return self.confirmed_at - self.submitted_at
+
+
+@dataclass
+class Block:
+    """A sealed block."""
+
+    number: int
+    timestamp: float
+    parent_hash: str
+    proposer: str
+    transactions: list[Transaction]
+    tx_root: bytes
+    base_fee_per_gas: int = 0
+    gas_used: int = 0
+    seed: bytes = b""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def block_hash(self) -> str:
+        """Hash committing to the header fields."""
+        return sha256_hex(
+            self.number.to_bytes(8, "big"),
+            self.parent_hash.encode(),
+            self.tx_root,
+            self.proposer.encode(),
+            int(self.timestamp * 1000).to_bytes(8, "big"),
+            self.seed,
+        )
+
+
+@dataclass
+class _MempoolEntry:
+    transaction: Transaction
+    arrived_at: float
+    blocks_to_skip: int  # congestion-induced inclusion delay
+
+
+class BaseChain:
+    """Shared skeleton of every simulated chain.
+
+    Subclasses provide address derivation, admission-fee policy,
+    consensus (block proposer selection and seal metadata), and
+    transaction execution (the VM).
+    """
+
+    def __init__(self, profile: NetworkProfile, queue: EventQueue | None = None, seed: int = 0):
+        self.profile = profile
+        self.queue = queue if queue is not None else EventQueue()
+        self.seed = seed
+        self.blocks: list[Block] = []
+        self.receipts: dict[str, Receipt] = {}
+        self.balances: dict[str, int] = {}
+        self.known_keys: dict[str, PublicKey] = {}
+        self._mempool: list[_MempoolEntry] = []
+        self.congestion = CongestionProcess(
+            mean=profile.congestion_mean,
+            volatility=profile.congestion_volatility,
+            seed=seed * 7919 + 1,
+        )
+        self._overhead = LatencyModel(
+            base=profile.provider_overhead,
+            sigma=profile.overhead_sigma,
+            seed=seed * 104729 + 2,
+        )
+        self._accounts_created = 0
+        self._started = False
+        self._genesis()
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _address_for(self, public: PublicKey) -> str:
+        """Derive the chain-specific address of a public key."""
+        raise NotImplementedError
+
+    def _admission_check(self, tx: Transaction) -> None:
+        """Validate fee fields at admission; raise InvalidTransaction."""
+        raise NotImplementedError
+
+    def _max_cost(self, tx: Transaction) -> int:
+        """Worst-case base units the sender must be able to cover."""
+        raise NotImplementedError
+
+    def _execute(self, tx: Transaction, block: Block) -> Receipt:
+        """Run ``tx`` inside ``block``; must debit fees and apply effects."""
+        raise NotImplementedError
+
+    def _select_proposer(self, block_number: int, seed: bytes) -> tuple[str, dict[str, Any]]:
+        """Pick the block proposer; return (address, seal metadata)."""
+        raise NotImplementedError
+
+    def _begin_block(self, block: Block) -> None:
+        """Subclass hook run before executing transactions (fee market)."""
+
+    def _includable(self, tx: Transaction, block: Block) -> bool:
+        """Whether ``tx`` can be included right now (fee-market gate)."""
+        return True
+
+    def _inclusion_penalty(self, tx: Transaction) -> int:
+        """Extra blocks a transaction waits beyond congestion (size bias)."""
+        return 0
+
+    def _block_can_include(self, block: Block) -> bool:
+        """Whether this block may carry transactions (consensus gate)."""
+        return True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _genesis(self) -> None:
+        genesis = Block(
+            number=0,
+            timestamp=self.queue.clock.now,
+            parent_hash="0" * 64,
+            proposer="genesis",
+            transactions=[],
+            tx_root=merkle_root([]),
+            seed=sha256(b"genesis", self.profile.name.encode(), self.seed.to_bytes(8, "big")),
+        )
+        self.blocks.append(genesis)
+
+    def start(self) -> None:
+        """Begin producing blocks on the profile cadence (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
+
+    @property
+    def height(self) -> int:
+        """Number of the latest block."""
+        return self.blocks[-1].number
+
+    @property
+    def last_block(self) -> Block:
+        """The latest sealed block."""
+        return self.blocks[-1]
+
+    # -- accounts ------------------------------------------------------------
+
+    def create_account(self, seed: bytes | None = None, funding: int = 0) -> Account:
+        """Create (and optionally faucet-fund) a fresh account.
+
+        Mirrors the thesis's support scripts that pre-generate and fund
+        N wallets before a simulation run (section 4.4).
+        """
+        self._accounts_created += 1
+        if seed is None:
+            seed = f"{self.profile.name}/account/{self.seed}/{self._accounts_created}".encode()
+        keypair = KeyPair.from_seed(seed)
+        address = self._address_for(keypair.public)
+        self.known_keys[address] = keypair.public
+        account = Account(keypair=keypair, address=address)
+        if funding:
+            self.faucet(address, funding)
+        return account
+
+    def faucet(self, address: str, amount: int) -> None:
+        """Credit ``address`` out of thin air (testnet dispenser)."""
+        if amount < 0:
+            raise ValueError("faucet amount must be non-negative")
+        self.balances[address] = self.balances.get(address, 0) + amount
+
+    def balance_of(self, address: str) -> int:
+        """Current balance of ``address`` in base units."""
+        return self.balances.get(address, 0)
+
+    # -- transactions --------------------------------------------------------
+
+    def sign(self, account: Account, tx: Transaction) -> Transaction:
+        """Attach ``account``'s signature to ``tx`` (sender must match)."""
+        if tx.sender != account.address:
+            raise InvalidTransaction("transaction sender does not match signing account")
+        tx.signature = account.keypair.sign(tx.signing_payload())
+        return tx
+
+    def submit(self, tx: Transaction) -> str:
+        """Admit ``tx`` to the mempool; returns its txid.
+
+        Admission checks signature, nonce monotonicity against pending
+        state, fee policy and worst-case affordability -- the same
+        failures a node provider would surface synchronously.
+        """
+        self.start()
+        if tx.signature is None:
+            raise InvalidTransaction("unsigned transaction")
+        public = self.known_keys.get(tx.sender)
+        if public is None:
+            raise InvalidTransaction(f"unknown sender {tx.sender}")
+        if not public.verify(tx.signing_payload(), tx.signature):
+            raise InvalidTransaction("bad signature")
+        self._admission_check(tx)
+        if self.balance_of(tx.sender) < self._max_cost(tx):
+            raise InsufficientFunds(
+                f"{tx.sender} holds {self.balance_of(tx.sender)} < required {self._max_cost(tx)}"
+            )
+        txid = tx.txid
+        if txid in self.receipts:
+            raise InvalidTransaction("duplicate transaction")
+        entry = _MempoolEntry(
+            transaction=tx,
+            arrived_at=self.queue.clock.now,
+            blocks_to_skip=self.congestion.extra_inclusion_blocks() + self._inclusion_penalty(tx),
+        )
+        self._mempool.append(entry)
+        self.receipts[txid] = Receipt(txid=txid, submitted_at=self.queue.clock.now)
+        return txid
+
+    def receipt(self, txid: str) -> Receipt:
+        """Look up the receipt of a submitted transaction."""
+        try:
+            return self.receipts[txid]
+        except KeyError:
+            raise ChainError(f"unknown transaction {txid}") from None
+
+    def wait(self, txid: str, max_blocks: int = 10_000) -> Receipt:
+        """Drive the event queue until ``txid`` confirms; return its receipt.
+
+        Confirmation means inclusion plus the profile's confirmation
+        depth, plus a sampled node-provider round trip -- the components
+        of the latency the thesis measured.
+        """
+        receipt = self.receipt(txid)
+        deadline_height = self.height + max_blocks
+        while receipt.confirmed_at is None:
+            if self.height > deadline_height:
+                raise ChainError(f"transaction {txid} not confirmed within {max_blocks} blocks")
+            if self.queue.step() is None:
+                raise ChainError("event queue ran dry before confirmation")
+        return receipt
+
+    def transact(self, account: Account, tx: Transaction) -> Receipt:
+        """Sign, submit and wait -- the common client call path."""
+        self.sign(account, tx)
+        return self.wait(self.submit(tx))
+
+    # -- block production ----------------------------------------------------
+
+    def _produce_block(self) -> None:
+        self.congestion.step()
+        parent = self.blocks[-1]
+        number = parent.number + 1
+        seed = sha256(parent.seed, number.to_bytes(8, "big"))
+        proposer, seal = self._select_proposer(number, seed)
+        block = Block(
+            number=number,
+            timestamp=self.queue.clock.now,
+            parent_hash=parent.block_hash,
+            proposer=proposer,
+            transactions=[],
+            tx_root=merkle_root([]),
+            seed=seed,
+            metadata=seal,
+        )
+        self._begin_block(block)
+
+        if not self._block_can_include(block):
+            # An uncertified round carries no transactions; pending ones
+            # wait for the next certified round (liveness degradation,
+            # not loss).
+            self.blocks.append(block)
+            self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
+            return
+
+        ready: list[_MempoolEntry] = []
+        for entry in self._mempool:
+            if entry.blocks_to_skip > 0:
+                entry.blocks_to_skip -= 1
+            else:
+                ready.append(entry)
+        ready.sort(key=lambda e: (-e.transaction.priority_fee_per_gas, e.arrived_at))
+
+        included: list[Transaction] = []
+        gas_budget = self.profile.block_gas_limit
+        for entry in ready:
+            tx = entry.transaction
+            if tx.gas_limit > gas_budget:
+                continue  # stays queued for the next block
+            if not self._includable(tx, block):
+                continue  # priced out; waits for the fee market to relax
+            receipt = self._execute(tx, block)
+            receipt.block_number = number
+            receipt.included_at = self.queue.clock.now
+            included.append(tx)
+            gas_budget -= receipt.gas_used
+            block.gas_used += receipt.gas_used
+            self._mempool.remove(entry)
+            self._schedule_confirmation(receipt)
+
+        block.transactions = included
+        block.tx_root = merkle_root([tx.txid.encode() for tx in included])
+        self.blocks.append(block)
+        self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
+
+    def _schedule_confirmation(self, receipt: Receipt) -> None:
+        delay = self.profile.confirmation_depth * self.profile.block_time + self._overhead.sample().total
+
+        def confirm() -> None:
+            receipt.confirmed_at = self.queue.clock.now
+
+        if delay <= 0:
+            receipt.confirmed_at = self.queue.clock.now
+        else:
+            self.queue.schedule(delay, confirm, label="confirm")
+
+    # -- internal value movement ----------------------------------------------
+
+    def _debit(self, address: str, amount: int) -> None:
+        balance = self.balance_of(address)
+        if balance < amount:
+            raise InsufficientFunds(f"{address} holds {balance} < {amount}")
+        self.balances[address] = balance - amount
+
+    def _credit(self, address: str, amount: int) -> None:
+        self.balances[address] = self.balances.get(address, 0) + amount
+
+
+def drive(queue: EventQueue, until: Callable[[], bool], max_steps: int = 200_000) -> None:
+    """Step ``queue`` until ``until()`` holds; guard against stalls.
+
+    A generic waiting primitive for tests and tools that need a custom
+    condition (``BaseChain.wait`` covers the common receipt case).
+    """
+    steps = 0
+    while not until():
+        if queue.step() is None:
+            raise ChainError("event queue ran dry")
+        steps += 1
+        if steps > max_steps:
+            raise ChainError("condition not reached within step budget")

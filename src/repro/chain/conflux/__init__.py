@@ -1,0 +1,14 @@
+"""Conflux-style chain: Tree-Graph DAG consensus over the EVM engine.
+
+The thesis notes Reach's third available connector: "At the moment the
+available blockchains are Ethereum, Algorand, and Conflux" (section
+2.9.3).  Conflux couples an EVM-derived execution engine with the
+Tree-Graph: blocks form a DAG (each block names a parent *and* refers
+to other tips), the pivot chain is chosen by the GHOST heaviest-subtree
+rule, and storage carries a refundable CFX collateral.
+"""
+
+from repro.chain.conflux.treegraph import GhostDag, DagBlock
+from repro.chain.conflux.chain import ConfluxChain
+
+__all__ = ["GhostDag", "DagBlock", "ConfluxChain"]

@@ -1,0 +1,16 @@
+"""Ethereum-style chain: EVM, Yellow-Paper gas schedule, EIP-1559, PoS."""
+
+from repro.chain.ethereum.chain import EthereumChain
+from repro.chain.ethereum.evm import EVM, EvmContract, Instr, VMError, VMRevert
+from repro.chain.ethereum.gas import GasSchedule, intrinsic_gas
+
+__all__ = [
+    "EthereumChain",
+    "EVM",
+    "EvmContract",
+    "Instr",
+    "VMError",
+    "VMRevert",
+    "GasSchedule",
+    "intrinsic_gas",
+]

@@ -1,0 +1,461 @@
+"""A miniature EVM: stack machine, storage journal, gas metering.
+
+The Reach-style compiler (:mod:`repro.reach.backends.evm`) lowers
+contracts to this instruction set.  The machine is deliberately close
+to the real EVM where it matters for the evaluation:
+
+- a value stack and static jumps (``JUMP``/``JUMPI``/``JUMPDEST``);
+- persistent 32-byte-keyed storage with warm/cold access tracking and
+  zeroness-sensitive ``SSTORE`` pricing;
+- gas charged per instruction from the figure-1.4 schedule, with
+  out-of-gas and ``REVERT`` rolling back every effect while the fee is
+  still paid ("computation is reverted but fees are still paid");
+- value transfers out of the contract (``TRANSFER`` stands in for
+  ``CALL`` with value, priced ``G_callvalue``).
+
+Stack values are ints (mod 2**256), byte strings, or address strings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import sha256
+from repro.chain.ethereum.gas import DEFAULT_SCHEDULE, GasSchedule
+
+WORD = 2**256
+
+
+class VMError(Exception):
+    """Irrecoverable execution failure (bad jump, stack underflow)."""
+
+
+class VMRevert(Exception):
+    """Deliberate revert; carries the reason string."""
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason or "execution reverted")
+        self.reason = reason
+
+
+class OutOfGas(VMRevert):
+    """Gas limit exhausted mid-execution."""
+
+    def __init__(self) -> None:
+        super().__init__("out of gas")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction: an opcode mnemonic and an optional immediate."""
+
+    op: str
+    arg: Any = None
+
+    def byte_size(self) -> int:
+        """Serialized size, used for code-deposit gas and tx payloads."""
+        if self.arg is None:
+            return 1
+        if isinstance(self.arg, int):
+            return 1 + max(1, (self.arg.bit_length() + 7) // 8)
+        if isinstance(self.arg, bytes):
+            return 2 + len(self.arg)
+        return 2 + len(str(self.arg).encode())
+
+
+@dataclass
+class EvmCode:
+    """A compiled artifact: flat instruction list plus entry points."""
+
+    instrs: list[Instr]
+    methods: dict[str, int]  # selector -> program counter
+    init_entry: int = 0
+
+    def byte_size(self) -> int:
+        """Total code size in (simulated) bytes."""
+        return sum(instr.byte_size() for instr in self.instrs)
+
+
+@dataclass
+class EvmContract:
+    """On-chain contract state."""
+
+    address: str
+    code: EvmCode
+    storage: dict[bytes, Any] = field(default_factory=dict)
+    creator: str = ""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a VM run."""
+
+    gas_used: int
+    return_value: Any = None
+    logs: list[tuple[str, tuple[Any, ...]]] = field(default_factory=list)
+    transfers: list[tuple[str, int]] = field(default_factory=list)  # (to, amount)
+    storage_writes: dict[bytes, Any] = field(default_factory=dict)
+    refund: int = 0  # storage-clearing refund already applied to gas_used
+
+
+def _encode(value: Any) -> bytes:
+    """Canonical byte encoding of a stack value (hash/concat input)."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, int):
+        return value.to_bytes(32, "big", signed=False)
+    if isinstance(value, str):
+        return value.encode()
+    raise VMError(f"unencodable stack value {value!r}")
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, int):
+        return value % WORD
+    if isinstance(value, bytes):
+        return int.from_bytes(value[-32:], "big")
+    raise VMError(f"expected numeric stack value, got {type(value).__name__}")
+
+
+def _truthy(value: Any) -> bool:
+    """Zero-ness test: 0, empty bytes and empty strings are false.
+
+    Strings appear on the stack for addresses and storage-loaded text;
+    EVM semantics treat the all-zero word as false, which maps to
+    emptiness for the byte-like values this VM also carries.
+    """
+    if isinstance(value, int):
+        return value % WORD != 0
+    if isinstance(value, (bytes, str)):
+        return len(value) > 0
+    raise VMError(f"untestable stack value {type(value).__name__}")
+
+
+class EVM:
+    """Executes :class:`EvmCode` against a contract with gas metering."""
+
+    #: opcode -> schedule attribute for flat-cost instructions
+    _FLAT_COSTS = {
+        "PUSH": "verylow",
+        "POP": "base",
+        "DUP": "verylow",
+        "SWAP": "verylow",
+        "ADD": "verylow",
+        "SUB": "verylow",
+        "MUL": "low",
+        "DIV": "low",
+        "MOD": "low",
+        "LT": "verylow",
+        "GT": "verylow",
+        "EQ": "verylow",
+        "ISZERO": "verylow",
+        "AND": "verylow",
+        "OR": "verylow",
+        "XOR": "verylow",
+        "NOT": "verylow",
+        "CALLER": "base",
+        "CALLVALUE": "base",
+        "CALLDATALOAD": "verylow",
+        "CALLDATASIZE": "base",
+        "TIMESTAMP": "base",
+        "NUMBER": "base",
+        "ADDRESS": "base",
+        "SELFBALANCE": "low",
+        "JUMP": "mid",
+        "JUMPI": "high",
+        "JUMPDEST": "jumpdest",
+        "STOP": "zero",
+        "RETURN": "zero",
+        "REVERT": "zero",
+        "REQUIRE": "high",
+        "CONCAT": "verylow",
+    }
+
+    def __init__(self, schedule: GasSchedule = DEFAULT_SCHEDULE):
+        self.schedule = schedule
+
+    def execute(
+        self,
+        contract: EvmContract,
+        entry: int,
+        args: list[Any],
+        caller: str,
+        value: int,
+        gas_limit: int,
+        block_number: int = 0,
+        timestamp: float = 0.0,
+        self_balance: int = 0,
+        intrinsic: int = 0,
+    ) -> ExecutionResult:
+        """Run the contract from ``entry``.
+
+        Effects (storage writes, transfers, logs) are buffered and only
+        surface in the returned :class:`ExecutionResult`; the chain
+        adapter commits them on success.  On :class:`VMRevert` the
+        exception carries ``gas_used`` so fees can still be charged.
+        """
+        instrs = contract.code.instrs
+        stack: list[Any] = []
+        writes: dict[bytes, Any] = {}
+        logs: list[tuple[str, tuple[Any, ...]]] = []
+        transfers: list[tuple[str, int]] = []
+        warm: set[bytes] = set()
+        gas_used = intrinsic
+        refund_counter = 0
+        spent_on_transfers = 0
+        pc = entry
+
+        def charge(amount: int) -> None:
+            nonlocal gas_used
+            gas_used += amount
+            if gas_used > gas_limit:
+                error = OutOfGas()
+                error.gas_used = gas_limit  # type: ignore[attr-defined]
+                raise error
+
+        def pop() -> Any:
+            if not stack:
+                raise VMError("stack underflow")
+            return stack.pop()
+
+        if gas_used > gas_limit:
+            error = OutOfGas()
+            error.gas_used = gas_limit  # type: ignore[attr-defined]
+            raise error
+
+        try:
+            while True:
+                if not 0 <= pc < len(instrs):
+                    raise VMError(f"program counter {pc} out of range")
+                instr = instrs[pc]
+                op = instr.op
+
+                flat = self._FLAT_COSTS.get(op)
+                if flat is not None:
+                    charge(getattr(self.schedule, flat))
+
+                if op == "PUSH":
+                    stack.append(instr.arg)
+                elif op == "POP":
+                    pop()
+                elif op == "DUP":
+                    depth = instr.arg or 1
+                    if len(stack) < depth:
+                        raise VMError("stack underflow on DUP")
+                    stack.append(stack[-depth])
+                elif op == "SWAP":
+                    depth = instr.arg or 1
+                    if len(stack) < depth + 1:
+                        raise VMError("stack underflow on SWAP")
+                    stack[-1], stack[-1 - depth] = stack[-1 - depth], stack[-1]
+                elif op == "ADD":
+                    stack.append((_as_int(pop()) + _as_int(pop())) % WORD)
+                elif op == "SUB":
+                    a, b = _as_int(pop()), _as_int(pop())
+                    stack.append((a - b) % WORD)
+                elif op == "MUL":
+                    stack.append((_as_int(pop()) * _as_int(pop())) % WORD)
+                elif op == "DIV":
+                    a, b = _as_int(pop()), _as_int(pop())
+                    stack.append(0 if b == 0 else a // b)
+                elif op == "MOD":
+                    a, b = _as_int(pop()), _as_int(pop())
+                    stack.append(0 if b == 0 else a % b)
+                elif op == "LT":
+                    a, b = _as_int(pop()), _as_int(pop())
+                    stack.append(1 if a < b else 0)
+                elif op == "GT":
+                    a, b = _as_int(pop()), _as_int(pop())
+                    stack.append(1 if a > b else 0)
+                elif op == "EQ":
+                    a, b = pop(), pop()
+                    stack.append(1 if _encode(a) == _encode(b) else 0)
+                elif op == "ISZERO":
+                    stack.append(0 if _truthy(pop()) else 1)
+                elif op == "AND":
+                    a, b = _truthy(pop()), _truthy(pop())
+                    stack.append(1 if (a and b) else 0)
+                elif op == "OR":
+                    a, b = _truthy(pop()), _truthy(pop())
+                    stack.append(1 if (a or b) else 0)
+                elif op == "XOR":
+                    stack.append(_as_int(pop()) ^ _as_int(pop()))
+                elif op == "NOT":
+                    stack.append(0 if _truthy(pop()) else 1)
+                elif op == "CONCAT":
+                    b, a = pop(), pop()
+                    stack.append(_encode(a) + _encode(b))
+                elif op == "SHA3":
+                    count = instr.arg or 1
+                    payload = b"".join(_encode(pop()) for _ in range(count))
+                    words = (len(payload) + 31) // 32
+                    charge(self.schedule.keccak256 + self.schedule.keccak256word * words)
+                    stack.append(sha256(payload))
+                elif op == "MAPKEY":
+                    key = pop()
+                    payload = int(instr.arg).to_bytes(32, "big") + _encode(key)
+                    words = (len(payload) + 31) // 32
+                    charge(self.schedule.keccak256 + self.schedule.keccak256word * words)
+                    stack.append(sha256(payload))
+                elif op == "CALLDATALOAD":
+                    index = instr.arg if instr.arg is not None else _as_int(pop())
+                    stack.append(args[index] if 0 <= index < len(args) else 0)
+                elif op == "CALLDATASIZE":
+                    stack.append(len(args))
+                elif op == "CALLER":
+                    stack.append(caller)
+                elif op == "CALLVALUE":
+                    stack.append(value)
+                elif op == "TIMESTAMP":
+                    stack.append(int(timestamp))
+                elif op == "NUMBER":
+                    stack.append(block_number)
+                elif op == "ADDRESS":
+                    stack.append(contract.address)
+                elif op == "SELFBALANCE":
+                    stack.append(self_balance + value - spent_on_transfers)
+                elif op == "SLOAD":
+                    key = _encode(pop())
+                    if key in warm:
+                        charge(self.schedule.warm_access)
+                    else:
+                        charge(self.schedule.cold_sload)
+                        warm.add(key)
+                    if key in writes:
+                        stack.append(writes[key])
+                    else:
+                        stack.append(contract.storage.get(key, 0))
+                elif op == "SSTORE":
+                    new_value = pop()
+                    key = _encode(pop())
+                    if key not in warm:
+                        charge(self.schedule.cold_sload)
+                        warm.add(key)
+                    current = writes.get(key, contract.storage.get(key, 0))
+                    current_zero = _encode(current) == b"\x00" * 32 if isinstance(current, int) else not current
+                    new_zero = _encode(new_value) == b"\x00" * 32 if isinstance(new_value, int) else not new_value
+                    if current_zero and not new_zero:
+                        charge(self.schedule.sset)
+                    else:
+                        charge(self.schedule.sreset)
+                        if not current_zero and new_zero:
+                            # R_sclear: clearing storage earns a refund,
+                            # capped at settlement (EIP-3529 style).
+                            refund_counter += self.schedule.sclear_refund
+                    writes[key] = new_value
+                elif op == "JUMPDEST":
+                    pass
+                elif op == "JUMP":
+                    pc = int(instr.arg)
+                    self._check_jumpdest(instrs, pc)
+                    continue
+                elif op == "JUMPI":
+                    condition = _truthy(pop())
+                    if condition:
+                        pc = int(instr.arg)
+                        self._check_jumpdest(instrs, pc)
+                        continue
+                elif op == "REQUIRE":
+                    condition = _truthy(pop())
+                    if not condition:
+                        raise VMRevert(str(instr.arg or "requirement failed"))
+                elif op == "TRANSFER":
+                    amount = _as_int(pop())
+                    to = pop()
+                    if not isinstance(to, str):
+                        raise VMError("TRANSFER target must be an address string")
+                    charge(self.schedule.callvalue)
+                    available = self_balance + value - spent_on_transfers
+                    if amount > available:
+                        raise VMRevert("insufficient contract balance for transfer")
+                    spent_on_transfers += amount
+                    transfers.append((to, amount))
+                elif op == "LOG":
+                    event, count = instr.arg
+                    # Operands were pushed in source order; report them so.
+                    payload = tuple(reversed([pop() for _ in range(count)]))
+                    data_len = sum(len(_encode(item)) for item in payload)
+                    charge(self.schedule.log + self.schedule.logtopic + self.schedule.logdata * data_len)
+                    logs.append((event, payload))
+                elif op == "RETURN":
+                    count = instr.arg or 0
+                    if count == 0:
+                        result = None
+                    elif count == 1:
+                        result = pop()
+                    else:
+                        result = tuple(reversed([pop() for _ in range(count)]))
+                    refund = min(refund_counter, gas_used // 5)
+                    return ExecutionResult(
+                        gas_used=gas_used - refund,
+                        return_value=result,
+                        logs=logs,
+                        transfers=transfers,
+                        storage_writes=writes,
+                        refund=refund,
+                    )
+                elif op == "REVERT":
+                    raise VMRevert(str(instr.arg or "execution reverted"))
+                elif op == "STOP":
+                    refund = min(refund_counter, gas_used // 5)
+                    return ExecutionResult(
+                        gas_used=gas_used - refund,
+                        return_value=None,
+                        logs=logs,
+                        transfers=transfers,
+                        storage_writes=writes,
+                        refund=refund,
+                    )
+                else:
+                    raise VMError(f"unknown opcode {op}")
+                pc += 1
+        except VMRevert as revert:
+            if not hasattr(revert, "gas_used"):
+                revert.gas_used = gas_used  # type: ignore[attr-defined]
+            raise
+
+    @staticmethod
+    def _check_jumpdest(instrs: list[Instr], pc: int) -> None:
+        if not (0 <= pc < len(instrs) and instrs[pc].op == "JUMPDEST"):
+            raise VMError(f"jump to non-JUMPDEST index {pc}")
+
+
+def serialize_code(code: EvmCode) -> bytes:
+    """Flatten code to bytes (deployment payload; priced as calldata)."""
+    blob = json.dumps(
+        [[instr.op, _json_arg(instr.arg)] for instr in code.instrs],
+        separators=(",", ":"),
+    ).encode()
+    return blob
+
+
+def _json_arg(arg: Any) -> Any:
+    if isinstance(arg, bytes):
+        return {"b": arg.hex()}
+    if isinstance(arg, tuple):
+        return list(arg)
+    return arg
+
+
+def deserialize_code(blob: bytes, methods: dict[str, int], init_entry: int = 0) -> EvmCode:
+    """Reconstruct :class:`EvmCode` from :func:`serialize_code` output.
+
+    Round-trip fidelity matters: the deployment payload travelling in a
+    create transaction is exactly what runs, so a node re-deriving the
+    code from the wire bytes must get identical instructions.
+    """
+    try:
+        raw = json.loads(blob.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise VMError(f"undecodable code blob: {exc}") from exc
+    instrs = []
+    for entry in raw:
+        op, arg = entry
+        if isinstance(arg, dict) and "b" in arg:
+            arg = bytes.fromhex(arg["b"])
+        elif isinstance(arg, list):
+            arg = tuple(arg)
+        instrs.append(Instr(op, arg))
+    return EvmCode(instrs=instrs, methods=dict(methods), init_entry=init_entry)

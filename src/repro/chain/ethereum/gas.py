@@ -1,0 +1,72 @@
+"""The gas schedule.
+
+Constants follow the Yellow-Paper table the thesis reprints as figure
+1.4 (G_sset = 20000, G_create = 32000, G_transaction = 21000, ...).
+The VM charges these per executed instruction; :func:`intrinsic_gas`
+charges the flat per-transaction costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Per-operation gas costs (figure 1.4 of the thesis)."""
+
+    zero: int = 0
+    jumpdest: int = 1
+    base: int = 2
+    verylow: int = 3
+    low: int = 5
+    mid: int = 8
+    high: int = 10
+    warm_access: int = 100
+    cold_sload: int = 2_100
+    cold_account_access: int = 2_600
+    sset: int = 20_000
+    sreset: int = 2_900
+    sclear_refund: int = 15_000
+    selfdestruct: int = 5_000
+    create: int = 32_000
+    codedeposit: int = 200
+    callvalue: int = 9_000
+    callstipend: int = 2_300
+    newaccount: int = 25_000
+    exp: int = 10
+    expbyte: int = 50
+    memory: int = 3
+    txcreate: int = 32_000
+    txdatazero: int = 4
+    txdatanonzero: int = 16
+    transaction: int = 21_000
+    log: int = 375
+    logdata: int = 8
+    logtopic: int = 375
+    keccak256: int = 30
+    keccak256word: int = 6
+    copy: int = 3
+    blockhash: int = 20
+
+
+DEFAULT_SCHEDULE = GasSchedule()
+
+
+def calldata_gas(data: bytes, schedule: GasSchedule = DEFAULT_SCHEDULE) -> int:
+    """Gas for transaction payload bytes: 4 per zero byte, 16 per non-zero."""
+    zeros = data.count(0)
+    return zeros * schedule.txdatazero + (len(data) - zeros) * schedule.txdatanonzero
+
+
+def intrinsic_gas(data: bytes, is_create: bool, schedule: GasSchedule = DEFAULT_SCHEDULE) -> int:
+    """Flat gas charged before the first instruction executes."""
+    gas = schedule.transaction + calldata_gas(data, schedule)
+    if is_create:
+        gas += schedule.txcreate
+    return gas
+
+
+def code_deposit_gas(code_size: int, schedule: GasSchedule = DEFAULT_SCHEDULE) -> int:
+    """Gas to persist deployed code: 200 per byte."""
+    return code_size * schedule.codedeposit

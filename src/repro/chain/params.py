@@ -1,0 +1,152 @@
+"""Network profiles: the knobs that differentiate the simulated chains.
+
+Each profile bundles consensus timing, fee-market behaviour, congestion
+statistics and the fiat conversion rates the thesis used on its
+measurement days (Nov 17th 2022: 1 ETH = EUR 1156, 1 ALGO = EUR 0.26,
+1 MATIC = EUR 0.85).
+
+Latency calibration.  The thesis's per-operation latencies aggregate
+(node-provider round trips + mempool wait + block inclusion +
+confirmation depth).  Those ingredients are explicit parameters here, so
+the measured *shape* (Goerli slow and unstable, Polygon fast but
+congestion-sensitive, Algorand low-variance) is produced by the model
+rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Static parameters of one simulated network."""
+
+    name: str
+    family: str  # "evm" or "avm"
+    native_symbol: str
+    # 10**decimals base units per native token (wei / microAlgo).
+    decimals: int
+    block_time: float  # seconds per block / round
+    confirmation_depth: int  # extra blocks the client waits after inclusion
+    provider_overhead: float  # node-provider RPC round-trip, seconds
+    overhead_sigma: float  # lognormal sigma of the RPC jitter
+    congestion_mean: float  # mean network utilization [0, 1]
+    congestion_volatility: float
+    # EVM fee market (ignored by AVM chains): gwei-denominated.
+    initial_base_fee_gwei: float = 0.0
+    priority_fee_gwei: float = 0.0
+    # AVM flat fee (ignored by EVM chains): base units per transaction.
+    min_fee: int = 0
+    eur_per_token: float = 0.0
+    block_gas_limit: int = 30_000_000
+
+    @property
+    def base_unit(self) -> int:
+        """Base units in one native token."""
+        return 10**self.decimals
+
+    def to_tokens(self, amount: int) -> float:
+        """Convert base units to whole native tokens."""
+        return amount / self.base_unit
+
+    def to_eur(self, amount: int) -> float:
+        """Convert base units to EUR at the thesis's measurement-day rate."""
+        return self.to_tokens(amount) * self.eur_per_token
+
+
+GWEI = 10**9
+
+#: Profiles calibrated to the testnets of chapter 5.  ``*-devnet``
+#: variants are deterministic (zero jitter/congestion) for unit tests.
+PROFILES: dict[str, NetworkProfile] = {
+    "ropsten": NetworkProfile(
+        name="ropsten",
+        family="evm",
+        native_symbol="ETH",
+        decimals=18,
+        block_time=12.0,
+        confirmation_depth=1,
+        provider_overhead=2.0,
+        overhead_sigma=0.35,
+        # Deprecated, erratic testnet: very congested and volatile (fig 5.2).
+        congestion_mean=0.80,
+        congestion_volatility=0.12,
+        initial_base_fee_gwei=18.0,
+        priority_fee_gwei=1.5,
+        eur_per_token=1156.0,
+    ),
+    "goerli": NetworkProfile(
+        name="goerli",
+        family="evm",
+        native_symbol="ETH",
+        decimals=18,
+        block_time=12.0,
+        confirmation_depth=0,
+        provider_overhead=1.5,
+        overhead_sigma=0.5,
+        congestion_mean=0.58,
+        congestion_volatility=0.09,
+        initial_base_fee_gwei=9.0,
+        priority_fee_gwei=1.5,
+        eur_per_token=1156.0,
+    ),
+    "polygon-mumbai": NetworkProfile(
+        name="polygon-mumbai",
+        family="evm",
+        native_symbol="MATIC",
+        decimals=18,
+        block_time=2.0,
+        confirmation_depth=4,
+        provider_overhead=1.2,
+        overhead_sigma=0.20,
+        congestion_mean=0.55,
+        congestion_volatility=0.10,
+        initial_base_fee_gwei=0.45,
+        priority_fee_gwei=0.12,
+        eur_per_token=0.85,
+    ),
+    "algorand-testnet": NetworkProfile(
+        name="algorand-testnet",
+        family="avm",
+        native_symbol="ALGO",
+        decimals=6,
+        block_time=4.4,
+        confirmation_depth=0,  # Algorand blocks are final on certification
+        provider_overhead=4.7,
+        overhead_sigma=0.10,
+        congestion_mean=0.25,
+        congestion_volatility=0.02,
+        min_fee=1_000,  # 0.001 ALGO
+        eur_per_token=0.26,
+    ),
+    "eth-devnet": NetworkProfile(
+        name="eth-devnet",
+        family="evm",
+        native_symbol="ETH",
+        decimals=18,
+        block_time=1.0,
+        confirmation_depth=0,
+        provider_overhead=0.0,
+        overhead_sigma=0.0,
+        congestion_mean=0.0,
+        congestion_volatility=0.0,
+        initial_base_fee_gwei=1.0,
+        priority_fee_gwei=1.0,
+        eur_per_token=1156.0,
+    ),
+    "algo-devnet": NetworkProfile(
+        name="algo-devnet",
+        family="avm",
+        native_symbol="ALGO",
+        decimals=6,
+        block_time=1.0,
+        confirmation_depth=0,
+        provider_overhead=0.0,
+        overhead_sigma=0.0,
+        congestion_mean=0.0,
+        congestion_volatility=0.0,
+        min_fee=1_000,
+        eur_per_token=0.26,
+    ),
+}

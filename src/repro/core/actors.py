@@ -1,0 +1,357 @@
+"""The system actors (thesis section 2.1).
+
+- :class:`Prover` -- "a user, with a mobile device, who needs to
+  validate his or her location";
+- :class:`Witness` -- computes and issues location proofs after
+  authenticating the prover's DID and checking physical proximity;
+- :class:`Verifier` -- permissioned; validates the proofs stored in the
+  contract and feeds the hypercube (the garbage-in gate);
+- :class:`CertificationAuthority` -- accredits verifiers, collects
+  witness public keys, and delivers the witness list the verification
+  formula (eq. 2.2) is checked against.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.did.auth import AuthError, ChallengeResponseAuth
+from repro.did.registry import DidRegistry
+from repro.geo.olc import encode as olc_encode
+from repro.core.bluetooth import BluetoothChannel, BluetoothError
+from repro.core.proof import (
+    LocationProof,
+    ProofFailure,
+    ProofRequest,
+    build_proof,
+    verify_proof,
+    verify_record,
+)
+
+
+class WitnessRefusal(Exception):
+    """The witness declined to issue a proof, with the reason."""
+
+
+@dataclass
+class CertificationAuthority:
+    """Knows the pseudonym -> identity mapping; accredits roles.
+
+    Two accreditation modes coexist (section 2.1 vs. its "new version"):
+    the witness-key *list* delivered to verifiers, and -- when the CA is
+    given signing keys -- W3C-style Verifiable Credentials that travel
+    with the proofs and are checked against the CA's public key alone.
+    """
+
+    witness_keys: list[PublicKey] = field(default_factory=list)
+    verifiers: set[str] = field(default_factory=set)
+    identities: dict[str, str] = field(default_factory=dict)  # pseudonym -> real identity
+    wallets: dict[str, str] = field(default_factory=dict)  # key fingerprint -> wallet
+    issuer: "object | None" = None  # a CredentialIssuer when VC mode is on
+    credentials: dict[str, "object"] = field(default_factory=dict)  # key fp -> VC
+
+    def enable_credentials(self, keypair: KeyPair) -> None:
+        """Turn on the Verifiable-Credential issuance mode."""
+        from repro.did.credentials import CredentialIssuer
+        from repro.did.document import make_did
+
+        self.issuer = CredentialIssuer(keypair=keypair, issuer_did=make_did(keypair.public))
+
+    def register_witness(self, public: PublicKey, real_identity: str = "", wallet: str = "") -> None:
+        """A user communicates its public key to become a witness."""
+        if public not in self.witness_keys:
+            self.witness_keys.append(public)
+        if real_identity:
+            self.identities[public.fingerprint()] = real_identity
+        if wallet:
+            self.wallets[public.fingerprint()] = wallet
+        if self.issuer is not None:
+            from repro.did.document import make_did
+
+            self.credentials[public.fingerprint()] = self.issuer.issue(
+                make_did(public), {"role": "witness"}
+            )
+
+    def credential_for(self, public: PublicKey):
+        """The witness's role credential (VC mode only)."""
+        return self.credentials.get(public.fingerprint())
+
+    def check_witness_credential(self, public: PublicKey, now: float = 0.0) -> bool:
+        """Verify a witness role via its credential instead of the list."""
+        if self.issuer is None:
+            return False
+        from repro.did.credentials import is_witness_credential, verify_credential
+
+        credential = self.credential_for(public)
+        if credential is None:
+            return False
+        return (
+            verify_credential(
+                credential,
+                self.issuer.keypair.public,
+                now=now,
+                revocation_check=self.issuer.is_revoked,
+            )
+            and is_witness_credential(credential)
+        )
+
+    def revoke_witness(self, public: PublicKey) -> None:
+        """Strip a witness of its role in both accreditation modes."""
+        if public in self.witness_keys:
+            self.witness_keys.remove(public)
+        credential = self.credential_for(public)
+        if credential is not None and self.issuer is not None:
+            self.issuer.revoke(credential.credential_id)
+
+    def witness_wallet(self, public: PublicKey) -> str | None:
+        """The payout wallet of a registered witness (section 2.8)."""
+        return self.wallets.get(public.fingerprint())
+
+    def accredit_verifier(self, verifier_id: str) -> None:
+        """Permissioned verification: the CA indicates the verifiers."""
+        self.verifiers.add(verifier_id)
+
+    def is_verifier(self, verifier_id: str) -> bool:
+        """Check a verifier accreditation."""
+        return verifier_id in self.verifiers
+
+    def witness_list(self, verifier_id: str) -> list[PublicKey]:
+        """Deliver the witness key list -- only to accredited verifiers."""
+        if not self.is_verifier(verifier_id):
+            raise PermissionError(f"{verifier_id} is not an accredited verifier")
+        return list(self.witness_keys)
+
+
+@dataclass
+class UserBase:
+    """Shared identity state of provers and witnesses."""
+
+    name: str
+    keypair: KeyPair
+    did: str
+    did_uint: int  # the UInt form the contract Map is keyed by (section 4.1.1)
+    latitude: float
+    longitude: float
+
+    @property
+    def olc(self) -> str:
+        """The user's current 10-digit Open Location Code."""
+        return olc_encode(self.latitude, self.longitude)
+
+    @property
+    def device_id(self) -> str:
+        """The Bluetooth device identifier."""
+        return self.name
+
+
+@dataclass
+class Witness(UserBase):
+    """Issues location proofs to authenticated, physically-near provers."""
+
+    auth: ChallengeResponseAuth | None = None
+    issued_nonces: set[int] = field(default_factory=set)
+    used_nonces: set[int] = field(default_factory=set)
+    endorsed_digests: set[bytes] = field(default_factory=set)
+    proofs_issued: int = 0
+
+    def issue_nonce(self) -> int:
+        """Hand a fresh nonce to a requesting prover (replay defence)."""
+        nonce = secrets.randbelow(2**53) + 1
+        self.issued_nonces.add(nonce)
+        return nonce
+
+    def handle_request(
+        self,
+        request: ProofRequest,
+        prover_device: str,
+        channel: BluetoothChannel,
+        registry: DidRegistry,
+        prover_keypair: KeyPair,
+        now: float = 0.0,
+    ) -> LocationProof:
+        """The full witness pipeline of figure 2.5.
+
+        1. physical proximity (Bluetooth range);
+        2. the claimed OLC must cover the prover's radio-verified position;
+        3. DID challenge-response authentication (figure 2.4);
+        4. the nonce must be one this witness issued and never used;
+        5. hash + sign (eq. 2.1).
+
+        ``prover_keypair`` stands in for the prover's side of the
+        challenge-response exchange (the decryption happens with the
+        prover's key, never the witness's).
+        """
+        if not channel.in_range(self.device_id, prover_device):
+            raise WitnessRefusal(f"prover {prover_device!r} is not within Bluetooth range")
+        # Bluetooth attests the prover is near *me*; the claimed area
+        # must therefore be near my own position.
+        if channel.distance_m(self.device_id, prover_device) > channel.range_m:
+            raise WitnessRefusal("proximity check failed")
+        from repro.geo.olc import decode as olc_decode
+
+        area = olc_decode(request.olc)
+        margin = max(area.height_degrees, 0.002)  # tolerate adjacent cells
+        if not (
+            area.latitude_low - margin <= self.latitude <= area.latitude_high + margin
+            and area.longitude_low - margin <= self.longitude <= area.longitude_high + margin
+        ):
+            raise WitnessRefusal(
+                f"claimed location {request.olc} does not cover the radio-verified position"
+            )
+        if request.nonce in self.used_nonces:
+            raise WitnessRefusal("nonce already used (replay attempt)")
+        if request.nonce not in self.issued_nonces:
+            raise WitnessRefusal("nonce was not issued by this witness")
+        if self.auth is None:
+            self.auth = ChallengeResponseAuth(registry=registry)
+        challenge = self.auth.issue_challenge(_did_of(registry, request.did), now=now)
+        response = ChallengeResponseAuth.respond(challenge.ciphertext, prover_keypair)
+        try:
+            if not self.auth.check_response(challenge.challenge_id, response, now=now):
+                raise WitnessRefusal("DID authentication failed")
+        except AuthError as exc:
+            raise WitnessRefusal(f"DID authentication failed: {exc}") from exc
+        self.issued_nonces.discard(request.nonce)
+        self.used_nonces.add(request.nonce)
+        self.proofs_issued += 1
+        return build_proof(request, self.keypair, timestamp=now)
+
+    def endorse(
+        self,
+        request: ProofRequest,
+        prover_device: str,
+        channel: BluetoothChannel,
+        registry: DidRegistry,
+        prover_keypair: KeyPair,
+        now: float = 0.0,
+    ) -> LocationProof:
+        """Countersign a request carrying *another* witness's nonce.
+
+        Used for multi-witness proofs: the coordinator witness issues
+        the nonce; endorsers run the same proximity + authentication
+        pipeline but accept the foreign nonce, refusing only digests
+        they already endorsed (their replay defence).
+        """
+        digest = request.digest()
+        if digest in self.endorsed_digests:
+            raise WitnessRefusal("digest already endorsed (replay attempt)")
+        if not channel.in_range(self.device_id, prover_device):
+            raise WitnessRefusal(f"prover {prover_device!r} is not within Bluetooth range")
+        from repro.geo.olc import decode as olc_decode
+
+        area = olc_decode(request.olc)
+        margin = max(area.height_degrees, 0.002)
+        if not (
+            area.latitude_low - margin <= self.latitude <= area.latitude_high + margin
+            and area.longitude_low - margin <= self.longitude <= area.longitude_high + margin
+        ):
+            raise WitnessRefusal(
+                f"claimed location {request.olc} does not cover the radio-verified position"
+            )
+        if self.auth is None:
+            self.auth = ChallengeResponseAuth(registry=registry)
+        challenge = self.auth.issue_challenge(_did_of(registry, request.did), now=now)
+        response = ChallengeResponseAuth.respond(challenge.ciphertext, prover_keypair)
+        try:
+            if not self.auth.check_response(challenge.challenge_id, response, now=now):
+                raise WitnessRefusal("DID authentication failed")
+        except AuthError as exc:
+            raise WitnessRefusal(f"DID authentication failed: {exc}") from exc
+        self.endorsed_digests.add(digest)
+        self.proofs_issued += 1
+        return build_proof(request, self.keypair, timestamp=now)
+
+
+@dataclass
+class Prover(UserBase):
+    """Requests proofs from nearby witnesses and files reports."""
+
+    rewards_received: int = 0
+
+    def make_request(self, nonce: int, cid: str, timestamp: float = 0.0) -> ProofRequest:
+        """Assemble the broadcast of figure 2.5."""
+        return ProofRequest(did=self.did_uint, olc=self.olc, nonce=nonce, cid=cid, timestamp=timestamp)
+
+
+@dataclass
+class Verifier:
+    """Validates proofs from the contract and feeds the hypercube."""
+
+    name: str
+    keypair: KeyPair
+    authority: CertificationAuthority
+    seen_nonces: set[int] = field(default_factory=set)
+    validated: int = 0
+    rejected: int = 0
+
+    def check_record(
+        self,
+        proof: LocationProof,
+        did: int,
+        olc: str,
+        nonce: int,
+        cid: str,
+        prover_public: PublicKey | None = None,
+    ) -> ProofFailure:
+        """The verification of section 2.3.1.2 plus replay screening."""
+        witness_keys = self.authority.witness_list(self.name)
+        if nonce in self.seen_nonces:
+            self.rejected += 1
+            return ProofFailure.REPLAY
+        outcome = verify_proof(proof, did, olc, nonce, cid, witness_keys, prover_public=prover_public)
+        if outcome is ProofFailure.OK:
+            self.seen_nonces.add(nonce)
+            self.validated += 1
+        else:
+            self.rejected += 1
+        return outcome
+
+    def check_stored_record(
+        self,
+        hashed_proof_hex: str,
+        signature_hex: str,
+        did: int,
+        olc: str,
+        nonce: int,
+        cid: str,
+        prover_public: PublicKey | None = None,
+    ) -> ProofFailure:
+        """Verify a record as retrieved from the contract Map."""
+        witness_keys = self.authority.witness_list(self.name)
+        if nonce in self.seen_nonces:
+            self.rejected += 1
+            return ProofFailure.REPLAY
+        outcome = verify_record(
+            hashed_proof_hex, signature_hex, did, olc, nonce, cid, witness_keys, prover_public=prover_public
+        )
+        if outcome is ProofFailure.OK:
+            self.seen_nonces.add(nonce)
+            self.validated += 1
+        else:
+            self.rejected += 1
+        return outcome
+
+
+def _did_of(registry: DidRegistry, did_uint: int) -> str:
+    """Look up the full DID string for a contract-level UInt DID."""
+    for did, document in registry.documents.items():
+        if uint_did(did) == did_uint and not document.deactivated:
+            return did
+    raise AuthError(f"no active DID registered for UInt id {did_uint}")
+
+
+def uint_did(did: str) -> int:
+    """Project a DID string onto the UInt key space the Map supports.
+
+    "We are aware that the UInt format does not represent a correct
+    DID.  However, we do this only for testing purposes" (section
+    4.1.1) -- the projection is the leading 53 bits of the
+    method-specific id, collision-checked at registration by the
+    system facade.
+    """
+    from repro.did.document import parse_did
+
+    specific = parse_did(did)
+    return int(specific[:13], 16)

@@ -1,0 +1,84 @@
+"""The Bluetooth proximity channel (thesis sections 2.1-2.2).
+
+"We will use Bluetooth to communicate between the prover and witness"
+-- the physical-proximity guarantee that GPS alone cannot give.  The
+channel is range-limited: discovery and messaging only work between
+devices within radio range, so a remote attacker simply cannot obtain a
+witness signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geo.distance import haversine_km
+
+DEFAULT_RANGE_M = 50.0
+
+
+class BluetoothError(Exception):
+    """Target out of radio range or unknown device."""
+
+
+@dataclass
+class _Device:
+    device_id: str
+    latitude: float
+    longitude: float
+    inbox: list[tuple[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class BluetoothChannel:
+    """A shared radio medium over simulated geography."""
+
+    range_m: float = DEFAULT_RANGE_M
+    devices: dict[str, _Device] = field(default_factory=dict)
+    messages_sent: int = 0
+
+    def register(self, device_id: str, latitude: float, longitude: float) -> None:
+        """Power on a device at a position."""
+        self.devices[device_id] = _Device(device_id=device_id, latitude=latitude, longitude=longitude)
+
+    def move(self, device_id: str, latitude: float, longitude: float) -> None:
+        """Update a device's physical position."""
+        device = self._device(device_id)
+        device.latitude = latitude
+        device.longitude = longitude
+
+    def _device(self, device_id: str) -> _Device:
+        device = self.devices.get(device_id)
+        if device is None:
+            raise BluetoothError(f"unknown device {device_id!r}")
+        return device
+
+    def distance_m(self, a: str, b: str) -> float:
+        """Physical distance between two devices in metres."""
+        da, db = self._device(a), self._device(b)
+        return haversine_km(da.latitude, da.longitude, db.latitude, db.longitude) * 1000.0
+
+    def in_range(self, a: str, b: str) -> bool:
+        """Whether two devices can currently talk."""
+        return a != b and self.distance_m(a, b) <= self.range_m
+
+    def discover(self, device_id: str) -> list[str]:
+        """The 'view users nearby' feature: device ids within range."""
+        self._device(device_id)
+        return sorted(other for other in self.devices if self.in_range(device_id, other))
+
+    def send(self, sender: str, recipient: str, payload: Any) -> None:
+        """Deliver a message if (and only if) the peers are in range."""
+        if not self.in_range(sender, recipient):
+            raise BluetoothError(
+                f"{recipient!r} is out of Bluetooth range of {sender!r} "
+                f"({self.distance_m(sender, recipient):.0f} m > {self.range_m:.0f} m)"
+            )
+        self.messages_sent += 1
+        self._device(recipient).inbox.append((sender, payload))
+
+    def receive(self, device_id: str) -> list[tuple[str, Any]]:
+        """Drain a device's inbox."""
+        device = self._device(device_id)
+        messages, device.inbox = device.inbox, []
+        return messages

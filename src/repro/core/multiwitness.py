@@ -1,0 +1,96 @@
+"""Multi-witness location proofs (the conclusion's future work).
+
+The thesis closes noting the architecture should be modified "to solve
+the issues of the collusion attacks": a single colluding witness can
+sign any location (tests/core/test_extensions.py reproduces that).
+This module implements the standard mitigation: a proof endorsed by
+**M distinct CA-listed witnesses**, raising the collusion cost from one
+witness to M.
+
+All endorsements cover the *same* digest ``H(DID||OLC||nonce||CID)``;
+the coordinator witness issues the nonce, the others countersign after
+running their own proximity + DID-authentication pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey, Signature
+from repro.core.proof import LocationProof, ProofFailure, ProofRequest
+
+
+class MultiWitnessError(Exception):
+    """Aggregation failure (mismatched digests, duplicate witnesses)."""
+
+
+@dataclass(frozen=True)
+class MultiWitnessProof:
+    """A digest endorsed by several witnesses."""
+
+    hashed_proof: bytes
+    endorsements: tuple[tuple[PublicKey, Signature], ...]
+    timestamp: float = 0.0
+
+    @property
+    def witness_count(self) -> int:
+        """Number of distinct endorsing witnesses."""
+        return len(self.endorsements)
+
+
+def aggregate_proofs(request: ProofRequest, proofs: list[LocationProof]) -> MultiWitnessProof:
+    """Combine single-witness proofs over one request into an M-of-N proof.
+
+    Every proof must carry the request's digest and come from a
+    distinct witness key.
+    """
+    if not proofs:
+        raise MultiWitnessError("cannot aggregate zero proofs")
+    digest = request.digest()
+    seen: set[int] = set()
+    endorsements: list[tuple[PublicKey, Signature]] = []
+    for proof in proofs:
+        if proof.hashed_proof != digest:
+            raise MultiWitnessError("endorsement covers a different request digest")
+        if proof.witness_public.y in seen:
+            raise MultiWitnessError("duplicate witness endorsement")
+        seen.add(proof.witness_public.y)
+        endorsements.append((proof.witness_public, proof.signature))
+    return MultiWitnessProof(
+        hashed_proof=digest,
+        endorsements=tuple(endorsements),
+        timestamp=max(proof.timestamp for proof in proofs),
+    )
+
+
+def verify_multi(
+    proof: MultiWitnessProof,
+    did: int,
+    olc: str,
+    nonce: int,
+    cid: str,
+    witness_keys: list[PublicKey],
+    threshold: int = 2,
+    prover_public: PublicKey | None = None,
+) -> tuple[ProofFailure, int]:
+    """Threshold verification: returns (outcome, valid endorsement count).
+
+    An endorsement counts only if its key is CA-listed, distinct from
+    the prover's, and its signature verifies over the shared digest.
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be at least 1")
+    expected = ProofRequest(did=did, olc=olc, nonce=nonce, cid=cid).digest()
+    if expected != proof.hashed_proof:
+        return ProofFailure.HASH_MISMATCH, 0
+    valid = 0
+    for public, signature in proof.endorsements:
+        if prover_public is not None and public == prover_public:
+            continue
+        if public not in witness_keys:
+            continue
+        if public.verify(proof.hashed_proof, signature):
+            valid += 1
+    if valid >= threshold:
+        return ProofFailure.OK, valid
+    return ProofFailure.UNKNOWN_WITNESS, valid

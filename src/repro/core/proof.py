@@ -1,0 +1,166 @@
+"""Location proofs: build and verify (thesis section 2.3).
+
+The proof binds together everything the verifier must be able to
+attest (section 2.3.1.1): the prover's DID (identity), the OLC
+location (so a Bologna proof cannot be filed under a Milan contract),
+the witness-issued nonce (replay protection) and the report CID (so
+the report content cannot be swapped afterwards):
+
+    proof      = H(DID || OLC || nonce || CID)
+    SignedProof = PrivateKey_wit(proof)            (eq. 2.1)
+
+and the verifier checks both the hash recomputation and
+
+    proof == PublicKey_wit(SignedProof)            (eq. 2.2)
+
+against the Certification Authority's witness key list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.hashing import tagged_hash
+from repro.crypto.keys import KeyPair, PublicKey, Signature
+
+
+@dataclass(frozen=True)
+class ProofRequest:
+    """What the prover broadcasts to a nearby witness (figure 2.5)."""
+
+    did: int
+    olc: str
+    nonce: int
+    cid: str
+    timestamp: float = 0.0
+
+    def digest(self) -> bytes:
+        """``H(DID || location || nonce || CID)``."""
+        return tagged_hash(
+            "repro/location-proof",
+            self.did.to_bytes(8, "big"),
+            self.olc.upper().encode(),
+            self.nonce.to_bytes(8, "big"),
+            self.cid.encode(),
+        )
+
+
+@dataclass(frozen=True)
+class LocationProof:
+    """The signed certificate the witness returns."""
+
+    hashed_proof: bytes
+    signature: Signature
+    witness_public: PublicKey
+    timestamp: float = 0.0
+
+    @property
+    def hashed_proof_hex(self) -> str:
+        """Hex form stored inside the smart contract record."""
+        return self.hashed_proof.hex()
+
+    @property
+    def signature_hex(self) -> str:
+        """Hex form of the signature for the contract record."""
+        return self.signature.to_bytes().hex()
+
+
+class ProofFailure(Enum):
+    """Why a proof was rejected."""
+
+    OK = "ok"
+    UNKNOWN_WITNESS = "witness key is not in the Certification Authority list"
+    BAD_SIGNATURE = "signature does not verify against the witness key"
+    HASH_MISMATCH = "hash does not match H(DID || location || nonce || CID)"
+    SELF_SIGNED = "prover key used as witness key"
+    REPLAY = "nonce already seen by this verifier"
+
+
+def build_proof(request: ProofRequest, witness_keypair: KeyPair, timestamp: float = 0.0) -> LocationProof:
+    """Witness side: hash the request and sign it (eq. 2.1)."""
+    digest = request.digest()
+    return LocationProof(
+        hashed_proof=digest,
+        signature=witness_keypair.sign(digest),
+        witness_public=witness_keypair.public,
+        timestamp=timestamp,
+    )
+
+
+def identify_witness(
+    hashed_proof_hex: str, signature_hex: str, witness_keys: list[PublicKey]
+) -> PublicKey | None:
+    """Which CA-listed witness signed this record, if any.
+
+    Used by the section 2.8 witness-reward strategy: the verifier pays
+    the witness whose signature validated the proof.
+    """
+    try:
+        hashed = bytes.fromhex(hashed_proof_hex)
+        signature = Signature.from_bytes(bytes.fromhex(signature_hex))
+    except (ValueError, TypeError):
+        return None
+    return next((key for key in witness_keys if key.verify(hashed, signature)), None)
+
+
+def verify_record(
+    hashed_proof_hex: str,
+    signature_hex: str,
+    did: int,
+    olc: str,
+    nonce: int,
+    cid: str,
+    witness_keys: list[PublicKey],
+    prover_public: PublicKey | None = None,
+) -> ProofFailure:
+    """Verify a proof as stored in the smart contract record.
+
+    The record carries only the hash and the signature (figure 2.7);
+    the verifier identifies the signing witness by trying the keys in
+    the Certification Authority's list (section 2.3.1.2).
+    """
+    try:
+        hashed = bytes.fromhex(hashed_proof_hex)
+        signature = Signature.from_bytes(bytes.fromhex(signature_hex))
+    except (ValueError, TypeError):
+        return ProofFailure.BAD_SIGNATURE
+    signer = next((key for key in witness_keys if key.verify(hashed, signature)), None)
+    if signer is None:
+        if prover_public is not None and prover_public.verify(hashed, signature):
+            return ProofFailure.SELF_SIGNED
+        return ProofFailure.UNKNOWN_WITNESS
+    if prover_public is not None and signer == prover_public:
+        return ProofFailure.SELF_SIGNED
+    expected = ProofRequest(did=did, olc=olc, nonce=nonce, cid=cid).digest()
+    if expected != hashed:
+        return ProofFailure.HASH_MISMATCH
+    return ProofFailure.OK
+
+
+def verify_proof(
+    proof: LocationProof,
+    did: int,
+    olc: str,
+    nonce: int,
+    cid: str,
+    witness_keys: list[PublicKey],
+    prover_public: PublicKey | None = None,
+) -> ProofFailure:
+    """Verifier side: the two-step check of section 2.3.1.2.
+
+    1. the signature must verify under a key in the CA's witness list
+       (and not under the prover's own key);
+    2. the stored hash must equal the recomputed
+       ``H(DID || location || nonce || CID)``.
+    """
+    if prover_public is not None and proof.witness_public == prover_public:
+        return ProofFailure.SELF_SIGNED
+    if proof.witness_public not in witness_keys:
+        return ProofFailure.UNKNOWN_WITNESS
+    if not proof.witness_public.verify(proof.hashed_proof, proof.signature):
+        return ProofFailure.BAD_SIGNATURE
+    expected = ProofRequest(did=did, olc=olc, nonce=nonce, cid=cid).digest()
+    if expected != proof.hashed_proof:
+        return ProofFailure.HASH_MISMATCH
+    return ProofFailure.OK

@@ -1,0 +1,363 @@
+"""The end-to-end Proof-of-Location system facade.
+
+Wires every substrate together the way chapter 2's architecture figure
+does: chain + blockchain-agnostic contract + factory, hypercube DHT,
+IPFS, DID registry, Certification Authority, and the Bluetooth channel.
+
+The three flows map to the thesis's sequence diagrams:
+
+- :meth:`request_location_proof` -- figure 2.5 (prover <-> witness);
+- :meth:`submit` -- figure 2.3 (hypercube lookup, deploy-or-attach,
+  data insert into the contract);
+- :meth:`verify_and_reward` -- figure 2.6 (verifier reads the Map,
+  checks eq. 2.2, rewards the prover, garbage-in to the hypercube).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.base import Account, BaseChain
+from repro.did.registry import DidRegistry
+from repro.dht.hypercube import HypercubeDHT
+from repro.ipfs.network import IpfsNetwork
+from repro.reach.compiler import CompiledContract, compile_program
+from repro.reach.runtime import DeployedContract, OpResult, ReachClient
+from repro.core.actors import CertificationAuthority, Prover, Verifier, Witness, uint_did
+from repro.core.bluetooth import BluetoothChannel
+from repro.core.contract import build_pol_program, parse_pol_record, pol_record
+from repro.core.factory import ContractFactory
+from repro.core.proof import LocationProof, ProofFailure, ProofRequest
+
+
+class SystemError_(Exception):
+    """A facade-level failure (unknown user, missing contract...)."""
+
+
+@dataclass
+class SubmissionOutcome:
+    """What a prover's submission produced."""
+
+    deployed: DeployedContract
+    operation: OpResult
+    was_deploy: bool
+    olc: str
+
+
+@dataclass
+class ProofOfLocationSystem:
+    """One chain, one geography, all the actors."""
+
+    chain: BaseChain
+    reward: int = 10_000
+    max_users: int = 4
+    hypercube_bits: int = 8
+    witness_reward: int = 0  # enable the section 2.8 strategy when > 0
+    compiled: CompiledContract = None  # type: ignore[assignment]
+    client: ReachClient = field(init=False)
+    factory: ContractFactory = field(init=False)
+    dht: HypercubeDHT = field(init=False)
+    ipfs: IpfsNetwork = field(init=False)
+    registry: DidRegistry = field(init=False)
+    authority: CertificationAuthority = field(init=False)
+    channel: BluetoothChannel = field(init=False)
+    accounts: dict[str, Account] = field(default_factory=dict)
+    provers: dict[str, Prover] = field(default_factory=dict)
+    witnesses: dict[str, Witness] = field(default_factory=dict)
+    verifiers: dict[str, Verifier] = field(default_factory=dict)
+    _did_uints: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.compiled is None:
+            self.compiled = compile_program(
+                build_pol_program(
+                    max_users=self.max_users,
+                    reward=self.reward,
+                    witness_reward=self.witness_reward,
+                )
+            )
+        self.client = ReachClient(self.chain)
+        self.factory = ContractFactory(chain=self.chain, template=self.compiled, client=self.client)
+        # Two neighbour replicas per record: losing a DHT node must not
+        # lose its locations (tests/dht/test_replication.py).
+        self.dht = HypercubeDHT(r=self.hypercube_bits, replication=2)
+        self.ipfs = IpfsNetwork()
+        self.ipfs.add_node("gateway")
+        self.registry = DidRegistry()
+        self.authority = CertificationAuthority()
+        self.channel = BluetoothChannel()
+
+    # -- onboarding (figure 2.3's "initial phase") ---------------------------------
+
+    def _onboard(self, name: str, latitude: float, longitude: float, funding: int) -> tuple[Account, str, int]:
+        if name in self.accounts:
+            raise SystemError_(f"user {name!r} already registered")
+        account = self.chain.create_account(seed=f"user/{name}".encode(), funding=funding)
+        document = self.registry.create(account.keypair)
+        short_did = uint_did(document.id)
+        if short_did in self._did_uints:
+            raise SystemError_(f"UInt DID collision for {name!r}; re-register with a new wallet")
+        self._did_uints[short_did] = document.id
+        self.accounts[name] = account
+        self.channel.register(name, latitude, longitude)
+        self.ipfs.add_node(name)
+        return account, document.id, short_did
+
+    def register_prover(self, name: str, latitude: float, longitude: float, funding: int) -> Prover:
+        """Create a wallet, a DID and a radio for a new prover."""
+        account, did, short_did = self._onboard(name, latitude, longitude, funding)
+        prover = Prover(
+            name=name, keypair=account.keypair, did=did, did_uint=short_did,
+            latitude=latitude, longitude=longitude,
+        )
+        self.provers[name] = prover
+        return prover
+
+    def register_witness(self, name: str, latitude: float, longitude: float, funding: int = 0) -> Witness:
+        """Onboard a witness; its public key goes to the CA list."""
+        account, did, short_did = self._onboard(name, latitude, longitude, funding)
+        witness = Witness(
+            name=name, keypair=account.keypair, did=did, did_uint=short_did,
+            latitude=latitude, longitude=longitude,
+        )
+        self.witnesses[name] = witness
+        self.authority.register_witness(
+            account.keypair.public, real_identity=name, wallet=account.address
+        )
+        return witness
+
+    def register_verifier(self, name: str, funding: int) -> Verifier:
+        """Onboard an accredited verifier (permissioned verification)."""
+        if name in self.accounts:
+            raise SystemError_(f"user {name!r} already registered")
+        account = self.chain.create_account(seed=f"user/{name}".encode(), funding=funding)
+        self.accounts[name] = account
+        self.authority.accredit_verifier(name)
+        verifier = Verifier(name=name, keypair=account.keypair, authority=self.authority)
+        self.verifiers[name] = verifier
+        return verifier
+
+    # -- figure 2.5: prover <-> witness ------------------------------------------------
+
+    def request_location_proof(
+        self, prover_name: str, witness_name: str, report_content: bytes
+    ) -> tuple[ProofRequest, LocationProof, str]:
+        """Upload the report to IPFS and obtain a witness-signed proof."""
+        prover = self.provers[prover_name]
+        witness = self.witnesses[witness_name]
+        cid = self.ipfs.add(prover_name, report_content)
+        nonce = witness.issue_nonce()
+        request = prover.make_request(nonce, cid, timestamp=self.chain.queue.clock.now)
+        proof = witness.handle_request(
+            request,
+            prover_device=prover.device_id,
+            channel=self.channel,
+            registry=self.registry,
+            prover_keypair=prover.keypair,
+            now=self.chain.queue.clock.now,
+        )
+        return request, proof, cid
+
+    def discover_witnesses(self, prover_name: str) -> list[str]:
+        """The 'view users nearby' feature (figure 2.2): witnesses in
+        Bluetooth range of the prover's device."""
+        prover = self.provers.get(prover_name)
+        if prover is None:
+            raise SystemError_(f"unknown prover {prover_name!r}")
+        nearby = self.channel.discover(prover.device_id)
+        return [name for name in nearby if name in self.witnesses]
+
+    def request_multi_witness_proof(
+        self, prover_name: str, witness_names: list[str], report_content: bytes, threshold: int = 2
+    ):
+        """Collect an M-of-N proof from several nearby witnesses.
+
+        The first witness coordinates (issues the nonce); the rest
+        endorse the same digest.  Raises if fewer than ``threshold``
+        endorsements could be collected.
+        """
+        from repro.core.actors import WitnessRefusal
+        from repro.core.multiwitness import MultiWitnessError, aggregate_proofs
+
+        if not witness_names:
+            raise SystemError_("at least one witness is required")
+        prover = self.provers[prover_name]
+        coordinator = self.witnesses[witness_names[0]]
+        cid = self.ipfs.add(prover_name, report_content)
+        nonce = coordinator.issue_nonce()
+        request = prover.make_request(nonce, cid, timestamp=self.chain.queue.clock.now)
+        proofs = []
+        for name in witness_names:
+            witness = self.witnesses[name]
+            try:
+                if witness is coordinator:
+                    proofs.append(
+                        witness.handle_request(
+                            request,
+                            prover_device=prover.device_id,
+                            channel=self.channel,
+                            registry=self.registry,
+                            prover_keypair=prover.keypair,
+                            now=self.chain.queue.clock.now,
+                        )
+                    )
+                else:
+                    proofs.append(
+                        witness.endorse(
+                            request,
+                            prover_device=prover.device_id,
+                            channel=self.channel,
+                            registry=self.registry,
+                            prover_keypair=prover.keypair,
+                            now=self.chain.queue.clock.now,
+                        )
+                    )
+            except WitnessRefusal:
+                continue  # an unreachable/unconvinced witness just abstains
+        if len(proofs) < threshold:
+            raise SystemError_(
+                f"only {len(proofs)} of the required {threshold} endorsements collected"
+            )
+        try:
+            return request, aggregate_proofs(request, proofs), cid
+        except MultiWitnessError as exc:
+            raise SystemError_(str(exc)) from exc
+
+    # -- figure 2.3: hypercube lookup + deploy-or-attach -------------------------------
+
+    def submit(self, prover_name: str, request: ProofRequest, proof: LocationProof) -> SubmissionOutcome:
+        """Store the proof record in the location's contract."""
+        prover = self.provers[prover_name]
+        account = self.accounts[prover_name]
+        record = pol_record(
+            proof.hashed_proof_hex,
+            proof.signature_hex,
+            account.address,
+            request.nonce,
+            request.cid,
+        )
+        lookup = self.dht.lookup(request.olc)
+        if lookup.found and lookup.content is not None:
+            deployed = self.factory.instance_for(request.olc)
+            if deployed is None:
+                raise SystemError_(f"hypercube references unknown contract {lookup.content.contract_id}")
+            operation = deployed.attach_and_call(
+                "attacherAPI.insert_data", record, prover.did_uint, sender=account
+            )
+            return SubmissionOutcome(deployed=deployed, operation=operation, was_deploy=False, olc=request.olc)
+        deployed = self.factory.deploy_instance(request.olc, account, prover.did_uint, record)
+        self.dht.register_contract(request.olc, deployed.ref)
+        return SubmissionOutcome(deployed=deployed, operation=deployed.deploy_result, was_deploy=True, olc=request.olc)
+
+    # -- verifier flows (figure 2.6) -----------------------------------------------------
+
+    def fund_contract(self, verifier_name: str, olc: str, amount: int) -> OpResult:
+        """The verifier inserts reward tokens into a location's contract."""
+        deployed = self._contract_at(olc)
+        account = self.accounts[verifier_name]
+        return deployed.api("verifierAPI.insert_money", amount, sender=account, pay=amount)
+
+    def verify_and_reward(self, verifier_name: str, olc: str, did_uint: int) -> ProofFailure:
+        """Read the record, check the proof, reward, feed the hypercube."""
+        verifier = self.verifiers.get(verifier_name)
+        if verifier is None:
+            raise SystemError_(f"{verifier_name!r} is not an accredited verifier")
+        deployed = self._contract_at(olc)
+        raw = deployed.map_value("easy_map", did_uint)
+        if raw is None:
+            raise SystemError_(f"no record for DID {did_uint} in contract {deployed.ref}")
+        fields = parse_pol_record(raw)
+        prover_public = None
+        prover_did = self._did_uints.get(did_uint)
+        if prover_did is not None:
+            prover_public = self.registry.resolve(prover_did).public_key
+        outcome = verifier.check_stored_record(
+            hashed_proof_hex=str(fields["hashed_proof"]),
+            signature_hex=str(fields["signed_proof"]),
+            did=did_uint,
+            olc=olc,
+            nonce=int(fields["nonce"]),
+            cid=str(fields["cid"]),
+            prover_public=prover_public,
+        )
+        if outcome is not ProofFailure.OK:
+            return outcome
+        account = self.accounts[verifier_name]
+        if self.witness_reward:
+            # Section 2.8: identify the signing witness and pay it too.
+            from repro.core.proof import identify_witness
+
+            signer = identify_witness(
+                str(fields["hashed_proof"]),
+                str(fields["signed_proof"]),
+                self.authority.witness_list(verifier_name),
+            )
+            witness_wallet = self.authority.witness_wallet(signer) if signer else None
+            if witness_wallet is None:
+                raise SystemError_("cannot resolve the signing witness's wallet")
+            deployed.api(
+                "verifierAPI.verify", did_uint, str(fields["wallet"]), witness_wallet, sender=account
+            )
+        else:
+            deployed.api("verifierAPI.verify", did_uint, str(fields["wallet"]), sender=account)
+        cid = str(fields["cid"])
+        self.dht.append_cid(olc, cid)
+        # Keep verified reports alive: replicate + pin on the gateway so
+        # they survive the uploader garbage-collecting its node.
+        try:
+            self.ipfs.replicate(cid, "gateway", pin=True)
+        except Exception:
+            pass  # already gone (nothing to pin) or already replicated
+        return ProofFailure.OK
+
+    def rotate_identity(self, prover_name: str) -> Prover:
+        """GDPR-style pseudonym rotation (section 2.7).
+
+        "the DID and the wallet address are not directly connected to
+        the user identity and both could be changed periodically."
+        Deactivates the old DID, creates a fresh wallet + DID, and keeps
+        the physical device/position.
+        """
+        prover = self.provers.get(prover_name)
+        if prover is None:
+            raise SystemError_(f"unknown prover {prover_name!r}")
+        old_account = self.accounts[prover_name]
+        self.registry.deactivate(prover.did, old_account.keypair)
+        self._did_uints.pop(prover.did_uint, None)
+
+        rotation = sum(1 for did in self.registry.documents if did).__str__()
+        new_account = self.chain.create_account(
+            seed=f"user/{prover_name}/rotation/{rotation}".encode(),
+            funding=self.chain.balance_of(old_account.address),
+        )
+        document = self.registry.create(new_account.keypair)
+        short_did = uint_did(document.id)
+        if short_did in self._did_uints:
+            raise SystemError_("UInt DID collision on rotation; retry")
+        self._did_uints[short_did] = document.id
+        self.accounts[prover_name] = new_account
+        rotated = Prover(
+            name=prover_name,
+            keypair=new_account.keypair,
+            did=document.id,
+            did_uint=short_did,
+            latitude=prover.latitude,
+            longitude=prover.longitude,
+        )
+        self.provers[prover_name] = rotated
+        return rotated
+
+    def display_reports(self, olc: str) -> list[bytes]:
+        """Figure 3.2: hypercube -> CIDs -> IPFS fetches."""
+        lookup = self.dht.lookup(olc)
+        if not lookup.found or lookup.content is None:
+            return []
+        return [self.ipfs.get(cid) for cid in lookup.content.cids]
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _contract_at(self, olc: str) -> DeployedContract:
+        deployed = self.factory.instance_for(olc)
+        if deployed is None:
+            raise SystemError_(f"no contract deployed for location {olc}")
+        return deployed

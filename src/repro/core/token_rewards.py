@@ -1,0 +1,88 @@
+"""Token-denominated rewards (thesis sections 2.8 and 3.1.1).
+
+"we can use incentives for users to participate in the project with a
+token that can be distributed as a reward" -- on Algorand via an ASA
+instead of the native currency.  A sponsor (e.g. the municipality of
+the use case) creates the campaign asset and distributes it to verified
+reporters; the ASA opt-in rule means users explicitly join the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.base import Account, TxStatus
+from repro.chain.algorand.chain import AlgorandChain
+
+
+class RewardProgramError(Exception):
+    """Campaign-level failure (not enrolled, out of supply...)."""
+
+
+@dataclass
+class AsaRewardProgram:
+    """An ASA-based reward campaign run by a sponsor account."""
+
+    chain: AlgorandChain
+    sponsor: Account
+    asset_name: str = "GreenReport"
+    unit_name: str = "GRN"
+    supply: int = 1_000_000
+    asset_id: int = field(init=False)
+    distributed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        tx = self.chain.make_transaction(
+            self.sponsor,
+            "asset",
+            data={
+                "op": "create",
+                "name": self.asset_name,
+                "unit_name": self.unit_name,
+                "total": self.supply,
+            },
+        )
+        receipt = self.chain.transact(self.sponsor, tx)
+        if receipt.status is not TxStatus.SUCCESS:
+            raise RewardProgramError(f"asset creation failed: {receipt.error}")
+        self.asset_id = receipt.return_value
+
+    def enroll(self, account: Account) -> None:
+        """The user opts in to the campaign asset."""
+        tx = self.chain.make_transaction(
+            account, "asset", data={"op": "optin", "asset_id": self.asset_id}
+        )
+        receipt = self.chain.transact(account, tx)
+        if receipt.status is not TxStatus.SUCCESS:
+            raise RewardProgramError(f"opt-in failed: {receipt.error}")
+
+    def is_enrolled(self, address: str) -> bool:
+        """Whether an address can receive campaign tokens."""
+        return self.chain.asa.opted_in(self.asset_id, address)
+
+    def reward(self, recipient_address: str, amount: int) -> None:
+        """Pay campaign tokens to a verified reporter."""
+        if not self.is_enrolled(recipient_address):
+            raise RewardProgramError(f"{recipient_address} has not enrolled in the campaign")
+        tx = self.chain.make_transaction(
+            self.sponsor,
+            "asset",
+            data={
+                "op": "transfer",
+                "asset_id": self.asset_id,
+                "receiver": recipient_address,
+                "amount": amount,
+            },
+        )
+        receipt = self.chain.transact(self.sponsor, tx)
+        if receipt.status is not TxStatus.SUCCESS:
+            raise RewardProgramError(f"reward transfer failed: {receipt.error}")
+        self.distributed += amount
+
+    def balance_of(self, address: str) -> int:
+        """Campaign tokens held by an address."""
+        return self.chain.asa.balance(self.asset_id, address)
+
+    def remaining_supply(self) -> int:
+        """Tokens the sponsor can still distribute."""
+        return self.chain.asa.balance(self.asset_id, self.sponsor.address)

@@ -1,0 +1,45 @@
+"""Hash helpers shared by every subsystem.
+
+All on-ledger identifiers in this reproduction (transaction hashes, block
+hashes, CIDs, hypercube node ids) derive from SHA-256, matching the
+thesis's choice for IPFS CIDs and the r-bit location encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(*parts: bytes) -> bytes:
+    """Return the SHA-256 digest of the concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def sha256_hex(*parts: bytes) -> str:
+    """Return the SHA-256 digest of ``parts`` as a hex string."""
+    return sha256(*parts).hex()
+
+
+def tagged_hash(tag: str, *parts: bytes) -> bytes:
+    """Domain-separated SHA-256: ``H(H(tag) || H(tag) || parts...)``.
+
+    Every protocol message type (location proofs, VRF inputs, block
+    seals, DID challenges) hashes under its own tag so that a digest
+    produced in one context can never be replayed in another.
+    """
+    tag_digest = sha256(tag.encode("utf-8"))
+    return sha256(tag_digest, tag_digest, *parts)
+
+
+def hash_to_int(data: bytes, modulus: int) -> int:
+    """Map ``data`` to an integer in ``[0, modulus)`` via SHA-256.
+
+    Used by the OLC -> r-bit encoder (which bit to turn on), by the
+    sortition (committee seat counting) and by hash-to-group.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    return int.from_bytes(sha256(data), "big") % modulus

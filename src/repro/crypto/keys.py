@@ -1,0 +1,165 @@
+"""Key pairs with Schnorr signatures and hashed-ElGamal encryption.
+
+One key pair serves every identity in the system: blockchain accounts,
+witnesses (who *sign* location proofs, thesis eq. 2.1/2.2), and DID
+subjects (who *decrypt* authentication challenges, thesis fig. 2.4).
+
+Signatures are classic Schnorr over the RFC 5114 group; encryption is
+hashed ElGamal (KEM + XOR stream), so the same public key supports both
+operations -- exactly the dual use the thesis's DID auth flow assumes.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto import group
+from repro.crypto.hashing import sha256, tagged_hash
+
+
+class SignatureError(Exception):
+    """Raised when a signature fails verification."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature ``(e, s)``."""
+
+    e: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as fixed-width big-endian ``e || s``."""
+        return self.e.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        """Parse a signature produced by :meth:`to_bytes`."""
+        if len(data) != 64:
+            raise ValueError("signature must be 64 bytes")
+        return cls(e=int.from_bytes(data[:32], "big"), s=int.from_bytes(data[32:], "big"))
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A subgroup element ``y = g**x`` plus verify/encrypt operations."""
+
+    y: int
+
+    def __post_init__(self) -> None:
+        if not group.is_group_element(self.y):
+            raise ValueError("public key is not a valid group element")
+
+    def fingerprint(self) -> str:
+        """Short stable identifier used in address derivation and logs."""
+        return sha256(self.to_bytes()).hex()[:40]
+
+    def to_bytes(self) -> bytes:
+        """Serialize as a fixed-width big-endian integer."""
+        return self.y.to_bytes(128, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        """Parse a public key produced by :meth:`to_bytes`."""
+        return cls(y=int.from_bytes(data, "big"))
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Return True iff ``signature`` is valid for ``message``.
+
+        This is the verifier-side check of thesis eq. 2.2: applying the
+        witness public key to the signed proof must re-yield the hash.
+        """
+        if not (0 < signature.e < group.Q and 0 < signature.s < group.Q):
+            return False
+        r = (pow(group.G, signature.s, group.P) * pow(self.y, group.Q - signature.e, group.P)) % group.P
+        e = _challenge(r, self.y, message)
+        return e == signature.e
+
+    def encrypt(self, plaintext: bytes) -> tuple[int, bytes]:
+        """Hashed-ElGamal encrypt ``plaintext`` to this key.
+
+        Returns ``(c1, c2)`` with ``c1 = g**k`` and
+        ``c2 = plaintext XOR stream(H(y**k))``.  Used by witnesses to
+        encrypt DID authentication challenges to provers.
+        """
+        k = secrets.randbelow(group.Q - 1) + 1
+        c1 = pow(group.G, k, group.P)
+        shared = pow(self.y, k, group.P)
+        return c1, _xor_stream(shared, plaintext)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private key ``x`` bundled with its :class:`PublicKey`."""
+
+    x: int
+    public: PublicKey
+
+    @classmethod
+    def generate(cls) -> "KeyPair":
+        """Generate a fresh random key pair."""
+        x = secrets.randbelow(group.Q - 1) + 1
+        return cls(x=x, public=PublicKey(y=pow(group.G, x, group.P)))
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeyPair":
+        """Derive a key pair deterministically from ``seed``.
+
+        The simulators use seeded keys so that test runs are
+        reproducible (e.g. ``KeyPair.from_seed(b"prover-7")``).
+        """
+        x = int.from_bytes(tagged_hash("repro/keypair-seed", seed), "big") % (group.Q - 1) + 1
+        return cls(x=x, public=PublicKey(y=pow(group.G, x, group.P)))
+
+    def sign(self, message: bytes) -> Signature:
+        """Schnorr-sign ``message`` with a deterministic (RFC 6979-style) nonce.
+
+        This is thesis eq. 2.1: the witness applies its private key to
+        the hash of the prover's proof.
+        """
+        k = _deterministic_nonce(self.x, message)
+        r = pow(group.G, k, group.P)
+        e = _challenge(r, self.public.y, message)
+        s = (k + self.x * e) % group.Q
+        return Signature(e=e, s=s)
+
+    def decrypt(self, ciphertext: tuple[int, bytes]) -> bytes:
+        """Decrypt a hashed-ElGamal ciphertext produced by :meth:`PublicKey.encrypt`."""
+        c1, c2 = ciphertext
+        if not group.is_group_element(c1):
+            raise ValueError("ciphertext header is not a valid group element")
+        shared = pow(c1, self.x, group.P)
+        return _xor_stream(shared, c2)
+
+
+def _challenge(r: int, y: int, message: bytes) -> int:
+    """Fiat-Shamir challenge ``e = H(r || y || m) mod q`` (never zero)."""
+    digest = tagged_hash(
+        "repro/schnorr-challenge",
+        r.to_bytes(128, "big"),
+        y.to_bytes(128, "big"),
+        message,
+    )
+    e = int.from_bytes(digest, "big") % group.Q
+    return e if e != 0 else 1
+
+
+def _deterministic_nonce(x: int, message: bytes) -> int:
+    """Derive a per-(key, message) nonce; avoids RNG misuse in replays."""
+    digest = hmac.new(x.to_bytes(32, "big"), tagged_hash("repro/nonce", message), "sha256").digest()
+    k = int.from_bytes(digest, "big") % group.Q
+    return k if k != 0 else 1
+
+
+def _xor_stream(shared: int, data: bytes) -> bytes:
+    """XOR ``data`` with a SHA-256 counter stream keyed by ``shared``."""
+    key = tagged_hash("repro/elgamal-kdf", shared.to_bytes(128, "big"))
+    out = bytearray(len(data))
+    for block in range(0, len(data), 32):
+        stream = sha256(key, block.to_bytes(8, "big"))
+        chunk = data[block : block + 32]
+        for i, byte in enumerate(chunk):
+            out[block + i] = byte ^ stream[i]
+    return bytes(out)

@@ -1,0 +1,97 @@
+"""Merkle trees for block transaction roots.
+
+Both chain simulators commit to their block's transaction list with a
+Merkle root, and light verification paths are exercised by the explorer
+(``repro.chain.explorer``) when it re-checks inclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256, tagged_hash
+
+_LEAF_TAG = "repro/merkle-leaf"
+_NODE_TAG = "repro/merkle-node"
+
+EMPTY_ROOT = tagged_hash(_NODE_TAG, b"")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion path: sibling hashes from leaf to root.
+
+    Each step is ``(sibling_digest, sibling_is_right)``.
+    """
+
+    leaf_index: int
+    path: tuple[tuple[bytes, bool], ...]
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """Return True iff ``leaf_data`` hashes up to ``root`` along this path."""
+        digest = tagged_hash(_LEAF_TAG, leaf_data)
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                digest = tagged_hash(_NODE_TAG, digest, sibling)
+            else:
+                digest = tagged_hash(_NODE_TAG, sibling, digest)
+        return digest == root
+
+
+class MerkleTree:
+    """A binary Merkle tree over an ordered list of byte strings.
+
+    Odd levels duplicate the trailing node (Bitcoin-style), and leaves
+    are domain-separated from internal nodes so a 64-byte leaf cannot be
+    confused with a node pair.
+    """
+
+    def __init__(self, leaves: list[bytes]):
+        self._leaves = list(leaves)
+        self._levels: list[list[bytes]] = []
+        self._build()
+
+    def _build(self) -> None:
+        if not self._leaves:
+            self._levels = [[EMPTY_ROOT]]
+            return
+        level = [tagged_hash(_LEAF_TAG, leaf) for leaf in self._leaves]
+        self._levels = [level]
+        while len(level) > 1:
+            if len(level) % 2:
+                level = level + [level[-1]]
+            level = [tagged_hash(_NODE_TAG, level[i], level[i + 1]) for i in range(0, len(level), 2)]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        """The 32-byte Merkle root (a fixed sentinel for an empty tree)."""
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError("leaf index out of range")
+        path: list[tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            padded = level + [level[-1]] if len(level) % 2 else level
+            if position % 2 == 0:
+                path.append((padded[position + 1], True))
+            else:
+                path.append((padded[position - 1], False))
+            position //= 2
+        return MerkleProof(leaf_index=index, path=tuple(path))
+
+
+def merkle_root(leaves: list[bytes]) -> bytes:
+    """Convenience: the root of :class:`MerkleTree` over ``leaves``."""
+    return MerkleTree(leaves).root
+
+
+def combined_digest(*parts: bytes) -> bytes:
+    """Hash several fields into one commitment (block header sealing)."""
+    return sha256(*parts)

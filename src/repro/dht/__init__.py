@@ -1,0 +1,25 @@
+"""Distributed hash tables: the hypercube and a classical baseline.
+
+The thesis stores validated reports in a DHT with a hypercube topology
+(sections 1.3 and 2.5): 2**r logical nodes, node IDs that differ from
+their neighbours by exactly one bit, and greedy bit-fixing routing that
+locates any keyword in at most ``r`` hops.  Keywords are the r-bit
+strings derived from Open Location Codes (:mod:`repro.geo.rbit`).
+
+:mod:`repro.dht.ring` provides the "classical DHT" baseline the thesis
+compares against -- the hop-count ablation bench quantifies the claim
+that the hypercube "speeds up the look-up operations by reducing the
+number of hops needed to locate contents".
+"""
+
+from repro.dht.node import HypercubeNode, NodeContent
+from repro.dht.hypercube import HypercubeDHT, LookupResult
+from repro.dht.ring import RingDHT
+
+__all__ = [
+    "HypercubeNode",
+    "NodeContent",
+    "HypercubeDHT",
+    "LookupResult",
+    "RingDHT",
+]

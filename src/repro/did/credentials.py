@@ -1,0 +1,148 @@
+"""Verifiable Credentials (thesis sections 1.6 and 2.1).
+
+"In a new version of this project, [the Certification Authority] will
+issue Verifiable Credentials to the users that have a DID."  This
+module implements that version: the CA signs a credential binding a
+DID to a claim (e.g. ``role = witness``); anyone holding the CA's
+public key verifies it offline; the CA can revoke by credential id.
+
+With role credentials, the witness list no longer needs to be
+*delivered* to verifiers -- a prover's proof can travel with the
+witness's credential, and the verifier checks the CA signature instead
+of membership in a distributed list.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyPair, PublicKey, Signature
+from repro.did.document import parse_did
+
+
+class CredentialError(Exception):
+    """Issuance or verification failure."""
+
+
+@dataclass(frozen=True)
+class VerifiableCredential:
+    """A CA-signed claim about a DID subject."""
+
+    credential_id: str
+    issuer: str  # the CA's DID
+    subject: str  # the holder's DID
+    claim: dict[str, str]
+    issued_at: float
+    expires_at: float
+    signature_hex: str
+
+    def payload(self) -> bytes:
+        """The canonical signed bytes."""
+        return json.dumps(
+            {
+                "id": self.credential_id,
+                "issuer": self.issuer,
+                "subject": self.subject,
+                "claim": self.claim,
+                "issued_at": self.issued_at,
+                "expires_at": self.expires_at,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+
+    def to_json(self) -> dict:
+        """The W3C-VC-like wire shape."""
+        return {
+            "@context": "https://www.w3.org/2018/credentials/v1",
+            "id": self.credential_id,
+            "issuer": self.issuer,
+            "credentialSubject": {"id": self.subject, **self.claim},
+            "issuanceDate": self.issued_at,
+            "expirationDate": self.expires_at,
+            "proof": {"type": "ReproSchnorrSignature2026", "signatureHex": self.signature_hex},
+        }
+
+
+@dataclass
+class CredentialIssuer:
+    """The Certification Authority's issuance side."""
+
+    keypair: KeyPair
+    issuer_did: str
+    revoked: set[str] = field(default_factory=set)
+    issued: dict[str, VerifiableCredential] = field(default_factory=dict)
+
+    def issue(
+        self,
+        subject_did: str,
+        claim: dict[str, str],
+        issued_at: float = 0.0,
+        ttl: float = 365.0 * 86_400.0,
+    ) -> VerifiableCredential:
+        """Sign a credential for ``subject_did``."""
+        parse_did(subject_did)
+        if not claim:
+            raise CredentialError("a credential needs at least one claim")
+        unsigned = VerifiableCredential(
+            credential_id=f"urn:repro:vc:{secrets.token_hex(12)}",
+            issuer=self.issuer_did,
+            subject=subject_did,
+            claim=dict(claim),
+            issued_at=issued_at,
+            expires_at=issued_at + ttl,
+            signature_hex="",
+        )
+        signature = self.keypair.sign(unsigned.payload())
+        credential = VerifiableCredential(
+            credential_id=unsigned.credential_id,
+            issuer=unsigned.issuer,
+            subject=unsigned.subject,
+            claim=unsigned.claim,
+            issued_at=unsigned.issued_at,
+            expires_at=unsigned.expires_at,
+            signature_hex=signature.to_bytes().hex(),
+        )
+        self.issued[credential.credential_id] = credential
+        return credential
+
+    def revoke(self, credential_id: str) -> None:
+        """Add a credential to the revocation list."""
+        if credential_id not in self.issued:
+            raise CredentialError(f"unknown credential {credential_id}")
+        self.revoked.add(credential_id)
+
+    def is_revoked(self, credential_id: str) -> bool:
+        """Revocation-list lookup (a verifier would fetch this)."""
+        return credential_id in self.revoked
+
+
+def verify_credential(
+    credential: VerifiableCredential,
+    issuer_public: PublicKey,
+    now: float = 0.0,
+    revocation_check=None,
+) -> bool:
+    """Verify a credential offline against the issuer's public key.
+
+    ``revocation_check`` is an optional callable (e.g. the CA's
+    ``is_revoked``) consulted after the cryptographic checks.
+    """
+    try:
+        signature = Signature.from_bytes(bytes.fromhex(credential.signature_hex))
+    except (ValueError, TypeError):
+        return False
+    if not issuer_public.verify(credential.payload(), signature):
+        return False
+    if now > credential.expires_at:
+        return False
+    if revocation_check is not None and revocation_check(credential.credential_id):
+        return False
+    return True
+
+
+def is_witness_credential(credential: VerifiableCredential) -> bool:
+    """Whether the credential asserts the witness role."""
+    return credential.claim.get("role") == "witness"

@@ -1,0 +1,88 @@
+"""DID syntax and DID documents.
+
+A DID here uses the ``did:repro`` method; the method-specific id is
+derived from the subject's public key, which makes the binding
+self-certifying.  The document mirrors figure 1.8: ``id``,
+``controller``, a verification method carrying the public key, and the
+``authentication`` relationship used by the challenge-response flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import PublicKey
+
+DID_METHOD = "repro"
+
+
+class DidError(ValueError):
+    """Malformed DID or document."""
+
+
+def make_did(public: PublicKey) -> str:
+    """Derive the DID of a public key: ``did:repro:<fingerprint>``."""
+    return f"did:{DID_METHOD}:{public.fingerprint()}"
+
+
+def parse_did(did: str) -> str:
+    """Validate a DID and return its method-specific id."""
+    parts = did.split(":")
+    if len(parts) != 3 or parts[0] != "did" or parts[1] != DID_METHOD or not parts[2]:
+        raise DidError(f"not a valid did:{DID_METHOD} identifier: {did!r}")
+    return parts[2]
+
+
+@dataclass
+class DidDocument:
+    """The resolvable description of a DID subject (figure 1.8)."""
+
+    id: str
+    public_key: PublicKey
+    controller: str = ""
+    authentication: list[str] = field(default_factory=list)
+    deactivated: bool = False
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        parse_did(self.id)
+        if not self.controller:
+            self.controller = self.id
+        if not self.authentication:
+            self.authentication = [f"{self.id}#keys-1"]
+
+    def to_json(self) -> dict:
+        """Serialize to the W3C-document-like shape."""
+        return {
+            "@context": "https://www.w3.org/ns/did/v1",
+            "id": self.id,
+            "controller": self.controller,
+            "verificationMethod": [
+                {
+                    "id": f"{self.id}#keys-1",
+                    "type": "ReproSchnorrKey2026",
+                    "controller": self.controller,
+                    "publicKeyHex": self.public_key.to_bytes().hex(),
+                }
+            ],
+            "authentication": list(self.authentication),
+            "deactivated": self.deactivated,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DidDocument":
+        """Parse a document produced by :meth:`to_json`."""
+        try:
+            methods = payload["verificationMethod"]
+            public = PublicKey.from_bytes(bytes.fromhex(methods[0]["publicKeyHex"]))
+            return cls(
+                id=payload["id"],
+                public_key=public,
+                controller=payload.get("controller", ""),
+                authentication=list(payload.get("authentication", [])),
+                deactivated=bool(payload.get("deactivated", False)),
+                version=int(payload.get("version", 1)),
+            )
+        except (KeyError, IndexError, ValueError) as exc:
+            raise DidError(f"malformed DID document: {exc}") from exc

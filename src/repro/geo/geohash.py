@@ -1,0 +1,62 @@
+"""Geohash: the baseline location encoding (thesis section 1.3.1).
+
+Included to reproduce the comparison the thesis makes: Geohash strings
+use a 32-character alphabet and a single location can be covered by
+*multiple* codes of different length ("c216ne" vs "c216new"), the
+drawback that motivated choosing OLC.
+"""
+
+from __future__ import annotations
+
+GEOHASH_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
+_CHAR_INDEX = {char: i for i, char in enumerate(GEOHASH_ALPHABET)}
+
+
+def geohash_encode(latitude: float, longitude: float, precision: int = 7) -> str:
+    """Encode a point to a Geohash of ``precision`` characters."""
+    if precision < 1:
+        raise ValueError("precision must be at least 1")
+    lat_range = [-90.0, 90.0]
+    lng_range = [-180.0, 180.0]
+    bits = []
+    even_bit = True  # longitude first
+    while len(bits) < precision * 5:
+        target, bounds = (longitude, lng_range) if even_bit else (latitude, lat_range)
+        mid = (bounds[0] + bounds[1]) / 2
+        if target >= mid:
+            bits.append(1)
+            bounds[0] = mid
+        else:
+            bits.append(0)
+            bounds[1] = mid
+        even_bit = not even_bit
+    chars = []
+    for start in range(0, len(bits), 5):
+        value = 0
+        for bit in bits[start : start + 5]:
+            value = (value << 1) | bit
+        chars.append(GEOHASH_ALPHABET[value])
+    return "".join(chars)
+
+
+def geohash_decode(geohash: str) -> tuple[float, float, float, float]:
+    """Decode to the bounding box ``(lat_lo, lat_hi, lng_lo, lng_hi)``."""
+    if not geohash:
+        raise ValueError("empty geohash")
+    lat_range = [-90.0, 90.0]
+    lng_range = [-180.0, 180.0]
+    even_bit = True
+    for char in geohash.lower():
+        if char not in _CHAR_INDEX:
+            raise ValueError(f"invalid geohash character {char!r}")
+        value = _CHAR_INDEX[char]
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            bounds = lng_range if even_bit else lat_range
+            mid = (bounds[0] + bounds[1]) / 2
+            if bit:
+                bounds[0] = mid
+            else:
+                bounds[1] = mid
+            even_bit = not even_bit
+    return lat_range[0], lat_range[1], lng_range[0], lng_range[1]

@@ -1,0 +1,53 @@
+"""Content IDentifiers.
+
+"The IPFS protocol assigns each object to a unique address called
+Content IDentifier (CID) built hashing the file content" with SHA-256
+(thesis section 1.5).  We produce CIDv1-shaped strings: a ``b``
+multibase prefix over base32(version || raw-codec || sha2-256 multihash).
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.crypto.hashing import sha256
+
+_VERSION = b"\x01"
+_RAW_CODEC = b"\x55"
+_SHA256_CODE = b"\x12\x20"  # multihash: sha2-256, 32 bytes
+
+
+class CidError(ValueError):
+    """A malformed or mismatching CID."""
+
+
+def compute_cid(content: bytes) -> str:
+    """The CID of a block of content."""
+    if not isinstance(content, bytes):
+        raise CidError("content must be bytes")
+    digest = sha256(content)
+    payload = _VERSION + _RAW_CODEC + _SHA256_CODE + digest
+    return "b" + base64.b32encode(payload).decode().lower().rstrip("=")
+
+
+def verify_cid(content: bytes, cid: str) -> bool:
+    """True iff ``content`` hashes to ``cid`` (self-certifying address)."""
+    try:
+        return compute_cid(content) == cid
+    except CidError:
+        return False
+
+
+def parse_cid(cid: str) -> bytes:
+    """Extract the 32-byte content digest from a CID."""
+    if not cid or not cid.startswith("b"):
+        raise CidError(f"not a base32 CIDv1: {cid!r}")
+    body = cid[1:].upper()
+    body += "=" * (-len(body) % 8)
+    try:
+        payload = base64.b32decode(body)
+    except Exception as exc:
+        raise CidError(f"undecodable CID {cid!r}") from exc
+    if payload[:4] != _VERSION + _RAW_CODEC + _SHA256_CODE or len(payload) != 36:
+        raise CidError(f"unsupported CID layout in {cid!r}")
+    return payload[4:]

@@ -1,0 +1,74 @@
+"""A blockchain-agnostic smart-contract language (a Reach work-alike).
+
+The thesis's headline tooling claim is that *one* contract source can
+run on Ethereum, Polygon and Algorand: "Reach is blockchain agnostic:
+it is possible to run a Decentralized Application in different
+blockchains without code change" (section 2.9.3).  This package
+reproduces that pipeline end to end:
+
+- :mod:`repro.reach.types` / :mod:`repro.reach.ast` -- the surface
+  language: ``Participant``, ``API``, ``View``, ``Map``,
+  ``parallelReduce``, ``publish``/``commit``, ``transfer``.
+- :mod:`repro.reach.compiler` -- lowers a program to a flat IR.
+- :mod:`repro.reach.backends.evm` -- IR to EVM instructions.
+- :mod:`repro.reach.backends.teal` -- IR to TEAL source text.
+- :mod:`repro.reach.verifier` -- the static "theorem" checks Reach runs
+  at compile time (token linearity, guarded transfers, honest /
+  dishonest modes -- figures 2.11 and 5.1).
+- :mod:`repro.reach.runtime` -- deploy/attach/API-call adapters for the
+  chain simulators, reproducing the per-network transaction counts the
+  evaluation measured.
+- :mod:`repro.reach.rpc` -- the Reach RPC server facade
+  (``/stdlib/METHOD``, ``/ctc/apis/...``) the thesis's Python
+  test-suite drives.
+"""
+
+from repro.reach.types import UInt, Bytes, Address, Fun
+from repro.reach.ast import (
+    Program,
+    Participant,
+    ApiGroup,
+    ApiMethod,
+    Phase,
+    Map,
+    arg,
+    balance,
+    caller,
+    const,
+    glob,
+    interact,
+    pay_amount,
+)
+from repro.reach.compiler import compile_program, CompiledContract
+from repro.reach.parser import parse_contract, parse_contract_file, ParseError
+from repro.reach.verifier import verify_program, VerificationReport
+from repro.reach.runtime import ReachClient, DeployedContract
+
+__all__ = [
+    "UInt",
+    "Bytes",
+    "Address",
+    "Fun",
+    "Program",
+    "Participant",
+    "ApiGroup",
+    "ApiMethod",
+    "Phase",
+    "Map",
+    "arg",
+    "balance",
+    "caller",
+    "const",
+    "glob",
+    "interact",
+    "pay_amount",
+    "compile_program",
+    "CompiledContract",
+    "parse_contract",
+    "parse_contract_file",
+    "ParseError",
+    "verify_program",
+    "VerificationReport",
+    "ReachClient",
+    "DeployedContract",
+]

@@ -1,0 +1,1 @@
+"""Connector backends: IR -> EVM instructions and IR -> TEAL source."""

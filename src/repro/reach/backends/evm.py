@@ -1,0 +1,183 @@
+"""EVM backend: lowers contract IR to :class:`EvmCode`.
+
+Storage layout (the Solidity-like scheme section 2.4 implies):
+
+- scalar state ``name`` lives at key ``b"g:" + name``;
+- map entry ``(slot, key)`` lives at ``H(slot || enc(key))`` via the
+  ``MAPKEY`` instruction (hashed-slot derivation, priced as keccak).
+
+Because EVM storage reads absent slots as zero, Map presence is
+value-is-nonzero -- the verifier rejects programs whose Map value type
+admits a legitimate zero/empty value.
+"""
+
+from __future__ import annotations
+
+from repro.chain.ethereum.evm import EvmCode, Instr
+from repro.reach.ir import IRContract, IRFunction, IROp
+
+
+class EvmBackendError(Exception):
+    """IR that cannot be lowered to EVM code."""
+
+
+def _global_key(name: str) -> bytes:
+    return b"g:" + name.encode()
+
+
+def generate_evm(ir: IRContract) -> EvmCode:
+    """Generate the deployable artifact for the EVM connector."""
+    instrs: list[Instr] = []
+    methods: dict[str, int] = {}
+    # Constructor first: the chain's create path starts at init_entry 0.
+    constructor = ir.functions["constructor"]
+    instrs.extend(_lower_function(constructor))
+    for name, function in ir.functions.items():
+        if name == "constructor":
+            continue
+        methods[name] = len(instrs)
+        instrs.append(Instr("JUMPDEST"))
+        instrs.extend(_lower_function(function, base_offset=len(instrs)))
+    return EvmCode(instrs=instrs, methods=methods, init_entry=0)
+
+
+def _lower_function(function: IRFunction, base_offset: int = 0) -> list[Instr]:
+    """Lower one IR function, resolving labels to absolute indices."""
+    body: list[Instr] = []
+    label_at: dict[str, int] = {}
+    fixups: list[tuple[int, str]] = []  # (body index, label)
+
+    def emit(op: str, arg=None) -> None:
+        body.append(Instr(op, arg))
+
+    for irop in function.instrs:
+        _lower_op(irop, function, emit, label_at, fixups, body)
+
+    for index, label in fixups:
+        if label not in label_at:
+            raise EvmBackendError(f"{function.name}: unresolved label {label!r}")
+        body[index] = Instr(body[index].op, base_offset + label_at[label])
+    return body
+
+
+def _lower_op(irop: IROp, function: IRFunction, emit, label_at, fixups, body) -> None:
+    op, arg = irop.op, irop.arg
+    if op == "PUSH":
+        emit("PUSH", arg)
+    elif op == "POP":
+        emit("POP")
+    elif op == "ARG":
+        emit("CALLDATALOAD", arg)
+    elif op == "CALLER":
+        emit("CALLER")
+    elif op == "VALUE":
+        emit("CALLVALUE")
+    elif op == "NOW":
+        emit("TIMESTAMP")
+    elif op == "BALANCE":
+        emit("SELFBALANCE")
+    elif op == "GLOAD":
+        emit("PUSH", _global_key(arg))
+        emit("SLOAD")
+    elif op == "GSTORE":
+        emit("PUSH", _global_key(arg))
+        emit("SWAP", 1)
+        emit("SSTORE")
+    elif op == "MSET":
+        slot, _kind = arg
+        emit("SWAP", 1)  # [key, value] -> [value, key]
+        emit("MAPKEY", slot)
+        emit("SWAP", 1)  # [value, skey] -> [skey, value]
+        emit("SSTORE")
+    elif op == "MGETOR":
+        slot, _kind = arg
+        use_default = f"__mgetor_default_{len(body)}"
+        end = f"__mgetor_end_{len(body)}"
+        emit("MAPKEY", slot)
+        emit("SLOAD")  # [default, value]
+        emit("DUP", 1)
+        emit("ISZERO")
+        fixups.append((len(body), use_default))
+        emit("JUMPI", None)
+        emit("SWAP", 1)
+        emit("POP")  # keep loaded value
+        fixups.append((len(body), end))
+        emit("JUMP", None)
+        label_at[use_default] = len(body)
+        emit("JUMPDEST")
+        emit("POP")  # keep default
+        label_at[end] = len(body)
+        emit("JUMPDEST")
+    elif op == "MHAS":
+        emit("MAPKEY", arg)
+        emit("SLOAD")
+        emit("ISZERO")
+        emit("ISZERO")
+    elif op == "MDEL":
+        emit("MAPKEY", arg)
+        emit("PUSH", 0)
+        emit("SSTORE")
+    elif op in ("AND", "OR", "EQ", "XOR"):
+        emit(op)
+    elif op in ("ADD", "MUL"):
+        # Uniform connector semantics: the language's UInt is 64-bit and
+        # overflow is a failure (as on the AVM), so the EVM code guards
+        # the result instead of silently wrapping mod 2**256.
+        emit(op)
+        emit("DUP", 1)
+        emit("PUSH", 2**64)
+        emit("GT")  # pops 2**64 then result: (2**64 > result)
+        emit("REQUIRE", "uint64 overflow")
+    elif op == "SUB":
+        # stack [l, r]: require l >= r (the AVM panics on underflow).
+        emit("DUP", 1)  # [l, r, r]
+        emit("DUP", 3)  # [l, r, r, l]
+        emit("LT")  # pops l then r: (l < r)
+        emit("ISZERO")
+        emit("REQUIRE", "uint64 underflow")
+        emit("SWAP", 1)
+        emit("SUB")
+    elif op in ("DIV", "MOD"):
+        # stack [l, r]: require r != 0 (the AVM panics on zero).
+        emit("DUP", 1)
+        emit("REQUIRE", "division by zero" if op == "DIV" else "modulo by zero")
+        emit("SWAP", 1)
+        emit(op)
+    elif op in ("LT", "GT"):
+        emit("SWAP", 1)
+        emit(op)
+    elif op == "LE":
+        emit("SWAP", 1)
+        emit("GT")
+        emit("ISZERO")
+    elif op == "GE":
+        emit("SWAP", 1)
+        emit("LT")
+        emit("ISZERO")
+    elif op == "NOT":
+        emit("NOT")
+    elif op == "JUMP":
+        fixups.append((len(body), arg))
+        emit("JUMP", None)
+    elif op == "JUMPF":
+        emit("ISZERO")
+        fixups.append((len(body), arg))
+        emit("JUMPI", None)
+    elif op == "LABEL":
+        label_at[arg] = len(body)
+        emit("JUMPDEST")
+    elif op == "REQUIRE":
+        emit("REQUIRE", arg)
+    elif op == "TRANSFER":
+        emit("TRANSFER")
+    elif op == "LOG":
+        event, kinds = arg
+        emit("LOG", (event, len(kinds)))
+    elif op == "RET":
+        count, _kind = arg
+        if function.name == "constructor":
+            emit("STOP")
+        else:
+            emit("RETURN", count)
+    else:
+        raise EvmBackendError(f"cannot lower IR op {op}")

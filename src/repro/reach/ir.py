@@ -1,0 +1,92 @@
+"""The intermediate representation between the AST and the backends.
+
+A compiled contract is a set of flat stack-machine functions -- one per
+on-chain entry point (constructor, the creator's first publish, every
+API method, every phase timeout) -- over a small op set both backends
+can lower mechanically.
+
+Stack convention: binary operators consume ``[left, right]`` with
+``right`` on top and produce ``left OP right``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: opcodes and their operand kind (for documentation/validation)
+OPCODES = {
+    "PUSH": "constant",
+    "ARG": "index",
+    "CALLER": None,
+    "VALUE": None,
+    "NOW": None,
+    "BALANCE": None,
+    "GLOAD": "global name",
+    "GSTORE": "global name",
+    "MGETOR": "(map slot, value kind)",
+    "MHAS": "map slot",
+    "MSET": "(map slot, value kind)",
+    "MDEL": "map slot",
+    "ADD": None,
+    "SUB": None,
+    "MUL": None,
+    "DIV": None,
+    "MOD": None,
+    "LT": None,
+    "GT": None,
+    "LE": None,
+    "GE": None,
+    "EQ": None,
+    "AND": None,
+    "OR": None,
+    "NOT": None,
+    "POP": None,
+    "JUMP": "label",
+    "JUMPF": "label",
+    "LABEL": "label",
+    "REQUIRE": "message",
+    "TRANSFER": None,
+    "LOG": "(event, kinds)",
+    "RET": "(count, kind)",
+}
+
+
+@dataclass(frozen=True)
+class IROp:
+    """One IR instruction."""
+
+    op: str
+    arg: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown IR opcode {self.op}")
+
+
+@dataclass
+class IRFunction:
+    """One on-chain entry point."""
+
+    name: str
+    params: tuple[str, ...]  # value kinds: "uint" | "bytes" | "address"
+    ret_kind: str | None  # None, "uint", "bytes", "address"
+    pay_index: int | None
+    instrs: list[IROp] = field(default_factory=list)
+    phase: int | None = None  # phase guard value, None for constructor
+
+    def label_targets(self) -> dict[str, int]:
+        """Map label names to instruction indices."""
+        return {op.arg: i for i, op in enumerate(self.instrs) if op.op == "LABEL"}
+
+
+@dataclass
+class IRContract:
+    """The full lowered contract."""
+
+    name: str
+    functions: dict[str, IRFunction]
+    globals_init: dict[str, Any]
+    map_slots: dict[str, int]
+    view_exprs: dict[str, IRFunction]  # pure functions evaluated off-chain
+    phase_count: int

@@ -1,0 +1,536 @@
+"""A textual frontend for the contract language (``.rsh``-style files).
+
+The thesis writes its contract in textual Reach (``index.rsh``); this
+parser gives the reproduction the same authoring experience.  The
+grammar is a compact, Reach-flavoured surface over the Python AST:
+
+    contract "proof-of-location" {
+        participant Creator;
+
+        global sits = 4;
+        global reward = 10000;
+        map easy_map : UInt => Bytes(512);
+
+        publish(position: Bytes(128), did: UInt, data: Bytes(512)) {
+            easy_map[did] = data;
+            sits := sits - 1;
+            emit reportData(did, data);
+        }
+
+        phase attach while (sits > 0) timeout (86400) {}
+        {
+            api attacherAPI {
+                insert_data(data: Bytes(512), did: UInt) returns UInt {
+                    require(!easy_map.has(did), "DID already attached");
+                    easy_map[did] = easy_map.get(did, data);
+                    sits := sits - 1;
+                    return sits;
+                }
+            }
+        }
+
+        view getCtcBalance = balance();
+    }
+
+Statements: ``name := expr;`` (global assignment), ``map[k] = v;``,
+``delete map[k];``, ``if (e) { ... } else { ... }``, ``require(e, "msg");``,
+``transfer(amount).to(addr);``, ``emit Event(a, b);``, ``return e;``.
+
+Expressions: integer/string literals, parameter and global names,
+``balance()``, ``this`` (caller), ``payAmount``, ``creator`` (the
+deployer), ``map.get(key, default)``, ``map.has(key)``, the usual
+arithmetic/comparison/logical operators with C-like precedence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.reach import ast as A
+from repro.reach.types import Address, Bytes, Fun, ReachType, UInt
+
+
+class ParseError(Exception):
+    """Syntax or name-resolution error, with a line number."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "ident" | "int" | "string" | "punct"
+    value: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<int>\d[\d_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>:=|=>|==|!=|<=|>=|&&|\|\||[-+*/%(){}\[\];:,.<>=!])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(f"line {line}: unexpected character {source[position]!r}")
+        line += source[position : match.end()].count("\n")
+        position = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "string":
+            value = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        tokens.append(_Token(kind=kind, value=value, line=line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.position = 0
+        self.program: A.Program | None = None
+        self.maps: dict[str, A.Map] = {}
+        self.globals: set[str] = set()
+        self.params: dict[str, int] = {}  # in-scope parameter name -> arg index
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token | None:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _expect(self, value: str) -> _Token:
+        token = self._next()
+        if token.value != value:
+            raise ParseError(f"line {token.line}: expected {value!r}, got {token.value!r}")
+        return token
+
+    def _accept(self, value: str) -> bool:
+        token = self._peek()
+        if token is not None and token.value == value:
+            self.position += 1
+            return True
+        return False
+
+    def _ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise ParseError(f"line {token.line}: expected an identifier, got {token.value!r}")
+        return token.value
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse_contract(self) -> A.Program:
+        self._expect("contract")
+        name_token = self._next()
+        if name_token.kind != "string":
+            raise ParseError(f"line {name_token.line}: contract name must be a string")
+        self._expect("{")
+        self._expect("participant")
+        participant = self._ident()
+        self._expect(";")
+        self.program = A.Program(name=name_token.value, creator=A.Participant(participant, {}))
+        while not self._accept("}"):
+            self._item()
+        return self.program
+
+    def _item(self) -> None:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unterminated contract body")
+        if token.value == "global":
+            self._global_decl()
+        elif token.value == "map":
+            self._map_decl()
+        elif token.value == "publish":
+            self._publish()
+        elif token.value == "phase":
+            self._phase()
+        elif token.value == "view":
+            self._view()
+        else:
+            raise ParseError(f"line {token.line}: unexpected {token.value!r} at contract scope")
+
+    def _global_decl(self) -> None:
+        self._expect("global")
+        name = self._ident()
+        self._expect("=")
+        token = self._next()
+        if token.kind == "int":
+            initial: object = int(token.value.replace("_", ""))
+        elif token.kind == "string":
+            initial = token.value
+        else:
+            raise ParseError(f"line {token.line}: global initializer must be a literal")
+        self._expect(";")
+        self.program.declare_global(name, initial)
+        self.globals.add(name)
+
+    def _map_decl(self) -> None:
+        self._expect("map")
+        name = self._ident()
+        self._expect(":")
+        key_type = self._type()
+        self._expect("=>")
+        value_type = self._type()
+        self._expect(";")
+        self.maps[name] = self.program.map(name, key_type=key_type, value_type=value_type)
+
+    def _type(self) -> ReachType:
+        token = self._next()
+        if token.value == "UInt":
+            return UInt
+        if token.value == "Address":
+            return Address
+        if token.value == "Bytes":
+            self._expect("(")
+            size = self._next()
+            if size.kind != "int":
+                raise ParseError(f"line {size.line}: Bytes size must be an integer")
+            self._expect(")")
+            return Bytes(int(size.value))
+        raise ParseError(f"line {token.line}: unknown type {token.value!r}")
+
+    def _param_list(self) -> list[tuple[str, ReachType]]:
+        self._expect("(")
+        params: list[tuple[str, ReachType]] = []
+        if not self._accept(")"):
+            while True:
+                name = self._ident()
+                self._expect(":")
+                params.append((name, self._type()))
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        return params
+
+    def _publish(self) -> None:
+        self._expect("publish")
+        params = self._param_list()
+        self.params = {name: index for index, (name, _) in enumerate(params)}
+        body = self._block()
+        self.params = {}
+        self.program.publish(params=params, body=body)
+
+    def _phase(self) -> None:
+        self._expect("phase")
+        name = self._ident()
+        self._expect("while")
+        self._expect("(")
+        condition = self._expr()
+        self._expect(")")
+        timeout = None
+        if self._accept("timeout"):
+            self._expect("(")
+            seconds_token = self._next()
+            if seconds_token.kind != "int":
+                raise ParseError(f"line {seconds_token.line}: timeout takes whole seconds")
+            self._expect(")")
+            timeout = (float(int(seconds_token.value.replace("_", ""))), self._block())
+        self._expect("{")
+        groups: list[A.ApiGroup] = []
+        while not self._accept("}"):
+            self._expect("api")
+            group_name = self._ident()
+            self._expect("{")
+            methods: list[A.ApiMethod] = []
+            while not self._accept("}"):
+                methods.append(self._method())
+            groups.append(A.ApiGroup(group_name, methods))
+        self.program.phase(name=name, while_cond=condition, apis=groups, timeout=timeout)
+
+    def _method(self) -> A.ApiMethod:
+        name = self._ident()
+        params = self._param_list()
+        returns: ReachType | None = None
+        pay_index: int | None = None
+        while True:
+            if self._accept("returns"):
+                returns = self._type()
+            elif self._accept("pays"):
+                pay_name = self._ident()
+                names = [param_name for param_name, _ in params]
+                if pay_name not in names:
+                    raise ParseError(f"pays target {pay_name!r} is not a parameter of {name}")
+                pay_index = names.index(pay_name)
+            else:
+                break
+        self.params = {param_name: index for index, (param_name, _) in enumerate(params)}
+        body = self._block()
+        self.params = {}
+        return A.ApiMethod(
+            name=name,
+            signature=Fun([t for _, t in params], returns),
+            body=body,
+            pay=pay_index,
+        )
+
+    def _view(self) -> None:
+        self._expect("view")
+        name = self._ident()
+        self._expect("=")
+        expr = self._expr()
+        self._expect(";")
+        self.program.view(name, expr)
+
+    # -- statements -------------------------------------------------------------------
+
+    def _block(self) -> list[A.Stmt]:
+        self._expect("{")
+        statements: list[A.Stmt] = []
+        while not self._accept("}"):
+            statements.append(self._stmt())
+        return statements
+
+    def _stmt(self) -> A.Stmt:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unterminated block")
+        if token.value == "if":
+            return self._if_stmt()
+        if token.value == "require":
+            return self._require_stmt()
+        if token.value == "transfer":
+            return self._transfer_stmt()
+        if token.value == "emit":
+            return self._emit_stmt()
+        if token.value == "return":
+            return self._return_stmt()
+        if token.value == "delete":
+            return self._delete_stmt()
+        # assignment: `name := expr;` or `map[key] = value;`
+        if token.kind == "ident":
+            after = self._peek(1)
+            if after is not None and after.value == ":=":
+                name = self._ident()
+                if name not in self.globals:
+                    raise ParseError(f"line {token.line}: {name!r} is not a declared global")
+                self._expect(":=")
+                value = self._expr()
+                self._expect(";")
+                return A.SetGlobal(name, value)
+            if after is not None and after.value == "[" and token.value in self.maps:
+                map_name = self._ident()
+                self._expect("[")
+                key = self._expr()
+                self._expect("]")
+                self._expect("=")
+                value = self._expr()
+                self._expect(";")
+                return self.maps[map_name].set(key, value)
+        raise ParseError(f"line {token.line}: unrecognized statement starting at {token.value!r}")
+
+    def _if_stmt(self) -> A.Stmt:
+        self._expect("if")
+        self._expect("(")
+        condition = self._expr()
+        self._expect(")")
+        then_block = self._block()
+        else_block: list[A.Stmt] | None = None
+        if self._accept("else"):
+            else_block = self._block()
+        return A.If(condition, then_block, else_block)
+
+    def _require_stmt(self) -> A.Stmt:
+        self._expect("require")
+        self._expect("(")
+        condition = self._expr()
+        message = "requirement failed"
+        if self._accept(","):
+            message_token = self._next()
+            if message_token.kind != "string":
+                raise ParseError(f"line {message_token.line}: require message must be a string")
+            message = message_token.value
+        self._expect(")")
+        self._expect(";")
+        return A.Require(condition, message)
+
+    def _transfer_stmt(self) -> A.Stmt:
+        self._expect("transfer")
+        self._expect("(")
+        amount = self._expr()
+        self._expect(")")
+        self._expect(".")
+        self._expect("to")
+        self._expect("(")
+        target = self._expr()
+        self._expect(")")
+        self._expect(";")
+        return A.Transfer(target, amount)
+
+    def _emit_stmt(self) -> A.Stmt:
+        self._expect("emit")
+        event = self._ident()
+        self._expect("(")
+        values: list[A.Expr] = []
+        if not self._accept(")"):
+            while True:
+                values.append(self._expr())
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        self._expect(";")
+        return A.Log(event, values)
+
+    def _return_stmt(self) -> A.Stmt:
+        self._expect("return")
+        if self._accept(";"):
+            return A.Return(None)
+        value = self._expr()
+        self._expect(";")
+        return A.Return(value)
+
+    def _delete_stmt(self) -> A.Stmt:
+        self._expect("delete")
+        map_name = self._ident()
+        if map_name not in self.maps:
+            raise ParseError(f"{map_name!r} is not a declared map")
+        self._expect("[")
+        key = self._expr()
+        self._expect("]")
+        self._expect(";")
+        return self.maps[map_name].delete(key)
+
+    # -- expressions (C-like precedence) ----------------------------------------------
+
+    def _expr(self) -> A.Expr:
+        return self._or()
+
+    def _or(self) -> A.Expr:
+        left = self._and()
+        while self._accept("||"):
+            left = left.or_(self._and())
+        return left
+
+    def _and(self) -> A.Expr:
+        left = self._cmp()
+        while self._accept("&&"):
+            left = left.and_(self._cmp())
+        return left
+
+    def _cmp(self) -> A.Expr:
+        left = self._add()
+        token = self._peek()
+        if token is not None and token.value in ("==", "!=", "<", ">", "<=", ">="):
+            operator = self._next().value
+            right = self._add()
+            if operator == "==":
+                return left.eq(right)
+            if operator == "!=":
+                return left.eq(right).not_()
+            if operator == "<":
+                return left < right
+            if operator == ">":
+                return left > right
+            if operator == "<=":
+                return left <= right
+            return left >= right
+        return left
+
+    def _add(self) -> A.Expr:
+        left = self._mul()
+        while True:
+            if self._accept("+"):
+                left = left + self._mul()
+            elif self._accept("-"):
+                left = left - self._mul()
+            else:
+                return left
+
+    def _mul(self) -> A.Expr:
+        left = self._unary()
+        while True:
+            if self._accept("*"):
+                left = left * self._unary()
+            elif self._accept("/"):
+                left = left // self._unary()
+            elif self._accept("%"):
+                left = left % self._unary()
+            else:
+                return left
+
+    def _unary(self) -> A.Expr:
+        if self._accept("!"):
+            return self._unary().not_()
+        return self._primary()
+
+    def _primary(self) -> A.Expr:
+        token = self._next()
+        if token.kind == "int":
+            return A.const(int(token.value.replace("_", "")))
+        if token.kind == "string":
+            return A.const(token.value)
+        if token.value == "(":
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        if token.kind != "ident":
+            raise ParseError(f"line {token.line}: unexpected {token.value!r} in expression")
+        name = token.value
+        if name == "balance":
+            self._expect("(")
+            self._expect(")")
+            return A.balance()
+        if name == "this":
+            return A.caller()
+        if name == "payAmount":
+            return A.pay_amount()
+        if name == "creator":
+            return A.GlobalRef("_creator")
+        if name in self.maps:
+            self._expect(".")
+            method = self._ident()
+            self._expect("(")
+            if method == "get":
+                key = self._expr()
+                self._expect(",")
+                default = self._expr()
+                self._expect(")")
+                return self.maps[name].get_or(key, default)
+            if method == "has":
+                key = self._expr()
+                self._expect(")")
+                return self.maps[name].contains(key)
+            raise ParseError(f"line {token.line}: maps support .get(k, d) and .has(k), not .{method}")
+        if name in self.params:
+            return A.arg(self.params[name])
+        if name in self.globals:
+            return A.glob(name)
+        raise ParseError(f"line {token.line}: unknown name {name!r}")
+
+
+def parse_contract(source: str) -> A.Program:
+    """Parse ``.rsh``-style source into a :class:`~repro.reach.ast.Program`."""
+    tokens = _tokenize(source)
+    if not tokens:
+        raise ParseError("empty source")
+    parser = _Parser(tokens)
+    program = parser.parse_contract()
+    if parser._peek() is not None:
+        trailing = parser._peek()
+        raise ParseError(f"line {trailing.line}: trailing input after contract body")
+    return program
+
+
+def parse_contract_file(path: str) -> A.Program:
+    """Parse a contract source file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_contract(handle.read())

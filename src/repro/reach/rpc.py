@@ -1,0 +1,205 @@
+"""The Reach RPC server facade (thesis sections 2.9.4 / 4.3).
+
+The thesis's Python test-suite talks to its compiled backend through
+the Reach RPC protocol: ``rpc('/stdlib/METHOD', ...)`` for synchronous
+helpers and ``rpc_callbacks`` for interactive participants.  Handles
+are opaque strings representing server-side resources ("an RPC handle
+is a string that represents the corresponding resource").
+
+This facade exposes the same routes over the in-process simulators, so
+the simulation scripts read like the thesis's ``index.py``:
+
+    acc = server.rpc("/stdlib/newTestAccount", 100)
+    ctc = server.rpc("/acc/contract", acc)
+    server.rpc_callbacks("/backend/Creator", ctc, {"position": ...})
+    result = server.rpc("/ctc/apis/attacherAPI/insert_data", ctc2, data, did)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.chain.base import Account, BaseChain
+from repro.reach.compiler import CompiledContract
+from repro.reach.runtime import DeployedContract, ReachClient
+from repro.reach.stdlib import ReachStdlib
+
+
+class RpcError(Exception):
+    """Unknown route, bad handle, or backend failure."""
+
+
+@dataclass
+class _ContractHandle:
+    """Server-side contract resource: pending (pre-deploy) or attached."""
+
+    account_handle: str
+    deployed: DeployedContract | None = None
+
+
+@dataclass
+class ReachRpcServer:
+    """An in-process stand-in for ``reach rpc-server``."""
+
+    chain: BaseChain
+    compiled: CompiledContract
+    client: ReachClient = field(init=False)
+    stdlib: ReachStdlib = field(init=False)
+    _accounts: dict[str, Account] = field(default_factory=dict)
+    _contracts: dict[str, _ContractHandle] = field(default_factory=dict)
+    _counter: Any = field(default_factory=lambda: itertools.count(1))
+
+    def __post_init__(self) -> None:
+        self.client = ReachClient(self.chain)
+        self.stdlib = ReachStdlib(self.chain)
+
+    # -- the wire protocol ----------------------------------------------------------
+
+    def rpc(self, route: str, *args: Any) -> Any:
+        """Invoke a synchronous RPC method (``rpc()`` in the thesis)."""
+        parts = [part for part in route.split("/") if part]
+        if not parts:
+            raise RpcError("empty route")
+        if parts[0] == "stdlib":
+            return self._stdlib_route(parts[1], args)
+        if parts[0] == "acc":
+            return self._account_route(parts[1], args)
+        if parts[0] == "ctc":
+            return self._contract_route(parts[1:], args)
+        raise RpcError(f"unknown route {route!r}")
+
+    def rpc_callbacks(self, route: str, handle: str, interact: dict[str, Any]) -> str:
+        """Invoke an interactive participant method (``rpc_callbacks``).
+
+        For ``/backend/Creator`` this deploys the contract with the
+        interact values and fires the logging callbacks the frontend
+        registered (``reportData`` etc.) for each emitted event.
+        """
+        parts = [part for part in route.split("/") if part]
+        if len(parts) != 2 or parts[0] != "backend":
+            raise RpcError(f"unknown callbacks route {route!r}")
+        participant = parts[1]
+        if participant != self.compiled.program.creator.name:
+            raise RpcError(f"unknown participant {participant!r}")
+        contract = self._contract(handle)
+        if contract.deployed is not None:
+            raise RpcError("contract already deployed")
+        account = self._account(contract.account_handle)
+        publish_args = [interact[name] for name, _ in self.compiled.program.publish_params]
+        deployed = self.client.deploy(self.compiled, account, publish_args)
+        contract.deployed = deployed
+        self._fire_callbacks(interact, deployed.deploy_result)
+        return handle
+
+    # -- routes -----------------------------------------------------------------------
+
+    def _stdlib_route(self, method: str, args: tuple) -> Any:
+        if method == "newTestAccount":
+            funding = args[0] if args else 100.0
+            return self._register_account(self.stdlib.new_test_account(funding))
+        if method == "newAccountFromSecret":
+            account = self.stdlib.new_account_from_secret(*args)
+            return self._register_account(account)
+        if method == "parseCurrency":
+            return self.stdlib.parse_currency(args[0])
+        if method == "formatCurrency":
+            return self.stdlib.format_currency(*args)
+        if method == "formatAddress":
+            return self.stdlib.format_address(self._resolve_addressable(args[0]))
+        if method == "balanceOf":
+            return self.stdlib.balance_of(self._resolve_addressable(args[0]))
+        if method == "connector":
+            return self.stdlib.connector()
+        raise RpcError(f"unknown stdlib method {method!r}")
+
+    def _account_route(self, method: str, args: tuple) -> Any:
+        if method == "contract":
+            account_handle = args[0]
+            self._account(account_handle)  # validate
+            handle = f"ctc-{next(self._counter)}"
+            contract = _ContractHandle(account_handle=account_handle)
+            if len(args) > 1 and args[1] is not None:
+                contract.deployed = self._attach_to(args[1], account_handle)
+            self._contracts[handle] = contract
+            return handle
+        if method == "getAddress":
+            return self._account(args[0]).address
+        raise RpcError(f"unknown acc method {method!r}")
+
+    def _contract_route(self, parts: list[str], args: tuple) -> Any:
+        method = parts[0]
+        if method == "getInfo":
+            deployed = self._deployed(args[0])
+            return deployed.ref
+        if method == "apis":
+            if len(parts) != 3:
+                raise RpcError("API route must be /ctc/apis/<group>/<method>")
+            handle, *call_args = args
+            contract = self._contract(handle)
+            deployed = self._deployed(handle)
+            account = self._account(contract.account_handle)
+            pay = 0
+            qualified = f"{parts[1]}.{parts[2]}"
+            # Determine the pay amount from the method declaration.
+            for name, _phase, declared in self.compiled.program.all_methods():
+                if name == qualified and declared.pay is not None:
+                    pay = call_args[declared.pay]
+            result = deployed.api(qualified, *call_args, sender=account, pay=pay)
+            return result.value
+        if method == "views":
+            if len(parts) != 2:
+                raise RpcError("view route must be /ctc/views/<name>")
+            deployed = self._deployed(args[0])
+            return deployed.view(parts[1])
+        raise RpcError(f"unknown ctc method {method!r}")
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _register_account(self, account: Account) -> str:
+        handle = f"acc-{next(self._counter)}"
+        self._accounts[handle] = account
+        return handle
+
+    def _account(self, handle: str) -> Account:
+        account = self._accounts.get(handle)
+        if account is None:
+            raise RpcError(f"unknown account handle {handle!r}")
+        return account
+
+    def _contract(self, handle: str) -> _ContractHandle:
+        contract = self._contracts.get(handle)
+        if contract is None:
+            raise RpcError(f"unknown contract handle {handle!r}")
+        return contract
+
+    def _deployed(self, handle: str) -> DeployedContract:
+        contract = self._contract(handle)
+        if contract.deployed is None:
+            raise RpcError(f"contract handle {handle!r} is not deployed yet")
+        return contract.deployed
+
+    def _resolve_addressable(self, value: str) -> Account | str:
+        return self._accounts.get(value, value)
+
+    def _attach_to(self, info: str, account_handle: str) -> DeployedContract:
+        """Rebuild a DeployedContract handle from its on-chain info."""
+        for contract in self._contracts.values():
+            if contract.deployed is not None and contract.deployed.ref == str(info):
+                original = contract.deployed
+                return DeployedContract(
+                    compiled=original.compiled,
+                    chain=original.chain,
+                    client=self.client,
+                    ref=original.ref,
+                    creator=original.creator,
+                    deploy_result=original.deploy_result,
+                )
+        raise RpcError(f"no contract deployed at {info!r}")
+
+    def _fire_callbacks(self, interact: dict[str, Any], operation) -> None:
+        for event, payload in operation.events:
+            callback = interact.get(event)
+            if isinstance(callback, Callable):
+                callback(*payload)

@@ -1,0 +1,442 @@
+"""The connector runtime: deploy, attach and call on any simulated chain.
+
+Per-network transaction ceremonies (these counts are what the thesis's
+latency measurements aggregate, section 5.1.5):
+
+===========  ======================================================
+network      transactions per operation
+===========  ======================================================
+EVM deploy   2: contract creation, creator ``publish0`` data insert
+EVM attach   2: attach handshake + the API call
+AVM deploy   4: app create, app-account funding, opt-in, ``publish0``
+             ("Algorand executed more transactions ... in the
+             deployment phase, due to the design of the network")
+AVM attach   2: opt-in + the API call
+===========  ======================================================
+
+Views never transact: they evaluate the view IR against chain state
+locally ("their use does not cause any cost", section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chain.base import Account, BaseChain, Receipt, TxStatus
+from repro.reach.compiler import CompiledContract
+from repro.reach.ir import IRFunction
+
+#: extra grouped budget transactions per Algorand app call (opcode pooling)
+ALGO_BUDGET_TXNS = 1
+#: microAlgos sent to the application account at deploy: exactly the
+#: account minimum balance, which stays reserved and never counts as
+#: spendable contract balance.
+ALGO_APP_FUNDING = 100_000
+EVM_CREATE_GAS_LIMIT = 4_000_000
+EVM_CALL_GAS_LIMIT = 800_000
+
+
+class ReachRuntimeError(Exception):
+    """A runtime-level failure (bad method, wrong chain family)."""
+
+
+class ReachCallError(ReachRuntimeError):
+    """An on-chain call reverted; carries the receipt."""
+
+    def __init__(self, receipt: Receipt):
+        super().__init__(f"call reverted: {receipt.error}")
+        self.receipt = receipt
+
+
+@dataclass
+class OpResult:
+    """Aggregated outcome of one logical operation (1..n transactions)."""
+
+    value: Any = None
+    receipts: list[Receipt] = field(default_factory=list)
+
+    @property
+    def events(self) -> list[tuple[str, tuple]]:
+        """Named events emitted across the operation, connector-decoded.
+
+        EVM logs are already ``(event, args)``; AVM app logs carry
+        ``evt:<name>/<argc>`` markers followed by the argument values.
+        """
+        decoded: list[tuple[str, tuple]] = []
+        for receipt in self.receipts:
+            entries = list(receipt.logs)
+            index = 0
+            while index < len(entries):
+                name, payload = entries[index]
+                if name != "log":
+                    decoded.append((name, payload))
+                    index += 1
+                    continue
+                blob = payload[0] if payload else b""
+                text = blob.decode("utf-8", errors="replace") if isinstance(blob, bytes) else str(blob)
+                if text.startswith("evt:") and "/" in text:
+                    event_name, _, argc_text = text[4:].rpartition("/")
+                    argc = int(argc_text)
+                    args = tuple(entries[index + 1 + k][1][0] for k in range(argc) if index + 1 + k < len(entries))
+                    # TEAL logs pop the stack top-first: restore source order.
+                    decoded.append((event_name, tuple(reversed(args))))
+                    index += 1 + argc
+                else:
+                    index += 1
+        return decoded
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds across the operation's transactions."""
+        return sum(r.latency or 0.0 for r in self.receipts)
+
+    @property
+    def fees(self) -> int:
+        """Total base units paid in fees."""
+        return sum(r.fee_paid for r in self.receipts)
+
+    @property
+    def gas_used(self) -> int:
+        """Total gas consumed (0 on flat-fee chains)."""
+        return sum(r.gas_used for r in self.receipts)
+
+
+@dataclass
+class DeployedContract:
+    """A handle on a live contract instance."""
+
+    compiled: CompiledContract
+    chain: BaseChain
+    client: "ReachClient"
+    ref: str  # contract address (EVM) or app id string (AVM)
+    creator: str
+    deploy_result: OpResult
+
+    def api(self, method: str, *args: Any, sender: Account, pay: int = 0) -> OpResult:
+        """Call an API method (one transaction); raise on revert."""
+        return self.client.call(self, method, list(args), sender=sender, pay=pay)
+
+    def attach(self, account: Account) -> OpResult:
+        """Run the attach handshake only (first half of the attach op)."""
+        return self.client.attach(self, account)
+
+    def attach_and_call(self, method: str, *args: Any, sender: Account, pay: int = 0) -> OpResult:
+        """The full 2-transaction *attach operation* the thesis measures."""
+        handshake = self.client.attach(self, sender)
+        call = self.client.call(self, method, list(args), sender=sender, pay=pay)
+        return OpResult(value=call.value, receipts=handshake.receipts + call.receipts)
+
+    def timeout(self, phase_index: int, sender: Account) -> OpResult:
+        """Fire a phase timeout (anyone may call it after the deadline)."""
+        return self.client.call(self, f"timeout_{phase_index}", [], sender=sender, pay=0)
+
+    def view(self, name: str) -> Any:
+        """Evaluate a View for free against current chain state."""
+        return self.client.view(self, name)
+
+    def map_value(self, map_name: str, key: int) -> Any:
+        """Read a Map entry for free (the verifier's filter-by-DID read).
+
+        Returns None when the key is absent.
+        """
+        slot = self.compiled.ir.map_slots.get(map_name)
+        if slot is None:
+            raise ReachRuntimeError(f"unknown map {map_name!r}")
+        reader = _StateReader(self.client, self)
+        value = reader.map_get(slot, key)
+        if isinstance(value, bytes):
+            return value.decode("utf-8", errors="replace")
+        return value
+
+    @property
+    def balance(self) -> int:
+        """The contract account's balance in base units."""
+        return self.client.contract_balance(self)
+
+
+class ReachClient:
+    """One compiled source, any connector: the blockchain-agnostic client."""
+
+    def __init__(self, chain: BaseChain):
+        self.chain = chain
+        self.family = chain.profile.family
+        if self.family not in ("evm", "avm"):
+            raise ReachRuntimeError(f"unsupported chain family {self.family}")
+        self._code_hashes: dict[str, str] = {}
+
+    # -- deploy ---------------------------------------------------------------
+
+    def deploy(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> DeployedContract:
+        """Deploy + creator data insert (the thesis's *deploy operation*)."""
+        expected = len(compiled.program.publish_params)
+        if len(publish_args) != expected:
+            raise ReachRuntimeError(f"publish0 expects {expected} values, got {len(publish_args)}")
+        if self.family == "evm":
+            return self._deploy_evm(compiled, creator, publish_args)
+        return self._deploy_avm(compiled, creator, publish_args)
+
+    def _deploy_evm(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> DeployedContract:
+        chain = self.chain
+        code_hash = self._code_hashes.get(compiled.name)
+        if code_hash is None:
+            code_hash = chain.register_code(compiled.evm_code)
+            self._code_hashes[compiled.name] = code_hash
+        create = chain.make_transaction(
+            creator, "create", data={"code_hash": code_hash, "args": []}, gas_limit=EVM_CREATE_GAS_LIMIT
+        )
+        create_receipt = chain.transact(creator, create)
+        if create_receipt.status is not TxStatus.SUCCESS:
+            raise ReachCallError(create_receipt)
+        address = create_receipt.contract_address
+        publish = chain.make_transaction(
+            creator,
+            "call",
+            to=address,
+            data={"selector": "publish0", "args": publish_args},
+            gas_limit=EVM_CALL_GAS_LIMIT,
+        )
+        publish_receipt = chain.transact(creator, publish)
+        if publish_receipt.status is not TxStatus.SUCCESS:
+            raise ReachCallError(publish_receipt)
+        return DeployedContract(
+            compiled=compiled,
+            chain=chain,
+            client=self,
+            ref=address,
+            creator=creator.address,
+            deploy_result=OpResult(receipts=[create_receipt, publish_receipt]),
+        )
+
+    def _deploy_avm(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> DeployedContract:
+        chain = self.chain
+        program_hash = self._code_hashes.get(compiled.name)
+        if program_hash is None:
+            program_hash = chain.register_program(compiled.teal_source)
+            self._code_hashes[compiled.name] = program_hash
+        receipts: list[Receipt] = []
+
+        create = chain.make_transaction(creator, "create", data={"program_hash": program_hash, "args": []})
+        create_receipt = chain.transact(creator, create)
+        if create_receipt.status is not TxStatus.SUCCESS:
+            raise ReachCallError(create_receipt)
+        receipts.append(create_receipt)
+        app_id = int(create_receipt.contract_address)
+        app_address = chain.app_address(app_id)
+
+        fund = chain.make_transaction(creator, "transfer", to=app_address, value=ALGO_APP_FUNDING)
+        fund_receipt = chain.transact(creator, fund)
+        receipts.append(fund_receipt)
+
+        optin = chain.make_transaction(creator, "call", data={"app_id": app_id, "on_complete": "optin", "args": []})
+        receipts.append(chain.transact(creator, optin))
+
+        publish = chain.make_transaction(
+            creator,
+            "call",
+            data={"app_id": app_id, "args": ["publish0", *publish_args], "budget_txns": ALGO_BUDGET_TXNS},
+        )
+        publish_receipt = chain.transact(creator, publish)
+        if publish_receipt.status is not TxStatus.SUCCESS:
+            raise ReachCallError(publish_receipt)
+        receipts.append(publish_receipt)
+        return DeployedContract(
+            compiled=compiled,
+            chain=chain,
+            client=self,
+            ref=str(app_id),
+            creator=creator.address,
+            deploy_result=OpResult(receipts=receipts),
+        )
+
+    # -- attach + calls ----------------------------------------------------------
+
+    def attach(self, deployed: DeployedContract, account: Account) -> OpResult:
+        """The attach handshake transaction."""
+        chain = self.chain
+        if self.family == "evm":
+            handshake = chain.make_transaction(
+                account, "transfer", to=deployed.ref, value=0, gas_limit=21_000
+            )
+            return OpResult(receipts=[chain.transact(account, handshake)])
+        optin = chain.make_transaction(
+            account, "call", data={"app_id": int(deployed.ref), "on_complete": "optin", "args": []}
+        )
+        return OpResult(receipts=[chain.transact(account, optin)])
+
+    def call(
+        self,
+        deployed: DeployedContract,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int = 0,
+    ) -> OpResult:
+        """One API-method transaction; decodes the return value."""
+        function = deployed.compiled.ir.functions.get(method)
+        if function is None:
+            raise ReachRuntimeError(f"unknown method {method!r}")
+        chain = self.chain
+        if self.family == "evm":
+            tx = chain.make_transaction(
+                sender,
+                "call",
+                to=deployed.ref,
+                value=pay,
+                data={"selector": method, "args": args},
+                gas_limit=EVM_CALL_GAS_LIMIT,
+            )
+            receipt = chain.transact(sender, tx)
+            if receipt.status is not TxStatus.SUCCESS:
+                raise ReachCallError(receipt)
+            return OpResult(value=receipt.return_value, receipts=[receipt])
+        tx = chain.make_transaction(
+            sender,
+            "call",
+            value=pay,
+            data={"app_id": int(deployed.ref), "args": [method, *args], "budget_txns": ALGO_BUDGET_TXNS},
+        )
+        receipt = chain.transact(sender, tx)
+        if receipt.status is not TxStatus.SUCCESS:
+            raise ReachCallError(receipt)
+        return OpResult(value=_decode_avm_return(function, receipt.return_value), receipts=[receipt])
+
+    # -- views ------------------------------------------------------------------
+
+    def view(self, deployed: DeployedContract, name: str) -> Any:
+        """Evaluate a View against live chain state (no transaction)."""
+        function = deployed.compiled.ir.view_exprs.get(name)
+        if function is None:
+            raise ReachRuntimeError(f"unknown view {name!r}")
+        reader = _StateReader(self, deployed)
+        return evaluate_pure(function, reader)
+
+    def contract_balance(self, deployed: DeployedContract) -> int:
+        """The contract's *spendable* balance.
+
+        On Algorand the application account keeps a 0.1 ALGO minimum
+        balance that the program can never pay out; ``balance()``
+        reports what is actually available, matching the EVM semantics.
+        """
+        if self.family == "evm":
+            return self.chain.balance_of(deployed.ref)
+        from repro.chain.algorand.chain import MIN_BALANCE
+
+        total = self.chain.balance_of(self.chain.app_address(int(deployed.ref)))
+        return max(total - MIN_BALANCE, 0)
+
+
+def _decode_avm_return(function: IRFunction, raw: Any) -> Any:
+    if function.ret_kind is None or raw is None:
+        return None
+    if function.ret_kind == "uint":
+        return int.from_bytes(raw, "big") if isinstance(raw, bytes) else int(raw)
+    if isinstance(raw, bytes):
+        return raw.decode("utf-8", errors="replace")
+    return raw
+
+
+class _StateReader:
+    """Uniform read access to contract state for view evaluation."""
+
+    def __init__(self, client: ReachClient, deployed: DeployedContract):
+        self.client = client
+        self.deployed = deployed
+
+    def get_global(self, name: str) -> Any:
+        key = b"g:" + name.encode()
+        if self.client.family == "evm":
+            contract = self.client.chain.contracts[self.deployed.ref]
+            return contract.storage.get(key, 0)
+        app = self.client.chain.apps[int(self.deployed.ref)]
+        return app.global_state.get(key, 0)
+
+    def balance(self) -> int:
+        return self.client.contract_balance(self.deployed)
+
+    def map_get(self, slot: int, key: int) -> Any:
+        if self.client.family == "evm":
+            from repro.crypto.hashing import sha256
+
+            contract = self.client.chain.contracts[self.deployed.ref]
+            storage_key = sha256(int(slot).to_bytes(32, "big") + int(key).to_bytes(32, "big"))
+            value = contract.storage.get(storage_key, 0)
+            return None if value == 0 else value
+        app = self.client.chain.apps[int(self.deployed.ref)]
+        box_name = f"m{slot}:".encode() + int(key).to_bytes(8, "big")
+        return app.boxes.get(box_name)
+
+
+def evaluate_pure(function: IRFunction, reader: _StateReader) -> Any:
+    """Interpret a pure (view) IR function against a state reader."""
+    stack: list[Any] = []
+    labels = function.label_targets()
+    pc = 0
+    while pc < len(function.instrs):
+        irop = function.instrs[pc]
+        op, arg = irop.op, irop.arg
+        if op == "PUSH":
+            stack.append(arg)
+        elif op == "POP":
+            stack.pop()
+        elif op == "GLOAD":
+            stack.append(reader.get_global(arg))
+        elif op == "BALANCE":
+            stack.append(reader.balance())
+        elif op == "MGETOR":
+            slot, kind = arg
+            key = stack.pop()
+            default = stack.pop()
+            value = reader.map_get(slot, key)
+            if value is None:
+                stack.append(default)
+            elif kind == "uint" and isinstance(value, bytes):
+                stack.append(int.from_bytes(value, "big"))
+            elif isinstance(value, bytes):
+                stack.append(value.decode("utf-8", errors="replace"))
+            else:
+                stack.append(value)
+        elif op == "MHAS":
+            key = stack.pop()
+            stack.append(1 if reader.map_get(arg, key) is not None else 0)
+        elif op in ("ADD", "SUB", "MUL", "DIV", "MOD", "LT", "GT", "LE", "GE", "EQ", "AND", "OR"):
+            right = stack.pop()
+            left = stack.pop()
+            stack.append(_binop(op, left, right))
+        elif op == "NOT":
+            stack.append(1 if not stack.pop() else 0)
+        elif op == "JUMP":
+            pc = labels[arg]
+            continue
+        elif op == "JUMPF":
+            if not stack.pop():
+                pc = labels[arg]
+                continue
+        elif op == "LABEL":
+            pass
+        elif op == "RET":
+            count, _kind = arg
+            return stack.pop() if count else None
+        else:
+            raise ReachRuntimeError(f"op {op} is not pure; views cannot use it")
+        pc += 1
+    return None
+
+
+def _binop(op: str, left: Any, right: Any) -> Any:
+    if op == "EQ":
+        return 1 if left == right else 0
+    table = {
+        "ADD": lambda: left + right,
+        "SUB": lambda: left - right,
+        "MUL": lambda: left * right,
+        "DIV": lambda: left // right if right else 0,
+        "MOD": lambda: left % right if right else 0,
+        "LT": lambda: 1 if left < right else 0,
+        "GT": lambda: 1 if left > right else 0,
+        "LE": lambda: 1 if left <= right else 0,
+        "GE": lambda: 1 if left >= right else 0,
+        "AND": lambda: 1 if (left and right) else 0,
+        "OR": lambda: 1 if (left or right) else 0,
+    }
+    return table[op]()

@@ -1,0 +1,54 @@
+"""The JS-standard-library work-alike the frontends use (section 4.2).
+
+``newTestAccount``, ``parseCurrency``, ``formatAddress`` and friends --
+the helpers the thesis's ``index.mjs`` frontend and Python test-suite
+call through the RPC server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import tagged_hash
+from repro.chain.base import Account, BaseChain
+
+
+@dataclass
+class ReachStdlib:
+    """Connector-aware standard library bound to one chain."""
+
+    chain: BaseChain
+
+    def parse_currency(self, amount: float) -> int:
+        """Whole tokens -> base units (``parseCurrency(0.5)``)."""
+        if amount < 0:
+            raise ValueError("currency amounts cannot be negative")
+        return int(round(amount * self.chain.profile.base_unit))
+
+    def format_currency(self, amount: int, decimals: int = 4) -> str:
+        """Base units -> display string (``formatCurrency``)."""
+        value = amount / self.chain.profile.base_unit
+        return f"{value:.{decimals}f}"
+
+    def format_address(self, account: Account | str) -> str:
+        """Canonical display form of an address (``formatAddress``)."""
+        return account.address if isinstance(account, Account) else str(account)
+
+    def new_test_account(self, funding_tokens: float = 100.0) -> Account:
+        """A fresh faucet-funded account (``newTestAccount``)."""
+        return self.chain.create_account(funding=self.parse_currency(funding_tokens))
+
+    def new_account_from_secret(self, passphrase: str, funding_tokens: float = 0.0) -> Account:
+        """Deterministic account from a mnemonic (``newAccountFromMnemonic``)."""
+        seed = tagged_hash("repro/mnemonic", passphrase.encode())
+        funding = self.parse_currency(funding_tokens) if funding_tokens else 0
+        return self.chain.create_account(seed=seed, funding=funding)
+
+    def balance_of(self, account: Account | str) -> int:
+        """Current balance in base units (``balanceOf``)."""
+        address = account.address if isinstance(account, Account) else account
+        return self.chain.balance_of(address)
+
+    def connector(self) -> str:
+        """The connector name: ``ETH``-like or ``ALGO``-like."""
+        return "ETH" if self.chain.profile.family == "evm" else "ALGO"

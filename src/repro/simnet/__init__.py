@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation kernel.
+
+The thesis measured wall-clock latencies against live testnets.  We
+replace the testnets with in-process chain simulators driven by this
+kernel: a simulated clock, an event queue, and calibrated latency /
+congestion models.  Everything is seeded, so benchmark runs are
+reproducible bit-for-bit.
+"""
+
+from repro.simnet.clock import SimClock
+from repro.simnet.events import EventQueue, ScheduledEvent
+from repro.simnet.latency import CongestionProcess, LatencyModel
+
+__all__ = [
+    "SimClock",
+    "EventQueue",
+    "ScheduledEvent",
+    "LatencyModel",
+    "CongestionProcess",
+]

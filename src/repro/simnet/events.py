@@ -1,0 +1,100 @@
+"""Event queue for the discrete-event kernel.
+
+A minimal but complete priority-queue scheduler: events carry a fire
+time, a callback, and a stable sequence number so simultaneous events
+fire in scheduling order (determinism).  Events can be cancelled, which
+the chain simulators use for re-orged proposals and expired timeouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simnet.clock import SimClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A queue entry; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when it comes due."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic future-event list bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at an absolute simulated ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ValueError("cannot schedule an event in the past")
+        event = ScheduledEvent(time=timestamp, sequence=next(self._sequence), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> ScheduledEvent | None:
+        """Fire the earliest pending event, advancing the clock to it.
+
+        Returns the fired event, or None if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            return event
+        return None
+
+    def run_until(self, timestamp: float) -> int:
+        """Fire every event due at or before ``timestamp``; return the count.
+
+        The clock ends exactly at ``timestamp`` even if the last event
+        fired earlier (idle time passes too).
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > timestamp:
+                break
+            if self.step() is not None:
+                fired += 1
+        self.clock.advance_to(timestamp)
+        return fired
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Fire events until none remain; guard against runaway loops."""
+        fired = 0
+        while len(self) > 0:
+            if fired >= max_events:
+                raise RuntimeError("event budget exhausted; likely a self-rescheduling loop")
+            if self.step() is not None:
+                fired += 1
+        return fired

@@ -1,0 +1,105 @@
+"""Latency and congestion models.
+
+The thesis attributes its measured latency profiles to three effects:
+
+- block time (a transaction waits for the next block);
+- fee-market congestion (busy networks delay / reprice transactions,
+  section 1.4.1.3 and the Goerli/Polygon discussion in 5.1);
+- network propagation jitter.
+
+:class:`LatencyModel` provides seeded lognormal propagation jitter and
+:class:`CongestionProcess` provides a mean-reverting utilization process
+that the EVM fee market and the inclusion delays consume.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One sampled delay, kept with its components for diagnostics."""
+
+    total: float
+    base: float
+    jitter: float
+
+
+class LatencyModel:
+    """Seeded lognormal jitter around a base propagation delay."""
+
+    def __init__(self, base: float, sigma: float, seed: int = 0):
+        if base < 0:
+            raise ValueError("base delay must be non-negative")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.base = base
+        self.sigma = sigma
+        self._rng = random.Random(seed)
+
+    def sample(self) -> LatencySample:
+        """Draw one propagation delay."""
+        if self.sigma == 0:
+            return LatencySample(total=self.base, base=self.base, jitter=0.0)
+        jitter = self._rng.lognormvariate(0.0, self.sigma) - 1.0
+        jitter = max(jitter, -0.5) * self.base
+        total = max(self.base + jitter, 0.0)
+        return LatencySample(total=total, base=self.base, jitter=jitter)
+
+
+class CongestionProcess:
+    """Mean-reverting network utilization in [0, 1].
+
+    A discretized Ornstein-Uhlenbeck process: each step pulls the level
+    back toward ``mean`` and adds seeded Gaussian noise.  The EVM fee
+    market maps utilization > 0.5 to base-fee growth (EIP-1559) and the
+    inclusion model maps high utilization to extra waiting blocks --
+    which is precisely how the thesis explains Goerli's spikes.
+    """
+
+    def __init__(self, mean: float, volatility: float, reversion: float = 0.25, seed: int = 0):
+        if not 0.0 <= mean <= 1.0:
+            raise ValueError("mean utilization must be within [0, 1]")
+        if volatility < 0:
+            raise ValueError("volatility must be non-negative")
+        if not 0.0 < reversion <= 1.0:
+            raise ValueError("reversion must be in (0, 1]")
+        self.mean = mean
+        self.volatility = volatility
+        self.reversion = reversion
+        self._rng = random.Random(seed)
+        self._level = mean
+
+    @property
+    def level(self) -> float:
+        """Current utilization in [0, 1]."""
+        return self._level
+
+    def step(self) -> float:
+        """Advance one block and return the new utilization."""
+        noise = self._rng.gauss(0.0, self.volatility)
+        self._level += self.reversion * (self.mean - self._level) + noise
+        self._level = min(max(self._level, 0.0), 1.0)
+        return self._level
+
+    def extra_inclusion_blocks(self) -> int:
+        """How many extra blocks a normal-fee transaction waits right now.
+
+        Smoothly increasing in utilization; at the calm mean it is
+        usually zero, under heavy congestion it grows to several blocks.
+        """
+        pressure = max(self._level - 0.55, 0.0)
+        expected = math.expm1(4.0 * pressure)
+        # Sample a Poisson-ish integer via the exponential CDF trick.
+        extra = 0
+        budget = self._rng.random()
+        probability = math.exp(-expected)
+        cumulative = probability
+        while cumulative < budget and extra < 20:
+            extra += 1
+            probability *= expected / extra
+            cumulative += probability
+        return extra

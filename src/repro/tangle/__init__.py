@@ -1,0 +1,14 @@
+"""An IOTA-style Tangle: the feeless data ledger of the related work.
+
+Thesis section 1.7: "Zichichi et al. proposed ... Distributed Ledger
+Technology and Distributed File Storage to store and certify
+crowdsensed information coming from vehicles on the road.  They used
+IOTA ledger to store the data while Ethereum was utilized to execute
+smart contracts."  This package provides that IOTA-like substrate: a
+transaction DAG with tip selection by weighted random walk, a small
+proof-of-work per message, zero fees, and indexation-based retrieval.
+"""
+
+from repro.tangle.tangle import Tangle, TangleError, TangleTransaction
+
+__all__ = ["Tangle", "TangleError", "TangleTransaction"]

@@ -1,0 +1,167 @@
+"""The Tangle: a feeless transaction DAG with MCMC tip selection.
+
+Core IOTA mechanics, faithfully miniaturized:
+
+- every transaction approves **two** previous transactions (branch and
+  trunk), chosen by a seeded weighted random walk from an old anchor
+  toward the tips (heavier cumulative weight attracts the walk);
+- issuing requires a small **proof of work** (a nonce giving the
+  transaction hash a number of leading zero bits) instead of a fee;
+- a transaction is *confirmed* once its cumulative weight (itself plus
+  all transitive approvers) passes a threshold;
+- data payloads carry an **index** for retrieval (IOTA indexation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256
+
+GENESIS_ID = "tangle-genesis"
+
+
+class TangleError(Exception):
+    """Malformed attachment or look-up."""
+
+
+@dataclass(frozen=True)
+class TangleTransaction:
+    """One message in the Tangle."""
+
+    tx_id: str
+    branch: str
+    trunk: str
+    issuer: str
+    index: str
+    payload: bytes
+    nonce: int
+    timestamp: float = 0.0
+
+
+@dataclass
+class Tangle:
+    """The DAG plus attachment, confirmation and retrieval."""
+
+    pow_difficulty_bits: int = 8
+    seed: int = 0
+    transactions: dict[str, TangleTransaction] = field(default_factory=dict)
+    approvers: dict[str, list[str]] = field(default_factory=dict)
+    index_registry: dict[str, list[str]] = field(default_factory=dict)
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        if GENESIS_ID not in self.transactions:
+            genesis = TangleTransaction(
+                tx_id=GENESIS_ID, branch=GENESIS_ID, trunk=GENESIS_ID,
+                issuer="genesis", index="", payload=b"", nonce=0,
+            )
+            self.transactions[GENESIS_ID] = genesis
+            self.approvers[GENESIS_ID] = []
+
+    # -- tip selection ------------------------------------------------------------
+
+    def tips(self) -> list[str]:
+        """Transactions not yet approved by anyone."""
+        unapproved = [tx_id for tx_id, approver_list in self.approvers.items() if not approver_list]
+        return sorted(unapproved)
+
+    def _random_walk(self) -> str:
+        """Weighted random walk from the genesis toward a tip (MCMC).
+
+        At each step the walk moves to one of the current transaction's
+        approvers, weighted by cumulative weight -- heavy branches
+        attract traffic, which is how the Tangle converges.
+        """
+        current = GENESIS_ID
+        while True:
+            candidates = self.approvers[current]
+            if not candidates:
+                return current
+            weights = [self.cumulative_weight(candidate) for candidate in candidates]
+            current = self._rng.choices(candidates, weights=weights, k=1)[0]
+
+    def select_tips(self) -> tuple[str, str]:
+        """Two (possibly equal, as in real IOTA) walk results."""
+        return self._random_walk(), self._random_walk()
+
+    # -- attachment ---------------------------------------------------------------
+
+    def _solve_pow(self, body: bytes) -> tuple[int, str]:
+        """Find a nonce giving the hash ``pow_difficulty_bits`` zero bits."""
+        nonce = 0
+        while True:
+            digest = sha256(body, nonce.to_bytes(8, "big"))
+            if int.from_bytes(digest[:4], "big") >> (32 - self.pow_difficulty_bits) == 0:
+                return nonce, digest.hex()
+            nonce += 1
+
+    def attach(self, issuer: str, payload: bytes, index: str = "", timestamp: float = 0.0) -> TangleTransaction:
+        """Issue a (feeless) message: select tips, do the PoW, attach."""
+        if len(payload) > 64 * 1024:
+            raise TangleError("payload exceeds the message size limit")
+        branch, trunk = self.select_tips()
+        body = b"|".join([branch.encode(), trunk.encode(), issuer.encode(), index.encode(), payload])
+        nonce, tx_id = self._solve_pow(body)
+        transaction = TangleTransaction(
+            tx_id=tx_id, branch=branch, trunk=trunk, issuer=issuer,
+            index=index, payload=payload, nonce=nonce, timestamp=timestamp,
+        )
+        self.transactions[tx_id] = transaction
+        self.approvers[tx_id] = []
+        for approved in {branch, trunk}:
+            self.approvers[approved].append(tx_id)
+        if index:
+            self.index_registry.setdefault(index, []).append(tx_id)
+        return transaction
+
+    def verify_pow(self, tx_id: str) -> bool:
+        """Re-check a transaction's proof of work."""
+        transaction = self.transactions.get(tx_id)
+        if transaction is None or tx_id == GENESIS_ID:
+            return tx_id == GENESIS_ID
+        body = b"|".join(
+            [
+                transaction.branch.encode(),
+                transaction.trunk.encode(),
+                transaction.issuer.encode(),
+                transaction.index.encode(),
+                transaction.payload,
+            ]
+        )
+        digest = sha256(body, transaction.nonce.to_bytes(8, "big"))
+        return (
+            digest.hex() == tx_id
+            and int.from_bytes(digest[:4], "big") >> (32 - self.pow_difficulty_bits) == 0
+        )
+
+    # -- confirmation -----------------------------------------------------------------
+
+    def cumulative_weight(self, tx_id: str) -> int:
+        """The transaction plus every transitive approver."""
+        if tx_id not in self.transactions:
+            raise TangleError(f"unknown transaction {tx_id}")
+        seen: set[str] = set()
+        stack = [tx_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.approvers[current])
+        return len(seen)
+
+    def is_confirmed(self, tx_id: str, threshold: int = 5) -> bool:
+        """Confirmed once enough later traffic approves it."""
+        return self.cumulative_weight(tx_id) >= threshold
+
+    # -- retrieval ---------------------------------------------------------------------
+
+    def fetch_index(self, index: str) -> list[TangleTransaction]:
+        """All messages filed under an index, in attachment order."""
+        return [self.transactions[tx_id] for tx_id in self.index_registry.get(index, [])]
+
+    def __len__(self) -> int:
+        return len(self.transactions) - 1  # genesis excluded

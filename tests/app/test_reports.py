@@ -1,0 +1,95 @@
+"""Tests for the report model and the crowdsensing application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.reports import Report, ReportCategory
+from repro.app.application import AppError, CrowdsensingApp
+from repro.chain.ethereum import EthereumChain
+from repro.core.proof import ProofFailure
+from repro.core.system import ProofOfLocationSystem
+
+ETH = 10**18
+LAT, LNG = 44.4949, 11.3426
+
+
+class TestReportModel:
+    def test_roundtrip(self):
+        report = Report(
+            title="Hole",
+            description="Deep hole",
+            category=ReportCategory.ROAD_DAMAGE,
+            photo=b"\x89PNG...",
+            reporter_did=7,
+            olc="8FPH0000+",
+            timestamp=12.5,
+        )
+        parsed = Report.from_bytes(report.to_bytes())
+        assert parsed == report
+
+    def test_requires_title_and_description(self):
+        with pytest.raises(ValueError):
+            Report(title="  ", description="x")
+        with pytest.raises(ValueError):
+            Report(title="x", description="")
+
+    def test_categories_cover_thesis_examples(self):
+        names = {category.value for category in ReportCategory}
+        assert "illegally abandoned waste" in names
+        assert "road damage" in names
+        assert "crowded place" in names
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(min_size=1, max_size=60).filter(str.strip), st.binary(max_size=64))
+    def test_property_roundtrip(self, title, photo):
+        report = Report(title=title, description="d", photo=photo)
+        assert Report.from_bytes(report.to_bytes()) == report
+
+
+class TestCrowdsensingApp:
+    @pytest.fixture
+    def app(self):
+        chain = EthereumChain(profile="eth-devnet", seed=31, validator_count=4)
+        system = ProofOfLocationSystem(chain=chain, reward=1_000, max_users=2)
+        system.register_prover("p1", LAT, LNG, funding=ETH)
+        system.register_prover("p2", LAT, LNG, funding=ETH)
+        system.register_witness("w1", LAT, LNG + 0.0002)
+        system.register_verifier("v1", funding=ETH)
+        return CrowdsensingApp(system=system)
+
+    def test_unknown_prover_rejected(self, app):
+        with pytest.raises(AppError):
+            app.file_report("ghost", "w1", "T", "D")
+
+    def test_file_and_review(self, app):
+        filed1 = app.file_report("p1", "w1", "A", "a-desc", ReportCategory.WASTE)
+        filed2 = app.file_report("p2", "w1", "B", "b-desc", ReportCategory.VANDALISM)
+        assert filed1.submission.was_deploy
+        assert not filed2.submission.was_deploy
+        app.system.fund_contract("v1", filed1.olc, 2_000)
+        outcomes = app.review_location("v1", filed1.olc)
+        assert all(outcome is ProofFailure.OK for outcome in outcomes.values())
+        assert filed1.rewarded and filed2.rewarded
+
+    def test_review_skips_already_rewarded(self, app):
+        filed1 = app.file_report("p1", "w1", "A", "a")
+        app.file_report("p2", "w1", "B", "b")
+        app.system.fund_contract("v1", filed1.olc, 2_000)
+        first = app.review_location("v1", filed1.olc)
+        second = app.review_location("v1", filed1.olc)
+        assert len(first) == 2
+        assert second == {}
+
+    def test_reports_by_category(self, app):
+        filed1 = app.file_report("p1", "w1", "A", "a", ReportCategory.WASTE)
+        app.file_report("p2", "w1", "B", "b", ReportCategory.WASTE)
+        app.system.fund_contract("v1", filed1.olc, 2_000)
+        app.review_location("v1", filed1.olc)
+        grouped = app.reports_by_category(filed1.olc)
+        assert len(grouped[ReportCategory.WASTE]) == 2
+
+    def test_unverified_reports_not_displayed(self, app):
+        filed = app.file_report("p1", "w1", "A", "a")
+        # No review yet -> the hypercube has no CIDs for the location.
+        assert app.display_reports(filed.olc) == []

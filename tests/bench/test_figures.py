@@ -1,0 +1,46 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.bench.figures import figure_svg, render_svg_bars
+from repro.bench.simulation import run_simulation
+
+
+class TestSvgBars:
+    def test_valid_xml(self):
+        svg = render_svg_bars("t", [("u1", 10.0), ("u2", 20.0)])
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_bar_heights_proportional(self):
+        svg = render_svg_bars("t", [("a", 10.0), ("b", 20.0)])
+        root = ET.fromstring(svg)
+        rects = [r for r in root.iter("{http://www.w3.org/2000/svg}rect") if r.get("fill") != "white"]
+        heights = [float(r.get("height")) for r in rects]
+        assert heights[1] == pytest_approx(heights[0] * 2)
+
+    def test_highlighted_bars_use_deploy_color(self):
+        svg = render_svg_bars("t", [("dep", 5.0), ("att", 3.0)], highlight={"dep"})
+        assert "#c44444" in svg
+        assert "#4472c4" in svg
+
+    def test_empty_series(self):
+        svg = render_svg_bars("t", [])
+        assert "no data" in svg
+
+    def test_title_escaped(self):
+        svg = render_svg_bars("a < b & c", [("u", 1.0)])
+        assert "a &lt; b &amp; c" in svg
+        ET.fromstring(svg)  # still valid XML
+
+    def test_figure_svg_highlights_deployers(self):
+        result = run_simulation("algorand-testnet", 8, seed=5)
+        svg = figure_svg("fig", result)
+        assert svg.count("#c44444") == 2  # two deployers at 8 users
+        ET.fromstring(svg)
+
+
+def pytest_approx(value, rel=0.02):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

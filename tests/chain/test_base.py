@@ -1,0 +1,133 @@
+"""Tests for the shared chain machinery via the Ethereum devnet profile."""
+
+import pytest
+
+from repro.chain import InsufficientFunds, InvalidTransaction, TxStatus
+from repro.chain.ethereum import EthereumChain
+
+ETH = 10**18
+
+
+@pytest.fixture
+def chain() -> EthereumChain:
+    return EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+
+
+@pytest.fixture
+def alice(chain):
+    return chain.create_account(seed=b"alice", funding=10 * ETH)
+
+
+@pytest.fixture
+def bob(chain):
+    return chain.create_account(seed=b"bob", funding=1 * ETH)
+
+
+class TestAccounts:
+    def test_create_account_registers_key(self, chain, alice):
+        assert alice.address in chain.known_keys
+
+    def test_addresses_are_eth_style(self, alice):
+        assert alice.address.startswith("0x")
+        assert len(alice.address) == 42
+
+    def test_faucet_credits(self, chain, alice):
+        assert chain.balance_of(alice.address) == 10 * ETH
+
+    def test_faucet_rejects_negative(self, chain, alice):
+        with pytest.raises(ValueError):
+            chain.faucet(alice.address, -1)
+
+    def test_deterministic_account_from_seed(self, chain):
+        a = chain.create_account(seed=b"same")
+        b = chain.create_account(seed=b"same")
+        assert a.address == b.address
+
+
+class TestTransfers:
+    def test_simple_transfer(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=2 * ETH)
+        receipt = chain.transact(alice, tx)
+        assert receipt.status is TxStatus.SUCCESS
+        assert chain.balance_of(bob.address) == 3 * ETH
+
+    def test_transfer_charges_21000_gas(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        receipt = chain.transact(alice, tx)
+        assert receipt.gas_used == 21_000
+
+    def test_sender_pays_value_plus_fee(self, chain, alice, bob):
+        before = chain.balance_of(alice.address)
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=ETH)
+        receipt = chain.transact(alice, tx)
+        assert chain.balance_of(alice.address) == before - ETH - receipt.fee_paid
+
+    def test_unsigned_submit_rejected(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        with pytest.raises(InvalidTransaction):
+            chain.submit(tx)
+
+    def test_wrong_signer_rejected(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        with pytest.raises(InvalidTransaction):
+            chain.sign(bob, tx)
+
+    def test_tampered_after_signing_rejected(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        chain.sign(alice, tx)
+        tx.value = 5 * ETH
+        with pytest.raises(InvalidTransaction):
+            chain.submit(tx)
+
+    def test_insufficient_funds_rejected(self, chain, bob, alice):
+        tx = chain.make_transaction(bob, "transfer", to=alice.address, value=100 * ETH)
+        chain.sign(bob, tx)
+        with pytest.raises(InsufficientFunds):
+            chain.submit(tx)
+
+    def test_duplicate_submit_rejected(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        chain.sign(alice, tx)
+        chain.submit(tx)
+        with pytest.raises(InvalidTransaction):
+            chain.submit(tx)
+
+    def test_unknown_sender_rejected(self, chain):
+        stranger_chain = EthereumChain(profile="eth-devnet", seed=99, validator_count=4)
+        stranger = stranger_chain.create_account(seed=b"stranger", funding=ETH)
+        tx = stranger_chain.make_transaction(stranger, "transfer", to=stranger.address, value=1)
+        stranger_chain.sign(stranger, tx)
+        with pytest.raises(InvalidTransaction):
+            chain.submit(tx)
+
+
+class TestBlocks:
+    def test_genesis_block_exists(self, chain):
+        assert chain.height == 0
+        assert chain.blocks[0].parent_hash == "0" * 64
+
+    def test_blocks_chain_by_parent_hash(self, chain, alice, bob):
+        for _ in range(3):
+            tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+            chain.transact(alice, tx)
+        for previous, current in zip(chain.blocks, chain.blocks[1:]):
+            assert current.parent_hash == previous.block_hash
+
+    def test_receipt_latency_positive(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        receipt = chain.transact(alice, tx)
+        assert receipt.latency is not None
+        assert receipt.latency > 0
+
+    def test_proposer_is_a_validator(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        chain.transact(alice, tx)
+        proposers = {block.proposer for block in chain.blocks[1:]}
+        validator_addresses = set(chain.validators.validators)
+        assert proposers <= validator_addresses
+
+    def test_included_transactions_in_merkle_root(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        receipt = chain.transact(alice, tx)
+        block = chain.blocks[receipt.block_number]
+        assert any(t.txid == receipt.txid for t in block.transactions)

@@ -1,0 +1,140 @@
+"""Tests for both consensus engines: PoS validators and PPoS sortition."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.vrf import VRFKeyPair
+from repro.chain.algorand.consensus import (
+    Credential,
+    Sortition,
+    honest_majority_bound,
+    sortition_seats,
+)
+from repro.chain.ethereum.consensus import ValidatorSet
+
+ETH = 10**18
+
+
+class TestValidatorSet:
+    @pytest.fixture
+    def validators(self):
+        vs = ValidatorSet(stake_requirement=32 * ETH)
+        for i in range(10):
+            vs.register(f"0xval{i}", 32 * ETH)
+        return vs
+
+    def test_stake_requirement_enforced(self):
+        vs = ValidatorSet(stake_requirement=32 * ETH)
+        with pytest.raises(ValueError):
+            vs.register("0xpoor", 31 * ETH)
+
+    def test_duplicate_registration_rejected(self, validators):
+        with pytest.raises(ValueError):
+            validators.register("0xval0", 32 * ETH)
+
+    def test_proposer_selection_deterministic_per_seed(self, validators):
+        seed = sha256(b"slot-1")
+        a = validators.select_proposer(seed).address
+        fresh = ValidatorSet(stake_requirement=32 * ETH)
+        for i in range(10):
+            fresh.register(f"0xval{i}", 32 * ETH)
+        b = fresh.select_proposer(seed).address
+        assert a == b
+
+    def test_proposer_varies_across_seeds(self, validators):
+        chosen = {validators.select_proposer(sha256(bytes([i]))).address for i in range(40)}
+        assert len(chosen) > 3
+
+    def test_committee_excludes_proposer(self, validators):
+        seed = sha256(b"slot")
+        proposer = validators.select_proposer(seed)
+        committee = validators.select_committee(seed, exclude=proposer.address)
+        assert proposer.address not in [v.address for v in committee]
+        assert len(committee) == validators.committee_size
+
+    def test_slashing_removes_from_duty(self, validators):
+        burned = validators.slash("0xval3")
+        assert burned == 32 * ETH
+        assert "0xval3" not in [v.address for v in validators.active()]
+        assert validators.slash("0xval3") == 0  # idempotent
+
+    def test_total_stake(self, validators):
+        assert validators.total_stake() == 10 * 32 * ETH
+        validators.slash("0xval0")
+        assert validators.total_stake() == 9 * 32 * ETH
+
+
+class TestSortitionSeats:
+    def test_zero_stake_gets_no_seats(self):
+        assert sortition_seats(b"\xff" * 32, 0, 100, 10) == 0
+
+    def test_whale_gets_multiple_seats(self):
+        # One account owning all stake must win ~expected seats.
+        seats = sortition_seats(b"\x80" + b"\x00" * 31, 1000, 1000, 10)
+        assert seats >= 5
+
+    def test_low_output_few_seats(self):
+        seats = sortition_seats(b"\x00" * 32, 10, 1000, 5)
+        assert seats == 0
+
+    def test_seats_monotone_in_output(self):
+        low = sortition_seats((10).to_bytes(16, "big") + b"\x00" * 16, 100, 1000, 10)
+        high = sortition_seats(b"\xff" * 32, 100, 1000, 10)
+        assert high >= low
+
+    def test_expected_seats_statistics(self):
+        # Across many pseudorandom draws the mean seat count for an account
+        # holding 10% of stake with expected committee 10 should be ~1.
+        total = 0
+        for i in range(300):
+            output = sha256(b"draw", bytes([i % 256]), bytes([i // 256]))
+            total += sortition_seats(output, 100, 1000, 10)
+        mean = total / 300
+        assert 0.5 < mean < 1.6
+
+
+class TestSortitionRounds:
+    @pytest.fixture
+    def sortition(self):
+        s = Sortition(expected_leaders=2.0, expected_committee=8.0)
+        for i in range(12):
+            s.register(f"ADDR{i}", VRFKeyPair.from_seed(f"p{i}".encode()), stake=1_000)
+        return s
+
+    def test_rounds_usually_certify(self, sortition):
+        certified = sum(
+            1 for r in range(30) if sortition.run_round(r, sha256(b"seed", bytes([r]))).certified
+        )
+        assert certified >= 25
+
+    def test_leader_credentials_verify(self, sortition):
+        for r in range(10):
+            seed = sha256(b"seed", bytes([r]))
+            outcome = sortition.run_round(r, seed)
+            if outcome.leader is not None:
+                assert sortition.verify_credential(outcome.leader, seed, r, role="leader")
+
+    def test_forged_credential_rejected(self, sortition):
+        seed = sha256(b"seed", b"\x01")
+        outcome = sortition.run_round(1, seed)
+        assert outcome.leader is not None
+        forged = Credential(address="ADDR0", proof=outcome.leader.proof, seats=outcome.leader.seats)
+        if outcome.leader.address != "ADDR0":
+            assert not sortition.verify_credential(forged, seed, 1, role="leader")
+
+    def test_leadership_rotates(self, sortition):
+        leaders = set()
+        for r in range(40):
+            outcome = sortition.run_round(r, sha256(b"rotate", bytes([r])))
+            if outcome.leader:
+                leaders.add(outcome.leader.address)
+        assert len(leaders) > 4
+
+    def test_register_rejects_zero_stake(self, sortition):
+        with pytest.raises(ValueError):
+            sortition.register("BROKE", VRFKeyPair.from_seed(b"broke"), stake=0)
+
+
+def test_honest_majority_bound():
+    assert honest_majority_bound(300) == 201
+    assert honest_majority_bound(299) > 299 * 2 / 3

@@ -1,0 +1,102 @@
+"""Tests for EVM storage refunds and code round-trip serialization."""
+
+import pytest
+
+from repro.chain.ethereum.evm import (
+    EVM,
+    EvmCode,
+    EvmContract,
+    Instr,
+    VMError,
+    deserialize_code,
+    serialize_code,
+)
+from repro.chain.ethereum.gas import DEFAULT_SCHEDULE
+
+
+def run(instrs, storage=None, gas_limit=10_000_000):
+    contract = EvmContract(address="0xc", code=EvmCode(instrs=instrs, methods={}))
+    if storage:
+        contract.storage.update(storage)
+    return EVM().execute(contract, entry=0, args=[], caller="0xa", value=0, gas_limit=gas_limit)
+
+
+class TestStorageRefunds:
+    def test_clearing_storage_earns_refund(self):
+        clearing = run(
+            [Instr("PUSH", b"k"), Instr("PUSH", 0), Instr("SSTORE"), Instr("STOP")],
+            storage={b"k": 42},
+        )
+        assert clearing.refund > 0
+
+    def test_refund_capped_at_fifth_of_gas(self):
+        result = run(
+            [Instr("PUSH", b"k"), Instr("PUSH", 0), Instr("SSTORE"), Instr("STOP")],
+            storage={b"k": 42},
+        )
+        # gas_used is post-refund; the refund can be at most 1/4 of it
+        # (refund <= pre/5  =>  refund <= post/4).
+        assert result.refund * 4 <= result.gas_used + 3
+
+    def test_no_refund_for_fresh_writes(self):
+        result = run([Instr("PUSH", b"k"), Instr("PUSH", 5), Instr("SSTORE"), Instr("STOP")])
+        assert result.refund == 0
+
+    def test_clearing_cheaper_than_setting(self):
+        setting = run([Instr("PUSH", b"k"), Instr("PUSH", 5), Instr("SSTORE"), Instr("STOP")])
+        clearing = run(
+            [Instr("PUSH", b"k"), Instr("PUSH", 0), Instr("SSTORE"), Instr("STOP")],
+            storage={b"k": 42},
+        )
+        assert clearing.gas_used < setting.gas_used
+
+    def test_refund_applies_on_return_too(self):
+        result = run(
+            [Instr("PUSH", b"k"), Instr("PUSH", 0), Instr("SSTORE"), Instr("PUSH", 1), Instr("RETURN", 1)],
+            storage={b"k": 42},
+        )
+        assert result.refund > 0
+        assert result.return_value == 1
+
+
+class TestCodeRoundTrip:
+    def test_serialize_deserialize_identity(self):
+        code = EvmCode(
+            instrs=[
+                Instr("PUSH", 42),
+                Instr("PUSH", b"\xde\xad"),
+                Instr("PUSH", "0xaddr"),
+                Instr("LOG", ("Event", 2)),
+                Instr("JUMPDEST"),
+                Instr("STOP"),
+            ],
+            methods={"m": 4},
+            init_entry=0,
+        )
+        blob = serialize_code(code)
+        rebuilt = deserialize_code(blob, code.methods, code.init_entry)
+        assert rebuilt.instrs == code.instrs
+        assert serialize_code(rebuilt) == blob
+
+    def test_rebuilt_code_executes_identically(self):
+        code = EvmCode(
+            instrs=[Instr("PUSH", 2), Instr("PUSH", 3), Instr("ADD"), Instr("RETURN", 1)],
+            methods={},
+        )
+        rebuilt = deserialize_code(serialize_code(code), {})
+        contract = EvmContract(address="0xc", code=rebuilt)
+        result = EVM().execute(contract, entry=0, args=[], caller="0xa", value=0, gas_limit=100_000)
+        assert result.return_value == 5
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises(VMError):
+            deserialize_code(b"\x00\x01not-json", {})
+
+    def test_pol_contract_roundtrips(self):
+        from repro.core.contract import build_pol_program
+        from repro.reach.compiler import compile_program
+
+        compiled = compile_program(build_pol_program())
+        blob = serialize_code(compiled.evm_code)
+        rebuilt = deserialize_code(blob, compiled.evm_code.methods, compiled.evm_code.init_entry)
+        assert rebuilt.instrs == compiled.evm_code.instrs

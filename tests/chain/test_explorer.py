@@ -1,0 +1,71 @@
+"""Tests for the block explorer (figure 3.1 view)."""
+
+import pytest
+
+from repro.chain.ethereum import EthereumChain
+from repro.chain.explorer import Explorer
+from repro.core.contract import build_pol_program, pol_record
+from repro.reach.compiler import compile_program
+from repro.reach.runtime import ReachClient
+
+ETH = 10**18
+
+
+@pytest.fixture
+def deployed_world():
+    chain = EthereumChain(profile="eth-devnet", seed=51, validator_count=4)
+    client = ReachClient(chain)
+    compiled = compile_program(build_pol_program(max_users=2, reward=1_000))
+    creator = chain.create_account(seed=b"c", funding=10 * ETH)
+    attacher = chain.create_account(seed=b"a", funding=10 * ETH)
+    verifier = chain.create_account(seed=b"v", funding=10 * ETH)
+    deployed = client.deploy(
+        compiled, creator, ["LOC", 1, pol_record("h", "s", creator.address, 1, "c1")]
+    )
+    deployed.attach_and_call(
+        "attacherAPI.insert_data", pol_record("h2", "s2", attacher.address, 2, "c2"), 2, sender=attacher
+    )
+    deployed.api("verifierAPI.insert_money", 5_000, sender=verifier, pay=5_000)
+    deployed.api("verifierAPI.verify", 2, attacher.address, sender=verifier)
+    return chain, deployed, creator, attacher, verifier
+
+
+class TestExplorer:
+    def test_contract_history_complete(self, deployed_world):
+        chain, deployed, creator, attacher, verifier = deployed_world
+        rows = Explorer(chain).transactions_for(deployed.ref)
+        # create + publish + handshake + insert + fund + verify = 6.
+        assert len(rows) == 6
+        senders = [row.sender for row in rows]
+        assert senders[0] == creator.address
+        assert attacher.address in senders
+        assert verifier.address in senders
+
+    def test_funding_transaction_carries_value(self, deployed_world):
+        chain, deployed, *_ = deployed_world
+        rows = Explorer(chain).transactions_for(deployed.ref)
+        assert any(row.value == 5_000 for row in rows)
+
+    def test_overview(self, deployed_world):
+        chain, deployed, creator, *_ = deployed_world
+        overview = Explorer(chain).contract_overview(deployed.ref)
+        assert overview["creator"] == creator.address
+        assert overview["transactions"] == 6
+        assert overview["balance"] == 4_000  # 5000 funded - 1000 reward
+
+    def test_render_lifecycle(self, deployed_world):
+        chain, deployed, *_ = deployed_world
+        text = Explorer(chain).render_lifecycle(deployed.ref)
+        assert deployed.ref in text
+        assert text.count("blk") == 6
+
+    def test_wallet_history(self, deployed_world):
+        chain, deployed, creator, *_ = deployed_world
+        rows = Explorer(chain).transactions_for(creator.address)
+        assert len(rows) == 2  # create + publish
+
+    def test_method_labels_distinguish_calls(self, deployed_world):
+        chain, deployed, *_ = deployed_world
+        rows = Explorer(chain).transactions_for(deployed.ref)
+        methods = {row.method for row in rows}
+        assert len(methods) >= 4  # create, publish, insert, fund/verify, transfer

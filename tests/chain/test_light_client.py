@@ -1,0 +1,61 @@
+"""Tests for light-client inclusion proofs via the explorer."""
+
+import pytest
+
+from repro.chain.base import ChainError
+from repro.chain.ethereum import EthereumChain
+from repro.chain.explorer import Explorer
+
+ETH = 10**18
+
+
+@pytest.fixture
+def world():
+    chain = EthereumChain(profile="eth-devnet", seed=231, validator_count=4)
+    alice = chain.create_account(seed=b"alice", funding=10 * ETH)
+    bob = chain.create_account(seed=b"bob", funding=10 * ETH)
+    txids = []
+    for index in range(5):
+        sender = alice if index % 2 == 0 else bob
+        tx = chain.make_transaction(sender, "transfer", to=sender.address, value=index)
+        receipt = chain.transact(sender, tx)
+        txids.append(receipt.txid)
+    return chain, Explorer(chain), txids
+
+
+class TestInclusionProofs:
+    def test_proof_verifies(self, world):
+        chain, explorer, txids = world
+        for txid in txids:
+            block_number, proof = explorer.inclusion_proof(txid)
+            assert explorer.verify_inclusion(txid, block_number, proof)
+
+    def test_proof_fails_for_other_tx(self, world):
+        chain, explorer, txids = world
+        block_number, proof = explorer.inclusion_proof(txids[0])
+        assert not explorer.verify_inclusion(txids[1], block_number, proof)
+
+    def test_proof_fails_against_wrong_block(self, world):
+        chain, explorer, txids = world
+        block_a, proof_a = explorer.inclusion_proof(txids[0])
+        block_b, _ = explorer.inclusion_proof(txids[1])
+        if block_a != block_b:
+            assert not explorer.verify_inclusion(txids[0], block_b, proof_a)
+
+    def test_unknown_tx_rejected(self, world):
+        chain, explorer, _ = world
+        with pytest.raises(ChainError):
+            explorer.inclusion_proof("deadbeef")
+
+    def test_out_of_range_block_rejected(self, world):
+        chain, explorer, txids = world
+        _, proof = explorer.inclusion_proof(txids[0])
+        assert not explorer.verify_inclusion(txids[0], 10_000, proof)
+
+    def test_proof_is_header_only(self, world):
+        """The proof verifies against the header commitment alone -- a
+        light client needs only block headers, not bodies."""
+        chain, explorer, txids = world
+        block_number, proof = explorer.inclusion_proof(txids[0])
+        header_root = chain.blocks[block_number].tx_root
+        assert proof.verify(txids[0].encode(), header_root)

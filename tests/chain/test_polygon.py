@@ -1,0 +1,75 @@
+"""Tests for the Polygon layer-2 chain and checkpointing."""
+
+import pytest
+
+from repro.chain import TxStatus
+from repro.chain.ethereum import EthereumChain
+from repro.chain.polygon import PolygonChain
+
+ETH = 10**18
+
+
+@pytest.fixture
+def polygon():
+    return PolygonChain(seed=9, validator_count=4, checkpoint_interval=8)
+
+
+class TestPolygonChain:
+    def test_uses_mumbai_profile(self, polygon):
+        assert polygon.profile.name == "polygon-mumbai"
+        assert polygon.profile.block_time == 2.0
+
+    def test_transfers_work(self, polygon):
+        alice = polygon.create_account(seed=b"alice", funding=10 * ETH)
+        bob = polygon.create_account(seed=b"bob")
+        tx = polygon.make_transaction(alice, "transfer", to=bob.address, value=ETH)
+        receipt = polygon.transact(alice, tx)
+        assert receipt.status is TxStatus.SUCCESS
+
+    def test_fees_cheaper_than_goerli(self, polygon):
+        goerli = EthereumChain(profile="goerli", seed=9, validator_count=4)
+        p_account = polygon.create_account(seed=b"x", funding=10 * ETH)
+        g_account = goerli.create_account(seed=b"x", funding=10 * ETH)
+        p_fee = polygon.transact(
+            p_account, polygon.make_transaction(p_account, "transfer", to=p_account.address, value=0)
+        ).fee_paid
+        g_fee = goerli.transact(
+            g_account, goerli.make_transaction(g_account, "transfer", to=g_account.address, value=0)
+        ).fee_paid
+        assert p_fee < g_fee
+
+    def test_checkpoints_emitted(self, polygon):
+        alice = polygon.create_account(seed=b"alice", funding=10 * ETH)
+        for _ in range(3):
+            tx = polygon.make_transaction(alice, "transfer", to=alice.address, value=0)
+            polygon.transact(alice, tx)
+        polygon.queue.run_until(polygon.queue.clock.now + 2.0 * 20)
+        assert polygon.checkpoints
+        assert polygon.checkpointed_height() > 0
+
+    def test_checkpoints_verify(self, polygon):
+        alice = polygon.create_account(seed=b"alice", funding=10 * ETH)
+        tx = polygon.make_transaction(alice, "transfer", to=alice.address, value=0)
+        polygon.transact(alice, tx)
+        polygon.queue.run_until(polygon.queue.clock.now + 2.0 * 20)
+        for index in range(len(polygon.checkpoints)):
+            assert polygon.verify_checkpoint(index)
+
+    def test_checkpoints_reference_l1(self):
+        l1 = EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+        l2 = PolygonChain(seed=2, validator_count=4, checkpoint_interval=4, l1=l1, queue=l1.queue)
+        alice = l2.create_account(seed=b"alice", funding=10 * ETH)
+        l1.start()
+        tx = l2.make_transaction(alice, "transfer", to=alice.address, value=0)
+        l2.transact(alice, tx)
+        l2.queue.run_until(l2.queue.clock.now + 30.0)
+        assert l2.checkpoints
+        assert all(cp.l1_block is not None for cp in l2.checkpoints)
+
+    def test_checkpoints_are_contiguous(self, polygon):
+        alice = polygon.create_account(seed=b"alice", funding=10 * ETH)
+        tx = polygon.make_transaction(alice, "transfer", to=alice.address, value=0)
+        polygon.transact(alice, tx)
+        polygon.queue.run_until(polygon.queue.clock.now + 2.0 * 40)
+        for previous, current in zip(polygon.checkpoints, polygon.checkpoints[1:]):
+            assert current.first_block == previous.last_block + 1

@@ -1,0 +1,53 @@
+"""Tests for the CA's Verifiable-Credential accreditation mode."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.core.actors import CertificationAuthority
+
+
+@pytest.fixture
+def authority():
+    ca = CertificationAuthority()
+    ca.enable_credentials(KeyPair.from_seed(b"ca-vc-mode"))
+    return ca
+
+
+WITNESS = KeyPair.from_seed(b"vc-mode-witness")
+
+
+class TestCredentialMode:
+    def test_registration_issues_credential(self, authority):
+        authority.register_witness(WITNESS.public, real_identity="walter")
+        assert authority.credential_for(WITNESS.public) is not None
+        assert authority.check_witness_credential(WITNESS.public)
+
+    def test_unregistered_key_has_no_credential(self, authority):
+        stranger = KeyPair.from_seed(b"stranger")
+        assert authority.credential_for(stranger.public) is None
+        assert not authority.check_witness_credential(stranger.public)
+
+    def test_revocation_kills_both_modes(self, authority):
+        authority.register_witness(WITNESS.public)
+        authority.accredit_verifier("vera")
+        assert WITNESS.public in authority.witness_list("vera")
+        authority.revoke_witness(WITNESS.public)
+        assert WITNESS.public not in authority.witness_list("vera")
+        assert not authority.check_witness_credential(WITNESS.public)
+
+    def test_credential_mode_off_by_default(self):
+        plain = CertificationAuthority()
+        plain.register_witness(WITNESS.public)
+        assert not plain.check_witness_credential(WITNESS.public)
+
+    def test_expired_credential_rejected(self, authority):
+        authority.register_witness(WITNESS.public)
+        far_future = 400.0 * 86_400.0  # past the default 365-day ttl
+        assert not authority.check_witness_credential(WITNESS.public, now=far_future)
+
+    def test_list_and_credential_modes_agree(self, authority):
+        authority.register_witness(WITNESS.public)
+        authority.accredit_verifier("vera")
+        in_list = WITNESS.public in authority.witness_list("vera")
+        by_credential = authority.check_witness_credential(WITNESS.public)
+        assert in_list and by_credential

@@ -1,0 +1,170 @@
+"""Tests for the paper's extension features.
+
+- the section 2.8 witness-reward strategy;
+- the section 2.7 pseudonym rotation;
+- verified-report persistence (gateway pinning);
+- the known limitation the thesis explicitly leaves open
+  (Prover-Witness collusion, section 2's caveat).
+"""
+
+import pytest
+
+from repro.chain.ethereum import EthereumChain
+from repro.core.proof import ProofFailure, ProofRequest, build_proof, identify_witness
+from repro.core.system import ProofOfLocationSystem
+from repro.ipfs import ContentNotAvailable
+
+ETH = 10**18
+LAT, LNG = 44.4949, 11.3426
+REWARD = 5_000
+WITNESS_REWARD = 1_500
+
+
+def build_system(witness_reward=0, seed=71, max_users=2):
+    chain = EthereumChain(profile="eth-devnet", seed=seed, validator_count=4)
+    system = ProofOfLocationSystem(
+        chain=chain, reward=REWARD, max_users=max_users, witness_reward=witness_reward
+    )
+    system.register_prover("anna", LAT, LNG, funding=ETH)
+    system.register_prover("bruno", LAT, LNG, funding=ETH)
+    system.register_witness("walter", LAT, LNG + 0.0002)
+    system.register_verifier("vera", funding=ETH)
+    return system
+
+
+def file_both(system):
+    """Anna deploys, Bruno attaches -> verify phase opens."""
+    request_a, proof_a, _ = system.request_location_proof("anna", "walter", b"report-a")
+    system.submit("anna", request_a, proof_a)
+    request_b, proof_b, _ = system.request_location_proof("bruno", "walter", b"report-b")
+    system.submit("bruno", request_b, proof_b)
+    return request_a.olc
+
+
+class TestWitnessReward:
+    def test_witness_paid_on_verification(self):
+        system = build_system(witness_reward=WITNESS_REWARD)
+        olc = file_both(system)
+        system.fund_contract("vera", olc, (REWARD + WITNESS_REWARD) * 2)
+        chain = system.chain
+        walter_before = chain.balance_of(system.accounts["walter"].address)
+        anna_before = chain.balance_of(system.accounts["anna"].address)
+        outcome = system.verify_and_reward("vera", olc, system.provers["anna"].did_uint)
+        assert outcome is ProofFailure.OK
+        assert chain.balance_of(system.accounts["anna"].address) == anna_before + REWARD
+        assert chain.balance_of(system.accounts["walter"].address) == walter_before + WITNESS_REWARD
+
+    def test_witness_reward_contract_verifies(self):
+        system = build_system(witness_reward=WITNESS_REWARD)
+        assert system.compiled.verification.ok
+        # The 3-argument verify API is in place.
+        verify = system.compiled.ir.functions["verifierAPI.verify"]
+        assert len(verify.params) == 3
+
+    def test_underfunded_contract_pays_nobody(self):
+        system = build_system(witness_reward=WITNESS_REWARD)
+        olc = file_both(system)
+        system.fund_contract("vera", olc, REWARD)  # not enough for both payouts
+        chain = system.chain
+        walter_before = chain.balance_of(system.accounts["walter"].address)
+        system.verify_and_reward("vera", olc, system.provers["anna"].did_uint)
+        assert chain.balance_of(system.accounts["walter"].address) == walter_before
+
+    def test_identify_witness(self):
+        system = build_system(witness_reward=WITNESS_REWARD)
+        request, proof, _ = system.request_location_proof("anna", "walter", b"r")
+        keys = system.authority.witness_list("vera")
+        signer = identify_witness(proof.hashed_proof_hex, proof.signature_hex, keys)
+        assert signer == system.witnesses["walter"].keypair.public
+        assert identify_witness("zz", "zz", keys) is None
+
+
+class TestPseudonymRotation:
+    def test_rotation_changes_did_and_wallet(self):
+        system = build_system()
+        old = system.provers["anna"]
+        old_address = system.accounts["anna"].address
+        rotated = system.rotate_identity("anna")
+        assert rotated.did != old.did
+        assert system.accounts["anna"].address != old_address
+        # The balance moved to the new pseudonym.
+        assert system.chain.balance_of(system.accounts["anna"].address) > 0
+
+    def test_old_did_stops_resolving(self):
+        system = build_system()
+        old_did = system.provers["anna"].did
+        system.rotate_identity("anna")
+        from repro.did.registry import DidResolutionError
+
+        with pytest.raises(DidResolutionError):
+            system.registry.resolve(old_did)
+
+    def test_rotated_prover_can_still_file(self):
+        system = build_system(seed=72)
+        system.rotate_identity("anna")
+        request, proof, _ = system.request_location_proof("anna", "walter", b"post-rotation")
+        outcome = system.submit("anna", request, proof)
+        assert outcome.was_deploy
+
+    def test_unknown_prover_rotation_rejected(self):
+        system = build_system()
+        from repro.core.system import SystemError_
+
+        with pytest.raises(SystemError_):
+            system.rotate_identity("ghost")
+
+
+class TestReportPersistence:
+    def test_verified_report_survives_uploader_gc(self):
+        system = build_system(seed=73)
+        olc = file_both(system)
+        system.fund_contract("vera", olc, REWARD * 2)
+        system.verify_and_reward("vera", olc, system.provers["anna"].did_uint)
+        # Anna's node garbage-collects everything it held.
+        anna_node = system.ipfs.nodes["anna"]
+        anna_node.pinned.clear()
+        anna_node.garbage_collect()
+        reports = system.display_reports(olc)
+        assert b"report-a" in reports[0]
+
+    def test_unverified_report_can_disappear(self):
+        system = build_system(seed=74)
+        request, proof, cid = system.request_location_proof("anna", "walter", b"ephemeral")
+        system.submit("anna", request, proof)
+        anna_node = system.ipfs.nodes["anna"]
+        anna_node.pinned.clear()
+        anna_node.garbage_collect()
+        with pytest.raises(ContentNotAvailable):
+            system.ipfs.get(cid)
+
+
+class TestKnownLimitations:
+    def test_prover_witness_collusion_succeeds_as_the_thesis_admits(self):
+        """Documented open problem: a *colluding* witness defeats the system.
+
+        "We did not focus on the Prover-Prover or Prover-Witness
+        collusions ... a reliable solution has not yet been proposed."
+        A registered witness that skips its local checks can sign a
+        location proof for a prover that is somewhere else entirely,
+        and the verifier (who only checks keys and hashes) accepts it.
+        """
+        system = build_system(seed=75)
+        anna = system.provers["anna"]
+        # Anna claims a location 300 km away; the colluding witness signs
+        # without running the proximity/authentication pipeline.
+        from repro.geo import encode
+
+        fake_olc = encode(LAT + 3.0, LNG + 3.0)
+        request = ProofRequest(did=anna.did_uint, olc=fake_olc, nonce=123_456, cid="cid-fake")
+        colluding_witness = system.witnesses["walter"]
+        forged = build_proof(request, colluding_witness.keypair)
+        outcome = system.verifiers["vera"].check_stored_record(
+            forged.hashed_proof_hex,
+            forged.signature_hex,
+            anna.did_uint,
+            fake_olc,
+            123_456,
+            "cid-fake",
+        )
+        # The attack SUCCEEDS -- faithfully reproducing the limitation.
+        assert outcome is ProofFailure.OK

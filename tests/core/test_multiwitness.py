@@ -1,0 +1,134 @@
+"""Tests for multi-witness (M-of-N) location proofs."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.chain.ethereum import EthereumChain
+from repro.core.actors import WitnessRefusal
+from repro.core.multiwitness import (
+    MultiWitnessError,
+    aggregate_proofs,
+    verify_multi,
+)
+from repro.core.proof import ProofFailure, ProofRequest, build_proof
+from repro.core.system import ProofOfLocationSystem, SystemError_
+
+ETH = 10**18
+LAT, LNG = 44.4949, 11.3426
+
+W1 = KeyPair.from_seed(b"mw-witness-1")
+W2 = KeyPair.from_seed(b"mw-witness-2")
+W3 = KeyPair.from_seed(b"mw-witness-3")
+PROVER = KeyPair.from_seed(b"mw-prover")
+CA_LIST = [W1.public, W2.public, W3.public]
+REQUEST = ProofRequest(did=7, olc="8FVC2222+22", nonce=99, cid="bcid")
+
+
+class TestAggregation:
+    def test_aggregate_shared_digest(self):
+        proofs = [build_proof(REQUEST, w) for w in (W1, W2)]
+        multi = aggregate_proofs(REQUEST, proofs)
+        assert multi.witness_count == 2
+        assert multi.hashed_proof == REQUEST.digest()
+
+    def test_mismatched_digest_rejected(self):
+        other = ProofRequest(did=8, olc="8FVC2222+22", nonce=99, cid="bcid")
+        with pytest.raises(MultiWitnessError):
+            aggregate_proofs(REQUEST, [build_proof(REQUEST, W1), build_proof(other, W2)])
+
+    def test_duplicate_witness_rejected(self):
+        with pytest.raises(MultiWitnessError):
+            aggregate_proofs(REQUEST, [build_proof(REQUEST, W1), build_proof(REQUEST, W1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MultiWitnessError):
+            aggregate_proofs(REQUEST, [])
+
+
+class TestThresholdVerification:
+    def test_threshold_met(self):
+        multi = aggregate_proofs(REQUEST, [build_proof(REQUEST, W1), build_proof(REQUEST, W2)])
+        outcome, count = verify_multi(multi, 7, "8FVC2222+22", 99, "bcid", CA_LIST, threshold=2)
+        assert outcome is ProofFailure.OK
+        assert count == 2
+
+    def test_single_colluder_fails_threshold(self):
+        # THE collusion mitigation: one colluding witness is no longer
+        # enough once the verifier requires two endorsements.
+        multi = aggregate_proofs(REQUEST, [build_proof(REQUEST, W1)])
+        outcome, count = verify_multi(multi, 7, "8FVC2222+22", 99, "bcid", CA_LIST, threshold=2)
+        assert outcome is not ProofFailure.OK
+        assert count == 1
+
+    def test_unlisted_witness_does_not_count(self):
+        rogue = KeyPair.from_seed(b"rogue")
+        multi = aggregate_proofs(REQUEST, [build_proof(REQUEST, W1), build_proof(REQUEST, rogue)])
+        outcome, count = verify_multi(multi, 7, "8FVC2222+22", 99, "bcid", CA_LIST, threshold=2)
+        assert count == 1
+        assert outcome is not ProofFailure.OK
+
+    def test_prover_self_endorsement_does_not_count(self):
+        multi = aggregate_proofs(REQUEST, [build_proof(REQUEST, W1), build_proof(REQUEST, PROVER)])
+        outcome, count = verify_multi(
+            multi, 7, "8FVC2222+22", 99, "bcid", CA_LIST + [PROVER.public],
+            threshold=2, prover_public=PROVER.public,
+        )
+        assert count == 1
+        assert outcome is not ProofFailure.OK
+
+    def test_wrong_location_detected(self):
+        multi = aggregate_proofs(REQUEST, [build_proof(REQUEST, W1), build_proof(REQUEST, W2)])
+        outcome, _ = verify_multi(multi, 7, "8FQF9222+22", 99, "bcid", CA_LIST, threshold=2)
+        assert outcome is ProofFailure.HASH_MISMATCH
+
+    def test_invalid_threshold_rejected(self):
+        multi = aggregate_proofs(REQUEST, [build_proof(REQUEST, W1)])
+        with pytest.raises(ValueError):
+            verify_multi(multi, 7, "8FVC2222+22", 99, "bcid", CA_LIST, threshold=0)
+
+
+class TestSystemIntegration:
+    @pytest.fixture
+    def system(self):
+        chain = EthereumChain(profile="eth-devnet", seed=161, validator_count=4)
+        system = ProofOfLocationSystem(chain=chain, reward=1_000, max_users=2)
+        system.register_prover("anna", LAT, LNG, funding=ETH)
+        system.register_witness("w1", LAT, LNG + 0.0002)
+        system.register_witness("w2", LAT + 0.0002, LNG)
+        system.register_witness("far", LAT + 1.0, LNG)
+        system.register_verifier("vera", funding=ETH)
+        return system
+
+    def test_collect_two_endorsements(self, system):
+        request, multi, cid = system.request_multi_witness_proof(
+            "anna", ["w1", "w2"], b"report", threshold=2
+        )
+        keys = system.authority.witness_list("vera")
+        outcome, count = verify_multi(
+            multi, request.did, request.olc, request.nonce, request.cid, keys, threshold=2
+        )
+        assert outcome is ProofFailure.OK
+        assert count == 2
+
+    def test_unreachable_witness_abstains(self, system):
+        # "far" cannot endorse; with threshold 1 the proof still forms.
+        request, multi, _ = system.request_multi_witness_proof(
+            "anna", ["w1", "far"], b"report", threshold=1
+        )
+        assert multi.witness_count == 1
+
+    def test_threshold_unmet_raises(self, system):
+        with pytest.raises(SystemError_):
+            system.request_multi_witness_proof("anna", ["w1", "far"], b"report", threshold=2)
+
+    def test_endorser_replay_refused(self, system):
+        request, _, _ = system.request_multi_witness_proof("anna", ["w1", "w2"], b"report", threshold=2)
+        witness = system.witnesses["w2"]
+        with pytest.raises(WitnessRefusal):
+            witness.endorse(
+                request,
+                prover_device="anna",
+                channel=system.channel,
+                registry=system.registry,
+                prover_keypair=system.provers["anna"].keypair,
+            )

@@ -1,0 +1,87 @@
+"""Tests for the privacy-analysis module (section 2.7)."""
+
+import random
+
+import pytest
+
+from repro.chain.ethereum import EthereumChain
+from repro.core.privacy import anonymity_sets, authority_knowledge, observer_view
+from repro.core.system import ProofOfLocationSystem
+
+ETH = 10**18
+LAT, LNG = 44.4949, 11.3426
+
+
+@pytest.fixture
+def populated_system():
+    chain = EthereumChain(profile="eth-devnet", seed=181, validator_count=4)
+    system = ProofOfLocationSystem(chain=chain, reward=1_000, max_users=2)
+    system.register_prover("anna", LAT, LNG, funding=ETH)
+    system.register_prover("bruno", LAT, LNG, funding=ETH)
+    system.register_witness("walter", LAT, LNG + 0.0002)
+    system.register_verifier("vera", funding=ETH)
+    for name in ("anna", "bruno"):
+        request, proof, _ = system.request_location_proof(name, "walter", f"r-{name}".encode())
+        system.submit(name, request, proof)
+    return system
+
+
+class TestAnonymitySets:
+    def test_coarse_cells_give_large_sets(self):
+        rng = random.Random(3)
+        crowd = [(44.49 + rng.uniform(0, 0.005), 11.34 + rng.uniform(0, 0.005)) for _ in range(100)]
+        coarse = anonymity_sets(crowd, digits=6)
+        fine = anonymity_sets(crowd, digits=11)
+        assert coarse.k_anonymous >= fine.k_anonymous
+        assert coarse.cells <= fine.cells
+
+    def test_single_cell_at_city_precision(self):
+        crowd = [(44.4941, 11.3421), (44.4942, 11.3423), (44.4943, 11.3425)]
+        summary = anonymity_sets(crowd, digits=4)
+        assert summary.cells == 1
+        assert summary.k_anonymous == 3
+
+    def test_mean_set_consistency(self):
+        crowd = [(44.49, 11.34), (44.49, 11.34), (45.0, 12.0), (45.0, 12.0)]
+        summary = anonymity_sets(crowd, digits=8)
+        assert summary.mean_set == pytest.approx(len(crowd) / summary.cells)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity_sets([], digits=10)
+
+
+class TestObserverView:
+    def test_observer_links_wallets_to_areas(self, populated_system):
+        view = observer_view(populated_system)
+        assert len(view.wallet_to_area) == 2
+        anna_wallet = populated_system.accounts["anna"].address
+        assert view.wallet_to_area[anna_wallet] == populated_system.provers["anna"].olc
+
+    def test_observer_links_dids_to_wallets(self, populated_system):
+        view = observer_view(populated_system)
+        anna = populated_system.provers["anna"]
+        assert view.did_to_wallet[anna.did_uint] == populated_system.accounts["anna"].address
+
+    def test_observer_learns_no_real_identity(self, populated_system):
+        assert observer_view(populated_system).real_identities_learned == 0
+
+    def test_rotation_breaks_observer_linkage(self, populated_system):
+        view_before = observer_view(populated_system)
+        old_wallet = populated_system.accounts["anna"].address
+        populated_system.rotate_identity("anna")
+        # The new pseudonym shares nothing with the old on-chain trail.
+        new_wallet = populated_system.accounts["anna"].address
+        assert new_wallet != old_wallet
+        assert new_wallet not in view_before.wallet_to_area
+
+
+class TestAuthorityKnowledge:
+    def test_ca_knows_witnesses_only(self, populated_system):
+        knowledge = authority_knowledge(populated_system)
+        assert knowledge.witness_identities_known == 1  # walter
+        assert knowledge.prover_identities_known == 0
+
+    def test_far_below_applaus_surface(self, populated_system):
+        knowledge = authority_knowledge(populated_system)
+        assert knowledge.witness_identities_known < knowledge.applaus_equivalent_links

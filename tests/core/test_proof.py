@@ -1,0 +1,125 @@
+"""Tests for location-proof construction and verification (section 2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.core.proof import (
+    ProofFailure,
+    ProofRequest,
+    build_proof,
+    verify_proof,
+    verify_record,
+)
+
+WITNESS = KeyPair.from_seed(b"witness-1")
+OTHER_WITNESS = KeyPair.from_seed(b"witness-2")
+PROVER = KeyPair.from_seed(b"prover")
+WITNESS_LIST = [WITNESS.public, OTHER_WITNESS.public]
+
+REQUEST = ProofRequest(did=42, olc="8FVC2222+22", nonce=1234, cid="bcidexample")
+
+
+class TestBuildProof:
+    def test_proof_signs_the_request_digest(self):
+        proof = build_proof(REQUEST, WITNESS)
+        assert proof.hashed_proof == REQUEST.digest()
+        assert WITNESS.public.verify(proof.hashed_proof, proof.signature)
+
+    def test_digest_binds_every_field(self):
+        base = REQUEST.digest()
+        assert ProofRequest(43, "8FVC2222+22", 1234, "bcidexample").digest() != base
+        assert ProofRequest(42, "8FVC2222+23", 1234, "bcidexample").digest() != base
+        assert ProofRequest(42, "8FVC2222+22", 1235, "bcidexample").digest() != base
+        assert ProofRequest(42, "8FVC2222+22", 1234, "bcidother").digest() != base
+
+    def test_olc_case_insensitive(self):
+        lower = ProofRequest(42, "8fvc2222+22", 1234, "c")
+        upper = ProofRequest(42, "8FVC2222+22", 1234, "c")
+        assert lower.digest() == upper.digest()
+
+
+class TestVerifyProof:
+    def test_valid_proof_accepted(self):
+        proof = build_proof(REQUEST, WITNESS)
+        outcome = verify_proof(proof, 42, "8FVC2222+22", 1234, "bcidexample", WITNESS_LIST)
+        assert outcome is ProofFailure.OK
+
+    def test_unknown_witness_rejected(self):
+        rogue = KeyPair.from_seed(b"rogue")
+        proof = build_proof(REQUEST, rogue)
+        outcome = verify_proof(proof, 42, "8FVC2222+22", 1234, "bcidexample", WITNESS_LIST)
+        assert outcome is ProofFailure.UNKNOWN_WITNESS
+
+    def test_self_signed_rejected(self):
+        proof = build_proof(REQUEST, PROVER)
+        outcome = verify_proof(
+            proof, 42, "8FVC2222+22", 1234, "bcidexample", WITNESS_LIST + [PROVER.public],
+            prover_public=PROVER.public,
+        )
+        assert outcome is ProofFailure.SELF_SIGNED
+
+    def test_wrong_location_rejected(self):
+        # Alice is in Bologna but files under Milan (the section 2.3.1.1 scenario).
+        proof = build_proof(REQUEST, WITNESS)
+        outcome = verify_proof(proof, 42, "8FQF9222+22", 1234, "bcidexample", WITNESS_LIST)
+        assert outcome is ProofFailure.HASH_MISMATCH
+
+    def test_swapped_cid_rejected(self):
+        proof = build_proof(REQUEST, WITNESS)
+        outcome = verify_proof(proof, 42, "8FVC2222+22", 1234, "bcidswapped", WITNESS_LIST)
+        assert outcome is ProofFailure.HASH_MISMATCH
+
+    def test_tampered_signature_rejected(self):
+        proof = build_proof(REQUEST, WITNESS)
+        from repro.crypto.keys import Signature
+        from repro.crypto import group
+
+        bad = Signature(e=proof.signature.e, s=(proof.signature.s + 1) % group.Q)
+        tampered = type(proof)(
+            hashed_proof=proof.hashed_proof,
+            signature=bad,
+            witness_public=proof.witness_public,
+        )
+        outcome = verify_proof(tampered, 42, "8FVC2222+22", 1234, "bcidexample", WITNESS_LIST)
+        assert outcome is ProofFailure.BAD_SIGNATURE
+
+
+class TestVerifyRecord:
+    """The contract-record path: hex fields, witness found by key scan."""
+
+    def test_valid_record(self):
+        proof = build_proof(REQUEST, OTHER_WITNESS)
+        outcome = verify_record(
+            proof.hashed_proof_hex, proof.signature_hex,
+            42, "8FVC2222+22", 1234, "bcidexample", WITNESS_LIST,
+        )
+        assert outcome is ProofFailure.OK
+
+    def test_garbage_hex_rejected(self):
+        outcome = verify_record("zz", "zz", 42, "X", 1, "c", WITNESS_LIST)
+        assert outcome is ProofFailure.BAD_SIGNATURE
+
+    def test_self_signed_detected_via_prover_key(self):
+        proof = build_proof(REQUEST, PROVER)
+        outcome = verify_record(
+            proof.hashed_proof_hex, proof.signature_hex,
+            42, "8FVC2222+22", 1234, "bcidexample", WITNESS_LIST,
+            prover_public=PROVER.public,
+        )
+        assert outcome is ProofFailure.SELF_SIGNED
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**53),
+        st.integers(min_value=0, max_value=2**53),
+    )
+    def test_property_roundtrip(self, did, nonce):
+        request = ProofRequest(did=did, olc="8FVC2222+22", nonce=nonce, cid="bcid")
+        proof = build_proof(request, WITNESS)
+        outcome = verify_record(
+            proof.hashed_proof_hex, proof.signature_hex,
+            did, "8FVC2222+22", nonce, "bcid", WITNESS_LIST,
+        )
+        assert outcome is ProofFailure.OK

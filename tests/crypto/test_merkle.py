@@ -1,0 +1,59 @@
+"""Tests for Merkle trees and inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import EMPTY_ROOT, MerkleTree, merkle_root
+
+
+class TestMerkleTree:
+    def test_empty_tree_has_sentinel_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"tx-1"])
+        assert tree.proof(0).verify(b"tx-1", tree.root)
+
+    def test_root_changes_with_content(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+    def test_root_changes_with_order(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_proofs_verify_for_all_leaves(self):
+        leaves = [f"tx-{i}".encode() for i in range(7)]  # odd count
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert tree.proof(i).verify(leaf, tree.root)
+
+    def test_proof_fails_for_wrong_leaf(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not tree.proof(1).verify(b"x", tree.root)
+
+    def test_proof_fails_for_wrong_root(self):
+        tree = MerkleTree([b"a", b"b"])
+        other = MerkleTree([b"a", b"c"])
+        assert not tree.proof(0).verify(b"a", other.root)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(IndexError):
+            MerkleTree([b"a"]).proof(1)
+
+    def test_len(self):
+        assert len(MerkleTree([b"a", b"b", b"c"])) == 3
+
+    def test_leaf_node_domain_separation(self):
+        # A tree of one leaf equal to the concatenation of two digests must
+        # not collide with the two-leaf tree's root.
+        two = MerkleTree([b"a", b"b"])
+        level0 = [two._levels[0][0], two._levels[0][1]]
+        fake_leaf = level0[0] + level0[1]
+        assert MerkleTree([fake_leaf]).root != two.root
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=33), st.data())
+    def test_property_every_proof_verifies(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        assert tree.proof(index).verify(leaves[index], tree.root)

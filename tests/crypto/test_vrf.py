@@ -1,0 +1,64 @@
+"""Tests for the DLEQ-based VRF used by Algorand-style sortition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.vrf import VRFError, VRFKeyPair, VRFProof, verify_vrf
+
+
+@pytest.fixture(scope="module")
+def vrf() -> VRFKeyPair:
+    return VRFKeyPair.from_seed(b"vrf-test")
+
+
+class TestVRF:
+    def test_evaluate_verify_roundtrip(self, vrf):
+        proof = vrf.evaluate(b"round-1-seed")
+        assert verify_vrf(vrf.public, b"round-1-seed", proof) == proof.output()
+
+    def test_output_is_32_bytes(self, vrf):
+        assert len(vrf.evaluate(b"seed").output()) == 32
+
+    def test_deterministic_and_unique(self, vrf):
+        p1 = vrf.evaluate(b"seed")
+        p2 = vrf.evaluate(b"seed")
+        assert p1.output() == p2.output()
+        assert p1.gamma == p2.gamma
+
+    def test_different_messages_different_outputs(self, vrf):
+        assert vrf.evaluate(b"round-1").output() != vrf.evaluate(b"round-2").output()
+
+    def test_different_keys_different_outputs(self):
+        a = VRFKeyPair.from_seed(b"staker-a")
+        b = VRFKeyPair.from_seed(b"staker-b")
+        assert a.evaluate(b"seed").output() != b.evaluate(b"seed").output()
+
+    def test_wrong_message_rejected(self, vrf):
+        proof = vrf.evaluate(b"round-1")
+        with pytest.raises(VRFError):
+            verify_vrf(vrf.public, b"round-2", proof)
+
+    def test_wrong_key_rejected(self, vrf):
+        imposter = VRFKeyPair.from_seed(b"imposter")
+        proof = vrf.evaluate(b"round-1")
+        with pytest.raises(VRFError):
+            verify_vrf(imposter.public, b"round-1", proof)
+
+    def test_tampered_gamma_rejected(self, vrf):
+        proof = vrf.evaluate(b"round-1")
+        tampered = VRFProof(gamma=1, c=proof.c, s=proof.s)
+        with pytest.raises(VRFError):
+            verify_vrf(vrf.public, b"round-1", tampered)
+
+    def test_out_of_range_scalars_rejected(self, vrf):
+        proof = vrf.evaluate(b"round-1")
+        with pytest.raises(VRFError):
+            verify_vrf(vrf.public, b"round-1", VRFProof(gamma=proof.gamma, c=-1, s=proof.s))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_property_roundtrip(self, message):
+        kp = VRFKeyPair.from_seed(b"vrf-prop")
+        proof = kp.evaluate(message)
+        assert verify_vrf(kp.public, message, proof) == proof.output()

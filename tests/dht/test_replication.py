@@ -1,0 +1,69 @@
+"""Tests for hypercube replication and node-failure tolerance."""
+
+import pytest
+
+from repro.dht import HypercubeDHT
+from repro.dht.hypercube import HypercubeError
+from repro.geo import encode
+
+OLC = encode(44.494, 11.342)
+
+
+@pytest.fixture
+def dht():
+    return HypercubeDHT(r=6, replication=2)
+
+
+class TestReplication:
+    def test_record_lands_on_primary_and_replicas(self, dht):
+        dht.register_contract(OLC, "c1")
+        primary = dht.responsible_node(OLC)
+        assert primary.retrieve(OLC.upper()) is not None
+        for replica in dht.replica_nodes(OLC):
+            assert replica.retrieve(OLC.upper()) is not None
+
+    def test_lookup_survives_primary_failure(self, dht):
+        dht.register_contract(OLC, "c1")
+        dht.set_online(dht.responsible_node(OLC).node_id, False)
+        result = dht.lookup(OLC)
+        assert result.found
+        assert result.content.contract_id == "c1"
+        # The fallback costs one extra hop to a one-bit neighbour.
+        assert result.path[-1] in dht.responsible_node(OLC).neighbours()
+
+    def test_lookup_fails_when_all_copies_offline(self, dht):
+        dht.register_contract(OLC, "c1")
+        dht.set_online(dht.responsible_node(OLC).node_id, False)
+        for replica in dht.replica_nodes(OLC):
+            dht.set_online(replica.node_id, False)
+        with pytest.raises(HypercubeError):
+            dht.lookup(OLC)
+
+    def test_appends_propagate_to_replicas(self, dht):
+        dht.register_contract(OLC, "c1")
+        dht.append_cid(OLC, "cid-x")
+        dht.set_online(dht.responsible_node(OLC).node_id, False)
+        assert dht.lookup(OLC).content.cids == ["cid-x"]
+
+    def test_writes_land_on_survivors_during_outage(self, dht):
+        dht.register_contract(OLC, "c1")
+        dht.set_online(dht.responsible_node(OLC).node_id, False)
+        dht.append_cid(OLC, "cid-during-outage")
+        assert "cid-during-outage" in dht.lookup(OLC).content.cids
+
+    def test_unreplicated_dht_loses_data_on_failure(self):
+        bare = HypercubeDHT(r=6, replication=0)
+        bare.register_contract(OLC, "c1")
+        bare.set_online(bare.responsible_node(OLC).node_id, False)
+        with pytest.raises(HypercubeError):
+            bare.lookup(OLC)
+
+    def test_conflict_detection_spans_replicas(self, dht):
+        dht.register_contract(OLC, "c1")
+        dht.set_online(dht.responsible_node(OLC).node_id, False)
+        with pytest.raises(HypercubeError):
+            dht.register_contract(OLC, "c2")  # replicas still remember c1
+
+    def test_replication_bounded_by_degree(self):
+        with pytest.raises(ValueError):
+            HypercubeDHT(r=4, replication=5)

@@ -1,0 +1,112 @@
+"""Tests for Verifiable Credentials (the section 2.1 'new version')."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.did.credentials import (
+    CredentialError,
+    CredentialIssuer,
+    VerifiableCredential,
+    is_witness_credential,
+    verify_credential,
+)
+from repro.did.document import make_did
+
+CA_KEY = KeyPair.from_seed(b"vc-ca")
+WITNESS_KEY = KeyPair.from_seed(b"vc-witness")
+CA_DID = make_did(CA_KEY.public)
+WITNESS_DID = make_did(WITNESS_KEY.public)
+
+
+@pytest.fixture
+def issuer():
+    return CredentialIssuer(keypair=CA_KEY, issuer_did=CA_DID)
+
+
+class TestIssuance:
+    def test_issue_and_verify(self, issuer):
+        vc = issuer.issue(WITNESS_DID, {"role": "witness"}, issued_at=100.0)
+        assert verify_credential(vc, CA_KEY.public, now=200.0)
+        assert is_witness_credential(vc)
+
+    def test_empty_claim_rejected(self, issuer):
+        with pytest.raises(CredentialError):
+            issuer.issue(WITNESS_DID, {})
+
+    def test_bad_subject_did_rejected(self, issuer):
+        with pytest.raises(Exception):
+            issuer.issue("not-a-did", {"role": "witness"})
+
+    def test_wire_shape(self, issuer):
+        vc = issuer.issue(WITNESS_DID, {"role": "witness"})
+        wire = vc.to_json()
+        assert wire["credentialSubject"]["id"] == WITNESS_DID
+        assert wire["proof"]["signatureHex"] == vc.signature_hex
+
+
+class TestVerification:
+    def test_wrong_issuer_key_fails(self, issuer):
+        vc = issuer.issue(WITNESS_DID, {"role": "witness"})
+        imposter = KeyPair.from_seed(b"imposter")
+        assert not verify_credential(vc, imposter.public)
+
+    def test_tampered_claim_fails(self, issuer):
+        vc = issuer.issue(WITNESS_DID, {"role": "witness"})
+        forged = VerifiableCredential(
+            credential_id=vc.credential_id,
+            issuer=vc.issuer,
+            subject=vc.subject,
+            claim={"role": "verifier"},  # privilege escalation attempt
+            issued_at=vc.issued_at,
+            expires_at=vc.expires_at,
+            signature_hex=vc.signature_hex,
+        )
+        assert not verify_credential(forged, CA_KEY.public)
+
+    def test_expired_credential_fails(self, issuer):
+        vc = issuer.issue(WITNESS_DID, {"role": "witness"}, issued_at=0.0, ttl=100.0)
+        assert verify_credential(vc, CA_KEY.public, now=50.0)
+        assert not verify_credential(vc, CA_KEY.public, now=150.0)
+
+    def test_revocation(self, issuer):
+        vc = issuer.issue(WITNESS_DID, {"role": "witness"})
+        assert verify_credential(vc, CA_KEY.public, revocation_check=issuer.is_revoked)
+        issuer.revoke(vc.credential_id)
+        assert not verify_credential(vc, CA_KEY.public, revocation_check=issuer.is_revoked)
+
+    def test_revoking_unknown_rejected(self, issuer):
+        with pytest.raises(CredentialError):
+            issuer.revoke("urn:repro:vc:ghost")
+
+    def test_role_check(self, issuer):
+        verifier_vc = issuer.issue(WITNESS_DID, {"role": "verifier"})
+        assert not is_witness_credential(verifier_vc)
+
+
+class TestCredentialBasedWitnessCheck:
+    def test_proof_verification_via_credential_instead_of_list(self, issuer):
+        """The 'new version' flow: the proof travels with the witness's
+        credential; the verifier needs only the CA's public key."""
+        from repro.core.proof import ProofRequest, build_proof
+
+        request = ProofRequest(did=7, olc="8FVC2222+22", nonce=1, cid="c")
+        proof = build_proof(request, WITNESS_KEY)
+        credential = issuer.issue(WITNESS_DID, {"role": "witness"})
+
+        # Verifier side: no witness list at all.
+        assert verify_credential(credential, CA_KEY.public, revocation_check=issuer.is_revoked)
+        assert is_witness_credential(credential)
+        assert credential.subject == make_did(proof.witness_public)  # key binding
+        assert proof.witness_public.verify(proof.hashed_proof, proof.signature)
+
+    def test_revoked_witness_proofs_rejected(self, issuer):
+        from repro.core.proof import ProofRequest, build_proof
+
+        request = ProofRequest(did=7, olc="8FVC2222+22", nonce=2, cid="c")
+        proof = build_proof(request, WITNESS_KEY)
+        credential = issuer.issue(WITNESS_DID, {"role": "witness"})
+        issuer.revoke(credential.credential_id)
+        assert not verify_credential(credential, CA_KEY.public, revocation_check=issuer.is_revoked)
+        # The signature still verifies, but the role no longer does --
+        # exactly the separation the credential layer adds.
+        assert proof.witness_public.verify(proof.hashed_proof, proof.signature)

@@ -1,0 +1,64 @@
+"""Tests for the on-chain DID registry contract."""
+
+import pytest
+
+from repro.chain.algorand import AlgorandChain
+from repro.chain.ethereum import EthereumChain
+from repro.did.contract import OnChainDidRegistry, build_did_registry_program
+from repro.reach.compiler import compile_program
+from repro.reach.runtime import ReachCallError
+
+FUNDING = 10**18
+
+
+def make_registry(family, capacity=4):
+    if family == "evm":
+        chain = EthereumChain(profile="eth-devnet", seed=91, validator_count=4)
+    else:
+        chain = AlgorandChain(profile="algo-devnet", seed=91, participant_count=6)
+    authority = chain.create_account(seed=b"authority", funding=FUNDING)
+    return chain, OnChainDidRegistry(chain, authority, capacity=capacity)
+
+
+class TestDidRegistryContract:
+    def test_program_verifies(self):
+        compiled = compile_program(build_did_registry_program())
+        assert compiled.verification.ok
+
+    @pytest.mark.parametrize("family", ["evm", "avm"])
+    def test_register_and_resolve(self, family):
+        chain, registry = make_registry(family)
+        user = chain.create_account(seed=b"user-1", funding=FUNDING)
+        remaining = registry.register(user, 777)
+        assert remaining == 3
+        assert registry.resolve_key_hex(777) == user.keypair.public.to_bytes().hex()
+
+    @pytest.mark.parametrize("family", ["evm", "avm"])
+    def test_first_writer_wins(self, family):
+        chain, registry = make_registry(family)
+        alice = chain.create_account(seed=b"alice", funding=FUNDING)
+        mallory = chain.create_account(seed=b"mallory", funding=FUNDING)
+        registry.register(alice, 42)
+        with pytest.raises(ReachCallError):
+            registry.register(mallory, 42)  # cannot re-bind alice's DID
+        assert registry.resolve_key_hex(42) == alice.keypair.public.to_bytes().hex()
+
+    @pytest.mark.parametrize("family", ["evm", "avm"])
+    def test_unknown_did_resolves_to_none(self, family):
+        chain, registry = make_registry(family)
+        assert registry.resolve_key_hex(12_345) is None
+
+    def test_capacity_exhaustion_closes_registrations(self):
+        chain, registry = make_registry("evm", capacity=2)
+        users = [chain.create_account(seed=f"u{i}".encode(), funding=FUNDING) for i in range(3)]
+        registry.register(users[0], 1)
+        assert registry.register(users[1], 2) == 0
+        with pytest.raises(ReachCallError):
+            registry.register(users[2], 3)
+
+    def test_free_slots_view(self):
+        chain, registry = make_registry("evm", capacity=4)
+        assert registry.free_slots() == 4
+        user = chain.create_account(seed=b"user", funding=FUNDING)
+        registry.register(user, 5)
+        assert registry.free_slots() == 3

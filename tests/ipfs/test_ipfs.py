@@ -1,0 +1,106 @@
+"""Tests for CIDs and the IPFS-like network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipfs import CidError, ContentNotAvailable, IpfsNetwork, compute_cid, verify_cid
+from repro.ipfs.cid import parse_cid
+from repro.crypto.hashing import sha256
+
+
+@pytest.fixture
+def network():
+    net = IpfsNetwork()
+    net.add_node("alice")
+    net.add_node("bob")
+    return net
+
+
+class TestCid:
+    def test_cid_is_deterministic(self):
+        assert compute_cid(b"hello") == compute_cid(b"hello")
+
+    def test_cid_differs_per_content(self):
+        assert compute_cid(b"a") != compute_cid(b"b")
+
+    def test_cid_shape(self):
+        cid = compute_cid(b"report")
+        assert cid.startswith("b")
+        assert cid == cid.lower()
+
+    def test_verify_cid(self):
+        cid = compute_cid(b"data")
+        assert verify_cid(b"data", cid)
+        assert not verify_cid(b"other", cid)
+
+    def test_parse_cid_recovers_digest(self):
+        cid = compute_cid(b"data")
+        assert parse_cid(cid) == sha256(b"data")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(CidError):
+            parse_cid("not-a-cid")
+        with pytest.raises(CidError):
+            parse_cid("")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(CidError):
+            compute_cid("string")  # type: ignore[arg-type]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=500))
+    def test_property_roundtrip(self, content):
+        cid = compute_cid(content)
+        assert verify_cid(content, cid)
+        assert parse_cid(cid) == sha256(content)
+
+
+class TestNetwork:
+    def test_add_and_get(self, network):
+        cid = network.add("alice", b"my report")
+        assert network.get(cid) == b"my report"
+
+    def test_get_unknown_cid(self, network):
+        with pytest.raises(ContentNotAvailable):
+            network.get(compute_cid(b"never added"))
+
+    def test_duplicate_node_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_node("alice")
+
+    def test_unpinned_content_disappears_after_gc(self, network):
+        # The thesis's drawback: nobody hosting -> content gone.
+        cid = network.add("alice", b"ephemeral", pin=False)
+        assert network.get(cid) == b"ephemeral"
+        network.nodes["alice"].garbage_collect()
+        with pytest.raises(ContentNotAvailable):
+            network.get(cid)
+
+    def test_pinned_content_survives_gc(self, network):
+        cid = network.add("alice", b"kept", pin=True)
+        network.nodes["alice"].garbage_collect()
+        assert network.get(cid) == b"kept"
+
+    def test_replication_keeps_content_alive(self, network):
+        cid = network.add("alice", b"popular", pin=False)
+        network.replicate(cid, "bob", pin=True)
+        network.nodes["alice"].garbage_collect()
+        assert network.get(cid) == b"popular"
+        assert network.provider_count(cid) == 1
+
+    def test_corrupted_provider_detected(self, network):
+        cid = network.add("alice", b"original")
+        network.nodes["alice"].blocks[cid] = b"tampered"
+        with pytest.raises(CidError):
+            network.get(cid)
+
+    def test_pin_unknown_block_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.nodes["alice"].pin("bishvjkgx")
+
+    def test_provider_count(self, network):
+        cid = network.add("alice", b"shared")
+        assert network.provider_count(cid) == 1
+        network.replicate(cid, "bob")
+        assert network.provider_count(cid) == 2

@@ -1,0 +1,105 @@
+"""Differential fuzzing: the EVM and AVM backends must agree.
+
+Hypothesis generates random but well-formed interaction sequences
+against the PoL contract; executing them on both connectors must
+produce identical observable traces (return values, reverts, views,
+balances).  This is the strongest form of the blockchain-agnostic
+claim: not just one scenario, but arbitrary ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.algorand import AlgorandChain
+from repro.chain.ethereum import EthereumChain
+from repro.core.contract import build_pol_program, pol_record
+from repro.reach.compiler import compile_program
+from repro.reach.runtime import ReachCallError, ReachClient
+
+FUNDING = 10**18
+REWARD = 1_000
+MAX_USERS = 3
+
+COMPILED = compile_program(
+    build_pol_program(max_users=MAX_USERS, reward=REWARD, attach_timeout=500.0, verify_timeout=500.0)
+)
+
+# An action is (kind, params); dids come from a small pool so sequences
+# hit both fresh and duplicate keys.
+action_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("fund"), st.integers(min_value=1, max_value=3_000)),
+        st.tuples(st.just("verify"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("view"), st.just(0)),
+        st.tuples(st.just("timeout0"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def run_trace(family: str, actions) -> list:
+    if family == "evm":
+        chain = EthereumChain(profile="eth-devnet", seed=61, validator_count=4)
+    else:
+        chain = AlgorandChain(profile="algo-devnet", seed=61, participant_count=4)
+    client = ReachClient(chain)
+    creator = chain.create_account(seed=b"diff-creator", funding=FUNDING)
+    user = chain.create_account(seed=b"diff-user", funding=FUNDING)
+    deployed = client.deploy(COMPILED, creator, ["LOC", 100, "record-100"])
+    trace: list = []
+    for kind, param in actions:
+        try:
+            if kind == "insert":
+                result = deployed.api(
+                    "attacherAPI.insert_data",
+                    pol_record("h", "s", user.address, param, f"c{param}"),
+                    200 + param,
+                    sender=user,
+                )
+                trace.append(("insert", result.value))
+            elif kind == "fund":
+                result = deployed.api("verifierAPI.insert_money", param, sender=user, pay=param)
+                trace.append(("fund", result.value))
+            elif kind == "verify":
+                result = deployed.api("verifierAPI.verify", 200 + param, user.address, sender=user)
+                trace.append(("verify", "ok"))
+            elif kind == "view":
+                trace.append(("view", deployed.view("getCtcBalance")))
+            elif kind == "timeout0":
+                chain.queue.run_until(chain.queue.clock.now + 600.0)
+                deployed.timeout(0, sender=user)
+                trace.append(("timeout", "ok"))
+        except ReachCallError:
+            trace.append((kind, "reverted"))
+    trace.append(("final-balance", deployed.balance))
+    return trace
+
+
+class TestDifferentialFuzz:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(action_strategy)
+    def test_property_traces_identical(self, actions):
+        assert run_trace("evm", actions) == run_trace("avm", actions)
+
+    @pytest.mark.parametrize(
+        "actions",
+        [
+            # Hand-picked tricky sequences: duplicate DIDs, verify before
+            # funds, timeout crossing a phase, funding in the wrong phase.
+            [("insert", 1), ("insert", 1), ("insert", 2), ("verify", 1)],
+            [("verify", 1), ("fund", 100), ("view", 0)],
+            [("timeout0", 0), ("insert", 1), ("fund", 2000), ("verify", 1)],
+            [("insert", 1), ("insert", 2), ("fund", 2500), ("verify", 2), ("verify", 2), ("view", 0)],
+        ],
+    )
+    def test_known_tricky_sequences(self, actions):
+        assert run_trace("evm", actions) == run_trace("avm", actions)

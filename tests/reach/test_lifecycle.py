@@ -1,0 +1,191 @@
+"""End-to-end contract lifecycle on BOTH connectors from one source.
+
+This is the blockchain-agnostic claim under test: the same compiled
+program runs the full thesis scenario (deploy + insert, attach, fund,
+verify, reward, closeout) on the EVM devnet and the Algorand devnet.
+"""
+
+import pytest
+
+from repro.chain.algorand import AlgorandChain
+from repro.chain.ethereum import EthereumChain
+from repro.core.contract import build_pol_program, pol_record
+from repro.reach.compiler import compile_program
+from repro.reach.runtime import ReachCallError, ReachClient
+
+REWARD = 5_000
+FUNDING = 10**18  # plenty on either chain
+
+
+def make_chain(family):
+    if family == "evm":
+        return EthereumChain(profile="eth-devnet", seed=11, validator_count=4)
+    return AlgorandChain(profile="algo-devnet", seed=11, participant_count=6)
+
+
+@pytest.fixture(scope="module", params=["evm", "avm"])
+def env(request):
+    chain = make_chain(request.param)
+    client = ReachClient(chain)
+    compiled = compile_program(build_pol_program(max_users=2, reward=REWARD, verify_timeout=3_600))
+    creator = chain.create_account(seed=b"creator", funding=FUNDING)
+    attacher = chain.create_account(seed=b"attacher", funding=FUNDING)
+    verifier = chain.create_account(seed=b"verifier", funding=FUNDING)
+    record_creator = pol_record("hash-c", "sig-c", creator.address, 111, "cid-c")
+    deployed = client.deploy(compiled, creator, ["7H369F4W+Q9", 9_999, record_creator])
+    return {
+        "chain": chain,
+        "client": client,
+        "deployed": deployed,
+        "creator": creator,
+        "attacher": attacher,
+        "verifier": verifier,
+    }
+
+
+class TestLifecycle:
+    """Sequential scenario: tests run in definition order and share state."""
+    def test_01_deploy_published_creator_data(self, env):
+        deployed = env["deployed"]
+        assert deployed.view("getReward") == REWARD
+        assert deployed.view("getCtcBalance") == 0
+
+    def test_02_deploy_transaction_counts(self, env):
+        expected = 2 if env["chain"].profile.family == "evm" else 4
+        assert len(env["deployed"].deploy_result.receipts) == expected
+
+    def test_03_attacher_inserts_data(self, env):
+        deployed, attacher = env["deployed"], env["attacher"]
+        record = pol_record("hash-a", "sig-a", attacher.address, 222, "cid-a")
+        result = deployed.attach_and_call("attacherAPI.insert_data", record, 12, sender=attacher)
+        assert result.value == 0  # seats remaining
+        assert len(result.receipts) == 2  # the thesis's 2-transaction attach
+
+    def test_04_duplicate_did_rejected(self, env):
+        deployed, attacher = env["deployed"], env["attacher"]
+        record = pol_record("h", "s", attacher.address, 1, "c")
+        with pytest.raises(ReachCallError):
+            deployed.api("attacherAPI.insert_data", record, 12, sender=attacher)
+
+    def test_05_phase_advanced_after_seats_filled(self, env):
+        # Attach phase is over: further inserts are rejected by the guard.
+        deployed, attacher = env["deployed"], env["attacher"]
+        record = pol_record("h", "s", attacher.address, 3, "c")
+        with pytest.raises(ReachCallError):
+            deployed.api("attacherAPI.insert_data", record, 77, sender=attacher)
+
+    def test_06_verify_without_funds_reports_issue(self, env):
+        deployed, verifier, attacher = env["deployed"], env["verifier"], env["attacher"]
+        result = deployed.api("verifierAPI.verify", 12, attacher.address, sender=verifier)
+        issues = [event for event in result.events if event[0] == "issueDuringVerification"]
+        assert issues  # balance 0 < reward -> logged, no transfer
+
+    def test_07_verifier_inserts_funds(self, env):
+        deployed, verifier = env["deployed"], env["verifier"]
+        amount = REWARD * 3
+        result = deployed.api("verifierAPI.insert_money", amount, sender=verifier, pay=amount)
+        assert result.value == amount
+        assert deployed.view("getCtcBalance") == amount
+        assert deployed.balance == amount
+
+    def test_08_pay_mismatch_rejected(self, env):
+        deployed, verifier = env["deployed"], env["verifier"]
+        with pytest.raises(ReachCallError):
+            deployed.api("verifierAPI.insert_money", 100, sender=verifier, pay=50)
+
+    def test_09_verify_pays_reward(self, env):
+        deployed, verifier, attacher = env["deployed"], env["verifier"], env["attacher"]
+        chain = env["chain"]
+        before = chain.balance_of(attacher.address)
+        result = deployed.api("verifierAPI.verify", 12, attacher.address, sender=verifier)
+        assert result.value == attacher.address
+        assert chain.balance_of(attacher.address) == before + REWARD
+        verifications = [event for event in result.events if event[0] == "reportVerification"]
+        assert verifications
+
+    def test_10_unknown_did_rejected(self, env):
+        deployed, verifier = env["deployed"], env["verifier"]
+        with pytest.raises(ReachCallError):
+            deployed.api("verifierAPI.verify", 424_242, verifier.address, sender=verifier)
+
+    def test_11_last_verification_drains_to_creator(self, env):
+        deployed, verifier, creator = env["deployed"], env["verifier"], env["creator"]
+        chain = env["chain"]
+        creator_before = chain.balance_of(creator.address)
+        leftover = deployed.balance
+        deployed.api("verifierAPI.verify", 9_999, creator.address, sender=verifier)
+        # creator got the reward AND the remaining pot (token linearity).
+        assert deployed.balance == 0
+        assert chain.balance_of(creator.address) == creator_before + leftover
+
+    def test_12_contract_halted(self, env):
+        deployed, verifier = env["deployed"], env["verifier"]
+        with pytest.raises(ReachCallError):
+            deployed.api("verifierAPI.insert_money", 10, sender=verifier, pay=10)
+
+
+class TestTimeout:
+    @pytest.fixture(params=["evm", "avm"])
+    def fresh(self, request):
+        chain = make_chain(request.param)
+        client = ReachClient(chain)
+        compiled = compile_program(
+            build_pol_program(max_users=3, reward=REWARD, attach_timeout=50.0, verify_timeout=50.0)
+        )
+        creator = chain.create_account(seed=b"creator2", funding=FUNDING)
+        outsider = chain.create_account(seed=b"outsider", funding=FUNDING)
+        deployed = client.deploy(compiled, creator, ["LOC", 1, "record-1"])
+        return chain, deployed, creator, outsider
+
+    def test_timeout_before_deadline_rejected(self, fresh):
+        chain, deployed, creator, outsider = fresh
+        with pytest.raises(ReachCallError) as excinfo:
+            deployed.timeout(0, sender=outsider)
+        assert "deadline" in excinfo.value.receipt.error or "assert" in excinfo.value.receipt.error
+
+    def test_timeout_after_deadline_advances_phase(self, fresh):
+        chain, deployed, creator, outsider = fresh
+        chain.queue.run_until(chain.queue.clock.now + 60.0)
+        deployed.timeout(0, sender=outsider)
+        # Attach phase is closed even though seats remained.
+        with pytest.raises(ReachCallError):
+            deployed.api("attacherAPI.insert_data", "rec", 2, sender=outsider)
+
+    def test_final_timeout_refunds_creator(self, fresh):
+        chain, deployed, creator, outsider = fresh
+        chain.queue.run_until(chain.queue.clock.now + 60.0)
+        deployed.timeout(0, sender=outsider)
+        amount = REWARD * 2
+        deployed.api("verifierAPI.insert_money", amount, sender=outsider, pay=amount)
+        chain.queue.run_until(chain.queue.clock.now + 60.0)
+        creator_before = chain.balance_of(creator.address)
+        deployed.timeout(1, sender=outsider)
+        assert deployed.balance == 0
+        assert chain.balance_of(creator.address) == creator_before + amount
+
+
+class TestCrossConnectorEquivalence:
+    """Differential test: identical state evolution on both backends."""
+
+    def run_scenario(self, family):
+        chain = make_chain(family)
+        client = ReachClient(chain)
+        compiled = compile_program(build_pol_program(max_users=3, reward=1_000))
+        creator = chain.create_account(seed=b"c", funding=FUNDING)
+        users = [chain.create_account(seed=f"u{i}".encode(), funding=FUNDING) for i in range(3)]
+        deployed = client.deploy(compiled, creator, ["LOC", 100, "record-100"])
+        trace = [deployed.view("getCtcBalance"), deployed.view("getReward")]
+        for index, user in enumerate(users[:2]):
+            result = deployed.attach_and_call(
+                "attacherAPI.insert_data", f"record-{index}", 200 + index, sender=user
+            )
+            trace.append(result.value)
+        verifier = users[2]
+        deployed.api("verifierAPI.insert_money", 5_000, sender=verifier, pay=5_000)
+        trace.append(deployed.view("getCtcBalance"))
+        deployed.api("verifierAPI.verify", 200, users[0].address, sender=verifier)
+        trace.append(deployed.view("getCtcBalance"))
+        return trace
+
+    def test_traces_identical(self):
+        assert self.run_scenario("evm") == self.run_scenario("avm")

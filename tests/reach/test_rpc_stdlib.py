@@ -1,0 +1,133 @@
+"""Tests for the RPC server facade and the stdlib helpers."""
+
+import pytest
+
+from repro.chain.algorand import AlgorandChain
+from repro.chain.ethereum import EthereumChain
+from repro.core.contract import build_pol_program, pol_record
+from repro.reach.compiler import compile_program
+from repro.reach.rpc import ReachRpcServer, RpcError
+from repro.reach.stdlib import ReachStdlib
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(build_pol_program(max_users=2, reward=2_000))
+
+
+@pytest.fixture
+def server(compiled):
+    chain = EthereumChain(profile="eth-devnet", seed=41, validator_count=4)
+    return ReachRpcServer(chain=chain, compiled=compiled)
+
+
+class TestStdlib:
+    def test_parse_and_format_currency(self):
+        chain = EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+        stdlib = ReachStdlib(chain)
+        assert stdlib.parse_currency(0.5) == 5 * 10**17
+        assert stdlib.format_currency(5 * 10**17) == "0.5000"
+
+    def test_parse_currency_algorand_decimals(self):
+        chain = AlgorandChain(profile="algo-devnet", seed=1, participant_count=4)
+        stdlib = ReachStdlib(chain)
+        assert stdlib.parse_currency(0.5) == 500_000
+        assert stdlib.connector() == "ALGO"
+
+    def test_negative_currency_rejected(self):
+        chain = EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+        with pytest.raises(ValueError):
+            ReachStdlib(chain).parse_currency(-1.0)
+
+    def test_new_account_from_secret_deterministic(self):
+        chain = EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+        stdlib = ReachStdlib(chain)
+        a = stdlib.new_account_from_secret("my mnemonic phrase")
+        b = stdlib.new_account_from_secret("my mnemonic phrase")
+        assert a.address == b.address
+
+
+class TestRpcRoutes:
+    def test_new_test_account_and_balance(self, server):
+        acc = server.rpc("/stdlib/newTestAccount", 10)
+        assert acc.startswith("acc-")
+        assert server.rpc("/stdlib/balanceOf", acc) == 10 * 10**18
+
+    def test_unknown_routes_rejected(self, server):
+        with pytest.raises(RpcError):
+            server.rpc("/stdlib/teleport")
+        with pytest.raises(RpcError):
+            server.rpc("/nothing/here")
+        with pytest.raises(RpcError):
+            server.rpc("")
+
+    def test_bad_handles_rejected(self, server):
+        with pytest.raises(RpcError):
+            server.rpc("/acc/contract", "acc-999")
+        with pytest.raises(RpcError):
+            server.rpc("/ctc/getInfo", "ctc-999")
+
+    def test_get_info_before_deploy_rejected(self, server):
+        acc = server.rpc("/stdlib/newTestAccount", 10)
+        ctc = server.rpc("/acc/contract", acc)
+        with pytest.raises(RpcError):
+            server.rpc("/ctc/getInfo", ctc)
+
+    def test_full_flow(self, server):
+        acc = server.rpc("/stdlib/newTestAccount", 100)
+        ctc = server.rpc("/acc/contract", acc)
+        address = server.rpc("/acc/getAddress", acc)
+        events = []
+        server.rpc_callbacks(
+            "/backend/Creator",
+            ctc,
+            {
+                "position": "7H369F4W+Q8",
+                "did": 1,
+                "data_inserted": pol_record("h", "s", address, 5, "c"),
+                "reportData": lambda did, data: events.append((did, data)),
+            },
+        )
+        info = server.rpc("/ctc/getInfo", ctc)
+        assert info.startswith("0x")
+        assert events and events[0][0] == 1
+
+        # Attacher joins via the contract info.
+        acc2 = server.rpc("/stdlib/newTestAccount", 100)
+        ctc2 = server.rpc("/acc/contract", acc2, info)
+        address2 = server.rpc("/acc/getAddress", acc2)
+        seats = server.rpc(
+            "/ctc/apis/attacherAPI/insert_data", ctc2, pol_record("h2", "s2", address2, 6, "c2"), 2
+        )
+        assert seats == 0
+
+        # Verifier funds (the API's pay argument is wired automatically).
+        acc3 = server.rpc("/stdlib/newTestAccount", 100)
+        ctc3 = server.rpc("/acc/contract", acc3, info)
+        amount = server.rpc("/stdlib/parseCurrency", 0.001)
+        assert server.rpc("/ctc/apis/verifierAPI/insert_money", ctc3, amount) == amount
+        assert server.rpc("/ctc/views/getCtcBalance", ctc3) == amount
+
+    def test_double_deploy_rejected(self, server):
+        acc = server.rpc("/stdlib/newTestAccount", 100)
+        ctc = server.rpc("/acc/contract", acc)
+        address = server.rpc("/acc/getAddress", acc)
+        interact = {
+            "position": "X",
+            "did": 9,
+            "data_inserted": pol_record("h", "s", address, 5, "c"),
+        }
+        server.rpc_callbacks("/backend/Creator", ctc, interact)
+        with pytest.raises(RpcError):
+            server.rpc_callbacks("/backend/Creator", ctc, interact)
+
+    def test_unknown_participant_rejected(self, server):
+        acc = server.rpc("/stdlib/newTestAccount", 100)
+        ctc = server.rpc("/acc/contract", acc)
+        with pytest.raises(RpcError):
+            server.rpc_callbacks("/backend/Mallory", ctc, {})
+
+    def test_attach_to_unknown_info_rejected(self, server):
+        acc = server.rpc("/stdlib/newTestAccount", 100)
+        with pytest.raises(RpcError):
+            server.rpc("/acc/contract", acc, "0xdeadbeef")

@@ -1,0 +1,100 @@
+"""Edge-case tests: views, map reads, and the pure-IR interpreter."""
+
+import pytest
+
+from repro.chain.ethereum import EthereumChain
+from repro.core.contract import build_pol_program, parse_pol_record, pol_record
+from repro.reach.compiler import compile_program
+from repro.reach.ir import IROp
+from repro.reach.runtime import ReachClient, ReachRuntimeError, evaluate_pure
+
+FUNDING = 10**18
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    chain = EthereumChain(profile="eth-devnet", seed=101, validator_count=4)
+    client = ReachClient(chain)
+    compiled = compile_program(build_pol_program(max_users=3, reward=1_000))
+    creator = chain.create_account(seed=b"c", funding=FUNDING)
+    return client.deploy(compiled, creator, ["LOC", 7, pol_record("h", "s", creator.address, 3, "cid-7")])
+
+
+class TestMapReads:
+    def test_map_value_present(self, deployed):
+        raw = deployed.map_value("easy_map", 7)
+        fields = parse_pol_record(raw)
+        assert fields["cid"] == "cid-7"
+        assert fields["nonce"] == 3
+
+    def test_map_value_absent(self, deployed):
+        assert deployed.map_value("easy_map", 999) is None
+
+    def test_unknown_map_rejected(self, deployed):
+        with pytest.raises(ReachRuntimeError):
+            deployed.map_value("ghost_map", 1)
+
+
+class TestViews:
+    def test_unknown_view_rejected(self, deployed):
+        with pytest.raises(ReachRuntimeError):
+            deployed.view("nope")
+
+    def test_unknown_api_rejected(self, deployed):
+        creator = deployed.chain.create_account(seed=b"x", funding=FUNDING)
+        with pytest.raises(ReachRuntimeError):
+            deployed.api("fooAPI.bar", sender=creator)
+
+
+class TestPureInterpreter:
+    class _Reader:
+        def get_global(self, name):
+            return {"a": 10, "b": 3}.get(name, 0)
+
+        def balance(self):
+            return 55
+
+        def map_get(self, slot, key):
+            return b"\x00\x00\x00\x00\x00\x00\x00\x2a" if key == 1 else None
+
+    def run(self, instrs):
+        from repro.reach.ir import IRFunction
+
+        function = IRFunction(name="t", params=(), ret_kind="uint", pay_index=None, instrs=instrs)
+        return evaluate_pure(function, self._Reader())
+
+    def test_arithmetic_and_globals(self):
+        instrs = [IROp("GLOAD", "a"), IROp("GLOAD", "b"), IROp("SUB"), IROp("RET", (1, "uint"))]
+        assert self.run(instrs) == 7
+
+    def test_balance(self):
+        assert self.run([IROp("BALANCE"), IROp("RET", (1, "uint"))]) == 55
+
+    def test_mgetor_hit_decodes_uint(self):
+        instrs = [IROp("PUSH", 0), IROp("PUSH", 1), IROp("MGETOR", (1, "uint")), IROp("RET", (1, "uint"))]
+        assert self.run(instrs) == 42
+
+    def test_mgetor_miss_uses_default(self):
+        instrs = [IROp("PUSH", 9), IROp("PUSH", 2), IROp("MGETOR", (1, "uint")), IROp("RET", (1, "uint"))]
+        assert self.run(instrs) == 9
+
+    def test_branching(self):
+        instrs = [
+            IROp("PUSH", 0),
+            IROp("JUMPF", "else"),
+            IROp("PUSH", 111),
+            IROp("JUMP", "end"),
+            IROp("LABEL", "else"),
+            IROp("PUSH", 222),
+            IROp("LABEL", "end"),
+            IROp("RET", (1, "uint")),
+        ]
+        assert self.run(instrs) == 222
+
+    def test_impure_op_rejected(self):
+        with pytest.raises(ReachRuntimeError):
+            self.run([IROp("CALLER"), IROp("RET", (1, "address"))])
+
+    def test_unknown_ir_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            IROp("FROBNICATE")

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import CongestionProcess, EventQueue, LatencyModel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append(1))
+        queue.schedule(1.0, lambda: order.append(2))
+        queue.run_until_idle()
+        assert order == [1, 2]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(4.5, lambda: seen.append(queue.clock.now))
+        queue.run_until_idle()
+        assert seen == [4.5]
+
+    def test_cancelled_events_do_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        queue.run_until_idle()
+        assert fired == []
+
+    def test_run_until_stops_at_boundary(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(5.0, lambda: fired.append(5))
+        count = queue.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        assert queue.clock.now == 2.0
+        assert len(queue) == 1
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append(queue.clock.now)
+            if len(fired) < 3:
+                queue.schedule(1.0, chain)
+
+        queue.schedule(1.0, chain)
+        queue.run_until_idle()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        queue = EventQueue(SimClock(start=10.0))
+        with pytest.raises(ValueError):
+            queue.schedule_at(9.0, lambda: None)
+
+    def test_runaway_loop_guard(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(0.001, forever)
+
+        queue.schedule(0.001, forever)
+        with pytest.raises(RuntimeError):
+            queue.run_until_idle(max_events=100)
+
+
+class TestLatencyModel:
+    def test_zero_sigma_is_deterministic(self):
+        model = LatencyModel(base=2.0, sigma=0.0)
+        assert all(model.sample().total == 2.0 for _ in range(10))
+
+    def test_samples_are_non_negative(self):
+        model = LatencyModel(base=1.0, sigma=0.8, seed=7)
+        assert all(model.sample().total >= 0.0 for _ in range(500))
+
+    def test_seeded_reproducibility(self):
+        a = [LatencyModel(1.0, 0.5, seed=3).sample().total for _ in range(1)]
+        b = [LatencyModel(1.0, 0.5, seed=3).sample().total for _ in range(1)]
+        assert a == b
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base=-1.0, sigma=0.1)
+        with pytest.raises(ValueError):
+            LatencyModel(base=1.0, sigma=-0.1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=100.0), st.floats(min_value=0.0, max_value=2.0))
+    def test_property_sample_total_nonnegative(self, base, sigma):
+        model = LatencyModel(base=base, sigma=sigma, seed=1)
+        assert model.sample().total >= 0.0
+
+
+class TestCongestionProcess:
+    def test_level_stays_in_unit_interval(self):
+        process = CongestionProcess(mean=0.5, volatility=0.4, seed=11)
+        for _ in range(1000):
+            level = process.step()
+            assert 0.0 <= level <= 1.0
+
+    def test_calm_network_rarely_delays(self):
+        process = CongestionProcess(mean=0.3, volatility=0.01, seed=5)
+        extras = [process.extra_inclusion_blocks() for _ in range(200)]
+        assert sum(extras) == 0
+
+    def test_congested_network_delays(self):
+        process = CongestionProcess(mean=0.97, volatility=0.0, seed=5)
+        extras = [process.extra_inclusion_blocks() for _ in range(200)]
+        assert sum(extras) > 50
+
+    def test_mean_reversion(self):
+        process = CongestionProcess(mean=0.5, volatility=0.0, seed=0)
+        process._level = 1.0
+        for _ in range(100):
+            process.step()
+        assert abs(process.level - 0.5) < 0.01
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionProcess(mean=1.5, volatility=0.1)
+        with pytest.raises(ValueError):
+            CongestionProcess(mean=0.5, volatility=-0.1)
+        with pytest.raises(ValueError):
+            CongestionProcess(mean=0.5, volatility=0.1, reversion=0.0)

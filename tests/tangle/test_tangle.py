@@ -1,0 +1,88 @@
+"""Tests for the IOTA-style Tangle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tangle import Tangle, TangleError
+from repro.tangle.tangle import GENESIS_ID
+
+
+@pytest.fixture
+def tangle():
+    return Tangle(pow_difficulty_bits=4, seed=7)  # low difficulty for tests
+
+
+class TestAttachment:
+    def test_attach_approves_two_tips(self, tangle):
+        tx = tangle.attach("vehicle-1", b"speed=42", index="its.road.A1")
+        assert tx.branch in tangle.transactions
+        assert tx.trunk in tangle.transactions
+
+    def test_pow_verifies(self, tangle):
+        tx = tangle.attach("vehicle-1", b"data")
+        assert tangle.verify_pow(tx.tx_id)
+
+    def test_tampered_pow_fails(self, tangle):
+        tx = tangle.attach("vehicle-1", b"data")
+        from dataclasses import replace
+
+        tangle.transactions[tx.tx_id] = replace(tx, payload=b"tampered")
+        assert not tangle.verify_pow(tx.tx_id)
+
+    def test_zero_fees(self, tangle):
+        # No balance model at all: attachment costs only the PoW.
+        tx = tangle.attach("anyone", b"free message")
+        assert tx.nonce >= 0
+
+    def test_oversized_payload_rejected(self, tangle):
+        with pytest.raises(TangleError):
+            tangle.attach("v", b"x" * (64 * 1024 + 1))
+
+    def test_genesis_is_initial_tip(self):
+        tangle = Tangle(pow_difficulty_bits=4)
+        assert tangle.tips() == [GENESIS_ID]
+
+
+class TestConfirmation:
+    def test_cumulative_weight_grows(self, tangle):
+        first = tangle.attach("v", b"1")
+        initial = tangle.cumulative_weight(first.tx_id)
+        for i in range(8):
+            tangle.attach("v", f"{i}".encode())
+        assert tangle.cumulative_weight(first.tx_id) > initial
+
+    def test_confirmation_threshold(self, tangle):
+        first = tangle.attach("v", b"1")
+        assert not tangle.is_confirmed(first.tx_id, threshold=6)
+        for i in range(12):
+            tangle.attach("v", f"{i}".encode())
+        assert tangle.is_confirmed(first.tx_id, threshold=6)
+
+    def test_unknown_tx_weight_raises(self, tangle):
+        with pytest.raises(TangleError):
+            tangle.cumulative_weight("nope")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=15))
+    def test_property_genesis_weight_counts_everything(self, count):
+        tangle = Tangle(pow_difficulty_bits=2, seed=3)
+        for i in range(count):
+            tangle.attach("v", f"msg-{i}".encode())
+        assert tangle.cumulative_weight(GENESIS_ID) == count + 1
+
+
+class TestRetrieval:
+    def test_fetch_by_index(self, tangle):
+        tangle.attach("v1", b"a", index="its.road.A1")
+        tangle.attach("v2", b"b", index="its.road.A1")
+        tangle.attach("v3", b"c", index="its.road.B7")
+        road_a = tangle.fetch_index("its.road.A1")
+        assert [tx.payload for tx in road_a] == [b"a", b"b"]
+
+    def test_unknown_index_empty(self, tangle):
+        assert tangle.fetch_index("nothing") == []
+
+    def test_len_excludes_genesis(self, tangle):
+        tangle.attach("v", b"x")
+        assert len(tangle) == 1

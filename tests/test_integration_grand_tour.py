@@ -1,0 +1,100 @@
+"""The grand tour: every extension composed in one realistic scenario.
+
+A single flow on the Algorand simulator exercising, together:
+witness rewards (section 2.8), CA Verifiable Credentials, multi-witness
+proofs, ASA token bonuses, hypercube replication surviving a node
+failure, IPFS gateway pinning surviving uploader GC, and the public
+display pipeline.
+"""
+
+import pytest
+
+from repro.chain.algorand import AlgorandChain
+from repro.core.multiwitness import verify_multi
+from repro.core.proof import ProofFailure
+from repro.core.system import ProofOfLocationSystem
+from repro.core.token_rewards import AsaRewardProgram
+from repro.app import CrowdsensingApp, ReportCategory
+
+ALGO = 10**6
+REWARD = 5_000
+WITNESS_REWARD = 1_000
+LAT, LNG = 44.4949, 11.3426
+
+
+@pytest.fixture(scope="module")
+def world():
+    chain = AlgorandChain(profile="algo-devnet", seed=222, participant_count=6)
+    system = ProofOfLocationSystem(
+        chain=chain, reward=REWARD, max_users=2, witness_reward=WITNESS_REWARD
+    )
+    system.authority.enable_credentials(
+        chain.create_account(seed=b"ca-signing", funding=ALGO).keypair
+    )
+    system.register_prover("marta", LAT, LNG, funding=1_000 * ALGO)
+    system.register_prover("luca", LAT, LNG, funding=1_000 * ALGO)
+    system.register_witness("w1", LAT, LNG + 0.0002)
+    system.register_witness("w2", LAT + 0.0002, LNG)
+    system.register_verifier("comune", funding=10_000 * ALGO)
+    app = CrowdsensingApp(system=system)
+    sponsor = chain.create_account(seed=b"sponsor", funding=1_000 * ALGO)
+    tokens = AsaRewardProgram(chain=chain, sponsor=sponsor, supply=100_000)
+    return chain, system, app, tokens
+
+
+def test_grand_tour(world):
+    chain, system, app, tokens = world
+
+    # -- discovery: both witnesses are in radio range ---------------------------
+    assert set(system.discover_witnesses("marta")) == {"w1", "w2"}
+
+    # -- credentials: the CA issued witness VCs at registration -----------------
+    for name in ("w1", "w2"):
+        key = system.witnesses[name].keypair.public
+        assert system.authority.check_witness_credential(key)
+
+    # -- multi-witness proof: 2-of-2 endorsements --------------------------------
+    request, multi, _cid = system.request_multi_witness_proof(
+        "marta", ["w1", "w2"], b"multi-witnessed observation", threshold=2
+    )
+    keys = system.authority.witness_list("comune")
+    outcome, count = verify_multi(
+        multi, request.did, request.olc, request.nonce, request.cid, keys, threshold=2
+    )
+    assert outcome is ProofFailure.OK and count == 2
+
+    # -- reports: deploy + attach, then verify with witness rewards --------------
+    filed_marta = app.file_report(
+        "marta", "w1", "Overflowing bins", "Not emptied for a week", ReportCategory.WASTE
+    )
+    filed_luca = app.file_report(
+        "luca", "w2", "Oily pond", "Rainbow film on the water", ReportCategory.WATER_POLLUTION
+    )
+    assert filed_marta.submission.was_deploy and not filed_luca.submission.was_deploy
+
+    system.fund_contract("comune", filed_marta.olc, (REWARD + WITNESS_REWARD) * 2)
+    w1_before = chain.balance_of(system.accounts["w1"].address)
+    outcomes = app.review_location("comune", filed_marta.olc)
+    assert all(result is ProofFailure.OK for result in outcomes.values())
+    # The signing witness earned its section 2.8 reward.
+    assert chain.balance_of(system.accounts["w1"].address) == w1_before + WITNESS_REWARD
+
+    # -- token bonus: the sponsor pays campaign ASAs on top ----------------------
+    for name in ("marta", "luca"):
+        tokens.enroll(system.accounts[name])
+        tokens.reward(system.accounts[name].address, 100)
+    assert tokens.balance_of(system.accounts["marta"].address) == 100
+
+    # -- resilience: DHT node failure + uploader GC cannot lose the reports ------
+    responsible = system.dht.responsible_node(filed_marta.olc)
+    system.dht.set_online(responsible.node_id, False)
+    system.ipfs.nodes["marta"].pinned.clear()
+    system.ipfs.nodes["marta"].garbage_collect()
+    reports = app.display_reports(filed_marta.olc)
+    assert {report.title for report in reports} == {"Overflowing bins", "Oily pond"}
+
+    # -- revocation: a rogue witness is stripped in both modes --------------------
+    rogue_key = system.witnesses["w2"].keypair.public
+    system.authority.revoke_witness(rogue_key)
+    assert rogue_key not in system.authority.witness_list("comune")
+    assert not system.authority.check_witness_credential(rogue_key)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.proof import ProofFailure
-from repro.core.system import ProofOfLocationSystem, SubmissionOutcome, SystemError_
+from repro.core.system import PolSystemError, ProofOfLocationSystem, SubmissionOutcome
 from repro.app.reports import Report, ReportCategory
 
 
@@ -93,7 +93,7 @@ class CrowdsensingApp:
                 continue
             try:
                 outcome = self.system.verify_and_reward(verifier_name, olc, filed.did_uint)
-            except SystemError_ as exc:
+            except PolSystemError as exc:
                 raise AppError(str(exc)) from exc
             outcomes[filed.did_uint] = outcome
             if outcome is ProofFailure.OK:

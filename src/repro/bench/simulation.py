@@ -15,15 +15,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.chain.algorand import AlgorandChain
-from repro.chain.base import BaseChain
-from repro.chain.ethereum import EthereumChain
-from repro.chain.polygon import PolygonChain
-from repro.chain.params import PROFILES
+from repro.chain import make_chain
+from repro.chain.base import drive
 from repro.core.contract import build_pol_program, pol_record
 from repro.reach.compiler import CompiledContract, compile_program
 from repro.reach.runtime import DeployedContract, ReachClient
-from repro.bench.workload import USERS_PER_CONTRACT, ProverSpec, generate_workload
+from repro.bench.workload import USERS_PER_CONTRACT, generate_workload
+
+__all__ = [
+    "SimulationResult",
+    "UserTiming",
+    "make_chain",  # re-exported; the dispatch now lives in repro.chain
+    "run_simulation",
+    "run_simulation_concurrent",
+]
 
 
 @dataclass(frozen=True)
@@ -71,16 +76,6 @@ class SimulationResult:
         return "\n".join(lines) + "\n"
 
 
-def make_chain(network: str, seed: int = 0) -> BaseChain:
-    """Instantiate the simulator for a named testnet profile."""
-    profile = PROFILES[network]
-    if network.startswith("polygon"):
-        return PolygonChain(profile=profile, seed=seed, validator_count=8)
-    if profile.family == "evm":
-        return EthereumChain(profile=profile, seed=seed, validator_count=8)
-    return AlgorandChain(profile=profile, seed=seed, participant_count=10)
-
-
 def run_simulation_concurrent(
     network: str,
     user_count: int,
@@ -91,10 +86,14 @@ def run_simulation_concurrent(
     """The thesis's Thread-based variant: attachers act concurrently.
 
     Creators deploy sequentially (each location needs its contract id
-    first), then *all* attachers of all locations run their two-step
-    attach together: every handshake transaction is in flight at once,
-    then every API call.  Per-user latency spans the user's own first
-    submission to its own final confirmation.
+    first), then *all* attachers of all locations start their attach
+    operation at once: every operation is an in-flight future on the
+    shared event queue, each user's API call submitted from its own
+    handshake's confirmation callback.  Per-user latency is the span of
+    the user's handle -- first submission to final confirmation.
+
+    The harness is chain-agnostic: the per-family ceremonies live in
+    the Reach runtime, below this layer.
     """
     chain = make_chain(network, seed=seed)
     client = ReachClient(chain)
@@ -103,7 +102,7 @@ def run_simulation_concurrent(
             build_pol_program(max_users=USERS_PER_CONTRACT, reward=reward or 1_000)
         )
     workload = generate_workload(user_count)
-    funding = 10**18 if chain.profile.family == "evm" else 10**12
+    funding = chain.profile.simulation_funding
     accounts = {
         spec.name: chain.create_account(seed=f"sim/{network}/{spec.name}".encode(), funding=funding)
         for spec in workload
@@ -134,69 +133,35 @@ def run_simulation_concurrent(
         )
 
     attachers = [spec for spec in workload if not spec.is_creator]
-
-    def submit_wave(build_tx):
-        """Sign+submit one transaction per attacher; return txids."""
-        txids = {}
-        for spec in attachers:
-            tx = build_tx(spec)
-            chain.sign(accounts[spec.name], tx)
-            txids[spec.name] = chain.submit(tx)
-        return txids
-
-    def wait_wave(txids):
-        for txid in txids.values():
-            chain.wait(txid)
-
-    if chain.profile.family == "evm":
-        handshakes = submit_wave(
-            lambda spec: chain.make_transaction(
-                accounts[spec.name], "transfer", to=contracts[spec.olc].ref, value=0, gas_limit=21_000
-            )
+    handles = {
+        spec.name: client.attach_and_call_async(
+            contracts[spec.olc],
+            "attacherAPI.insert_data",
+            [records[spec.name], spec.did],
+            sender=accounts[spec.name],
         )
-        wait_wave(handshakes)
-        calls = submit_wave(
-            lambda spec: chain.make_transaction(
-                accounts[spec.name],
-                "call",
-                to=contracts[spec.olc].ref,
-                data={"selector": "attacherAPI.insert_data", "args": [records[spec.name], spec.did]},
-                gas_limit=800_000,
-            )
+        for spec in attachers
+    }
+    if handles:
+        drive(
+            chain.queue,
+            lambda: all(handle.done for handle in handles.values()),
+            max_steps=2_000_000,
+            chain=chain,
         )
-        wait_wave(calls)
-    else:
-        handshakes = submit_wave(
-            lambda spec: chain.make_transaction(
-                accounts[spec.name],
-                "call",
-                data={"app_id": int(contracts[spec.olc].ref), "on_complete": "optin", "args": []},
-            )
-        )
-        wait_wave(handshakes)
-        calls = submit_wave(
-            lambda spec: chain.make_transaction(
-                accounts[spec.name],
-                "call",
-                data={
-                    "app_id": int(contracts[spec.olc].ref),
-                    "args": ["attacherAPI.insert_data", records[spec.name], spec.did],
-                    "budget_txns": 1,
-                },
-            )
-        )
-        wait_wave(calls)
 
     for spec in attachers:
-        first = chain.receipt(handshakes[spec.name])
-        last = chain.receipt(calls[spec.name])
+        handle = handles[spec.name]
+        if handle.error is not None:
+            raise handle.error
+        operation = handle.op_result
         result.timings.append(
             UserTiming(
                 name=spec.name, did=spec.did, olc=spec.olc, operation="attach",
-                latency=(last.confirmed_at or 0.0) - first.submitted_at,
-                fees=first.fee_paid + last.fee_paid,
-                gas_used=first.gas_used + last.gas_used,
-                transactions=2,
+                latency=handle.span,
+                fees=operation.fees,
+                gas_used=operation.gas_used,
+                transactions=len(handle.receipts),
             )
         )
     return result
@@ -224,7 +189,7 @@ def run_simulation(
 
     # Support scripts (section 4.4): create and fund every wallet first,
     # so account creation does not pollute the latency measurements.
-    funding = 10**18 if chain.profile.family == "evm" else 10**12
+    funding = chain.profile.simulation_funding
     accounts = {
         spec.name: chain.create_account(seed=f"sim/{network}/{spec.name}".encode(), funding=funding)
         for spec in workload

@@ -25,20 +25,48 @@ from repro.chain.base import (
     InvalidTransaction,
     Receipt,
     Transaction,
+    TxHandle,
+    TxState,
     TxStatus,
+    drive,
 )
 from repro.chain.params import NetworkProfile, PROFILES
+from repro.chain.service import ChainService
+
+
+def make_chain(network: str, seed: int = 0) -> BaseChain:
+    """Instantiate the simulator for a named testnet profile.
+
+    The only place the chain *class* is picked: everything above (the
+    Reach runtime, the PoL core, the bench harness) is family-agnostic.
+    """
+    from repro.chain.algorand import AlgorandChain
+    from repro.chain.ethereum import EthereumChain
+    from repro.chain.polygon import PolygonChain
+
+    profile = PROFILES[network]
+    if network.startswith("polygon"):
+        return PolygonChain(profile=profile, seed=seed, validator_count=8)
+    if profile.family == "evm":
+        return EthereumChain(profile=profile, seed=seed, validator_count=8)
+    return AlgorandChain(profile=profile, seed=seed, participant_count=10)
+
 
 __all__ = [
     "Account",
     "Block",
     "BaseChain",
     "ChainError",
+    "ChainService",
     "InsufficientFunds",
     "InvalidTransaction",
     "Receipt",
     "Transaction",
+    "TxHandle",
+    "TxState",
     "TxStatus",
     "NetworkProfile",
     "PROFILES",
+    "drive",
+    "make_chain",
 ]

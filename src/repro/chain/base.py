@@ -43,6 +43,14 @@ class TxStatus(Enum):
     REVERTED = "reverted"
 
 
+class TxState(Enum):
+    """Client-observed lifecycle of a :class:`TxHandle`."""
+
+    SUBMITTED = "submitted"
+    CONFIRMED = "confirmed"
+    REJECTED = "rejected"
+
+
 @dataclass
 class Account:
     """A chain account: key pair, chain-specific address, local nonce."""
@@ -170,6 +178,63 @@ class Block:
         )
 
 
+class TxHandle:
+    """A client-side future for one submitted transaction.
+
+    The handle resolves when the transaction's receipt confirms;
+    completion callbacks fire from the block-production/confirmation
+    event path on the chain's :class:`~repro.simnet.events.EventQueue`,
+    so a client never needs to poll-and-drive the queue itself.  Many
+    handles can be in flight on the same queue at once -- the basis of
+    the pipelined submission paths in the Reach runtime and the bench
+    harness.
+    """
+
+    def __init__(self, chain: "BaseChain", txid: str):
+        self.chain = chain
+        self.txid = txid
+        self.submitted_at = chain.queue.clock.now
+        self._callbacks: list[Callable[["TxHandle"], None]] = []
+        chain.subscribe_receipt(txid, self._on_confirmed)
+
+    @property
+    def receipt(self) -> Receipt:
+        """The transaction's (possibly still pending) receipt."""
+        return self.chain.receipt(self.txid)
+
+    @property
+    def done(self) -> bool:
+        """Whether the transaction has reached confirmation depth."""
+        return self.receipt.confirmed_at is not None
+
+    @property
+    def state(self) -> TxState:
+        """submitted -> confirmed | rejected (reverted at execution)."""
+        receipt = self.receipt
+        if receipt.confirmed_at is None:
+            return TxState.SUBMITTED
+        return TxState.CONFIRMED if receipt.status is TxStatus.SUCCESS else TxState.REJECTED
+
+    def add_done_callback(self, callback: Callable[["TxHandle"], None]) -> None:
+        """Run ``callback(self)`` at confirmation (now, if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _on_confirmed(self, receipt: Receipt) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def result(self, max_blocks: int = 10_000) -> Receipt:
+        """Drive the event queue until confirmed (blocking fallback)."""
+        return self.chain.wait(self.txid, max_blocks=max_blocks)
+
+    def __repr__(self) -> str:
+        return f"TxHandle({self.txid[:12]}..., {self.state.value})"
+
+
 @dataclass
 class _MempoolEntry:
     transaction: Transaction
@@ -194,6 +259,8 @@ class BaseChain:
         self.balances: dict[str, int] = {}
         self.known_keys: dict[str, PublicKey] = {}
         self._mempool: list[_MempoolEntry] = []
+        self._receipt_watchers: dict[str, list[Callable[[Receipt], None]]] = {}
+        self._observed_nonces: dict[str, int] = {}
         self.congestion = CongestionProcess(
             mean=profile.congestion_mean,
             volatility=profile.congestion_volatility,
@@ -276,6 +343,11 @@ class BaseChain:
         """The latest sealed block."""
         return self.blocks[-1]
 
+    @property
+    def mempool_depth(self) -> int:
+        """Transactions admitted but not yet included in a block."""
+        return len(self._mempool)
+
     # -- accounts ------------------------------------------------------------
 
     def create_account(self, seed: bytes | None = None, funding: int = 0) -> Account:
@@ -344,7 +416,45 @@ class BaseChain:
         )
         self._mempool.append(entry)
         self.receipts[txid] = Receipt(txid=txid, submitted_at=self.queue.clock.now)
+        observed = self._observed_nonces.get(tx.sender, 0)
+        self._observed_nonces[tx.sender] = max(observed, tx.nonce + 1)
         return txid
+
+    def next_nonce_for(self, address: str) -> int:
+        """The chain-observed next nonce for ``address``.
+
+        Covers admitted transactions (ledger + mempool).  Clients that
+        advanced a local nonce for a transaction the chain *rejected*
+        resync from this value (see :class:`repro.chain.service.ChainService`).
+        """
+        return self._observed_nonces.get(address, 0)
+
+    def submit_async(self, account: Account, tx: Transaction) -> TxHandle:
+        """Sign + submit and return a :class:`TxHandle` future.
+
+        Admission failures still raise synchronously (a node provider
+        surfaces them on the RPC call); only confirmation is deferred.
+        """
+        self.sign(account, tx)
+        return TxHandle(self, self.submit(tx))
+
+    def subscribe_receipt(self, txid: str, callback: Callable[[Receipt], None]) -> None:
+        """Fire ``callback(receipt)`` when ``txid`` reaches confirmation.
+
+        Fires immediately if the transaction is already confirmed.  The
+        callback runs inside the confirmation event, so anything it
+        submits lands on the queue at the confirmation timestamp --
+        exactly when a blocking client would have acted.
+        """
+        receipt = self.receipt(txid)
+        if receipt.confirmed_at is not None:
+            callback(receipt)
+            return
+        self._receipt_watchers.setdefault(txid, []).append(callback)
+
+    def _notify_confirmed(self, receipt: Receipt) -> None:
+        for callback in self._receipt_watchers.pop(receipt.txid, []):
+            callback(receipt)
 
     def receipt(self, txid: str) -> Receipt:
         """Look up the receipt of a submitted transaction."""
@@ -437,9 +547,11 @@ class BaseChain:
 
         def confirm() -> None:
             receipt.confirmed_at = self.queue.clock.now
+            self._notify_confirmed(receipt)
 
         if delay <= 0:
             receipt.confirmed_at = self.queue.clock.now
+            self._notify_confirmed(receipt)
         else:
             self.queue.schedule(delay, confirm, label="confirm")
 
@@ -455,16 +567,41 @@ class BaseChain:
         self.balances[address] = self.balances.get(address, 0) + amount
 
 
-def drive(queue: EventQueue, until: Callable[[], bool], max_steps: int = 200_000) -> None:
+def drive(
+    queue: EventQueue,
+    until: Callable[[], bool],
+    max_steps: int = 200_000,
+    chain: "BaseChain | None" = None,
+) -> None:
     """Step ``queue`` until ``until()`` holds; guard against stalls.
 
     A generic waiting primitive for tests and tools that need a custom
     condition (``BaseChain.wait`` covers the common receipt case).
+    Stalls raise with a diagnostic snapshot -- the pending-event labels
+    and, when ``chain`` is given, its mempool depth -- instead of a
+    bare overrun.
     """
     steps = 0
     while not until():
         if queue.step() is None:
-            raise ChainError("event queue ran dry")
+            raise ChainError(_stall_report("event queue ran dry", queue, chain))
         steps += 1
         if steps > max_steps:
-            raise ChainError("condition not reached within step budget")
+            raise ChainError(
+                _stall_report(f"condition not reached within {max_steps} steps", queue, chain)
+            )
+
+
+def _stall_report(reason: str, queue: EventQueue, chain: "BaseChain | None") -> str:
+    """Summarize what the queue was doing when a drive gave up."""
+    labels = queue.pending_labels()
+    counts: dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    summary = ", ".join(f"{label} x{count}" for label, count in sorted(counts.items()))
+    parts = [reason, f"{len(labels)} pending event(s)"]
+    if summary:
+        parts.append(f"labels: {summary}")
+    if chain is not None:
+        parts.append(f"mempool depth {chain.mempool_depth}")
+    return "; ".join(parts)

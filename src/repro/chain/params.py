@@ -46,6 +46,15 @@ class NetworkProfile:
         """Base units in one native token."""
         return 10**self.decimals
 
+    @property
+    def simulation_funding(self) -> int:
+        """Faucet amount the bench harness gives each prover wallet.
+
+        Family-scaled (a whole ETH vs. a million ALGO's worth of
+        microAlgos) so the harness itself never branches on family.
+        """
+        return 10**18 if self.family == "evm" else 10**12
+
     def to_tokens(self, amount: int) -> float:
         """Convert base units to whole native tokens."""
         return amount / self.base_unit

@@ -1,0 +1,139 @@
+"""The client-side chain session: nonces, fees, bounded retry.
+
+A :class:`ChainService` is what a wallet/SDK session keeps between the
+application and a node provider.  It unifies, for every chain family:
+
+- **nonce allocation** -- hands out client-side nonces and, crucially,
+  *resyncs from chain-observed state when a submission is rejected*.
+  (A naive client advances its local nonce at build time, so a rejected
+  transaction would permanently desync the account.)
+- **fee estimation** -- EIP-1559 on EVM chains (max fee = 2x current
+  base fee + the profile's priority tip) vs. the flat protocol minimum
+  on AVM chains.  The numbers match what the chain's own
+  ``make_transaction`` convenience produces, so both build paths price
+  identically.
+- **bounded retry-on-rejection** -- a rejected submission is rebuilt
+  once per attempt with a resynced nonce and refreshed fees; if the
+  rebuilt transaction would be byte-identical to the rejected one the
+  failure is permanent and re-raised immediately.
+
+The Reach runtime routes every transaction through one service, which
+is how family dispatch stays below the runtime: callers never touch
+``profile.family``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.base import Account, BaseChain, ChainError, Transaction, TxHandle
+from repro.chain.params import GWEI
+
+#: default gas ceiling for EVM transactions built without an explicit limit
+DEFAULT_EVM_GAS_LIMIT = 3_000_000
+
+
+class ChainService:
+    """One client session against one chain, shared by all families."""
+
+    def __init__(self, chain: BaseChain, max_retries: int = 2):
+        self.chain = chain
+        self.family = chain.profile.family
+        self.max_retries = max_retries
+        self.rejections = 0  # rejected submissions observed this session
+        self.retries = 0  # rebuilt submissions that were re-attempted
+
+    # -- fee estimation --------------------------------------------------------
+
+    def fee_fields(self) -> dict[str, int]:
+        """Family-appropriate fee fields for a transaction built now."""
+        if self.family == "evm":
+            from repro.chain.ethereum.chain import MIN_BASE_FEE
+
+            priority = int(self.chain.profile.priority_fee_gwei * GWEI)
+            return {
+                "max_fee_per_gas": max(self.chain.base_fee * 2, MIN_BASE_FEE) + priority,
+                "priority_fee_per_gas": priority,
+            }
+        return {"flat_fee": self.chain.profile.min_fee}
+
+    # -- building --------------------------------------------------------------
+
+    def build(
+        self,
+        account: Account,
+        kind: str,
+        to: str | None = None,
+        value: int = 0,
+        data: dict[str, Any] | None = None,
+        gas_limit: int | None = None,
+    ) -> Transaction:
+        """Build a transaction with a fresh nonce and estimated fees."""
+        if self.family == "evm":
+            gas = DEFAULT_EVM_GAS_LIMIT if gas_limit is None else gas_limit
+        else:
+            gas = 0  # AVM budgets are flat-fee pooled, not gas-metered
+        return Transaction(
+            sender=account.address,
+            nonce=account.next_nonce(),
+            kind=kind,
+            to=to,
+            value=value,
+            data=data or {},
+            gas_limit=gas,
+            **self.fee_fields(),
+        )
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, account: Account, tx: Transaction) -> TxHandle:
+        """Sign + submit ``tx``; return its :class:`TxHandle` future.
+
+        On rejection the account's nonce is resynced from chain state
+        and the transaction rebuilt (fresh nonce + fees) for a bounded
+        number of attempts.  A rebuild that changes nothing cannot
+        succeed either, so the rejection is re-raised at once.
+        """
+        attempts = 0
+        while True:
+            try:
+                self.chain.sign(account, tx)
+                txid = self.chain.submit(tx)
+                return TxHandle(self.chain, txid)
+            except ChainError:
+                self.rejections += 1
+                self.resync_nonce(account)
+                attempts += 1
+                rebuilt = self._rebuild(account, tx)
+                if attempts > self.max_retries or rebuilt is None:
+                    raise
+                self.retries += 1
+                tx = rebuilt
+
+    def _rebuild(self, account: Account, rejected: Transaction) -> Transaction | None:
+        """Re-price/re-nonce a rejected transaction; None if unchanged."""
+        fees = self.fee_fields()
+        next_nonce = account.nonce  # peek: resynced, not yet consumed
+        unchanged = rejected.nonce == next_nonce and all(
+            getattr(rejected, name) == value for name, value in fees.items()
+        )
+        if unchanged:
+            return None
+        return Transaction(
+            sender=rejected.sender,
+            nonce=account.next_nonce(),
+            kind=rejected.kind,
+            to=rejected.to,
+            value=rejected.value,
+            data=rejected.data,
+            gas_limit=rejected.gas_limit,
+            **fees,
+        )
+
+    def resync_nonce(self, account: Account) -> None:
+        """Reset the client-side nonce to the chain-observed next value."""
+        account.nonce = self.chain.next_nonce_for(account.address)
+
+    def transact(self, account: Account, tx: Transaction) -> Any:
+        """Submit and block until confirmation (drives the event queue)."""
+        return self.submit(account, tx).result()

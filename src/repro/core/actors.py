@@ -269,10 +269,31 @@ class Prover(UserBase):
     """Requests proofs from nearby witnesses and files reports."""
 
     rewards_received: int = 0
+    # Pipelined submissions this prover has started but not yet seen
+    # settle (PendingSubmission objects; typed loosely to keep the
+    # actor layer free of a system-facade import).
+    in_flight: list = field(default_factory=list)
+    submissions_settled: int = 0
 
     def make_request(self, nonce: int, cid: str, timestamp: float = 0.0) -> ProofRequest:
         """Assemble the broadcast of figure 2.5."""
         return ProofRequest(did=self.did_uint, olc=self.olc, nonce=nonce, cid=cid, timestamp=timestamp)
+
+    def track_submission(self, pending) -> None:
+        """Remember a submission the prover has in flight."""
+        self.in_flight.append(pending)
+
+    @property
+    def unsettled(self) -> list:
+        """Submissions still waiting on chain confirmations."""
+        return [pending for pending in self.in_flight if not pending.done]
+
+    def settle_submissions(self) -> list:
+        """Drop (and return) the submissions that have since settled."""
+        settled = [pending for pending in self.in_flight if pending.done]
+        self.in_flight = [pending for pending in self.in_flight if not pending.done]
+        self.submissions_settled += len(settled)
+        return settled
 
 
 @dataclass

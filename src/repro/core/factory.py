@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.chain.base import Account, BaseChain
 from repro.reach.compiler import CompiledContract
-from repro.reach.runtime import DeployedContract, ReachClient
+from repro.reach.runtime import DeployedContract, OpHandle, ReachClient
 
 
 class FactoryError(Exception):
@@ -35,6 +35,7 @@ class ContractFactory:
     template: CompiledContract
     client: ReachClient = None  # type: ignore[assignment]
     instances: dict[str, DeployedContract] = field(default_factory=dict)  # olc -> instance
+    pending: dict[str, OpHandle] = field(default_factory=dict)  # olc -> in-flight deploy
 
     def __post_init__(self) -> None:
         if self.client is None:
@@ -49,18 +50,41 @@ class ContractFactory:
         """The live instance for a location, if any."""
         return self.instances.get(olc.upper())
 
+    def pending_deploy_for(self, olc: str) -> OpHandle | None:
+        """The in-flight deploy for a location, if one is pipelined."""
+        return self.pending.get(olc.upper())
+
     def deploy_instance(self, olc: str, creator: Account, did: int, data: str) -> DeployedContract:
         """Spawn the per-location instance (one contract per area).
 
         The creator is the first prover that arrives at a location with
         no existing contract (figure 2.3).
         """
+        return self.deploy_instance_async(olc, creator, did, data).wait().value
+
+    def deploy_instance_async(self, olc: str, creator: Account, did: int, data: str) -> OpHandle:
+        """Start the per-location deploy without blocking.
+
+        The location is *reserved* at submission time, so pipelined
+        provers racing to the same fresh location observe the pending
+        deploy (and attach behind it) instead of double-deploying --
+        duplicate-contract safety no longer depends on serializing the
+        whole ceremony.
+        """
         olc = olc.upper()
         if olc in self.instances:
             raise FactoryError(f"location {olc} already has contract {self.instances[olc].ref}")
-        deployed = self.client.deploy(self.template, creator, [olc, did, data])
-        self.instances[olc] = deployed
-        return deployed
+        if olc in self.pending:
+            raise FactoryError(f"location {olc} already has a deploy in flight")
+        handle = self.client.deploy_async(self.template, creator, [olc, did, data])
+        self.pending[olc] = handle
+        handle.add_done_callback(lambda settled: self._deploy_settled(olc, settled))
+        return handle
+
+    def _deploy_settled(self, olc: str, handle: OpHandle) -> None:
+        self.pending.pop(olc, None)
+        if handle.error is None:
+            self.instances[olc] = handle.value
 
     def all_instances(self) -> list[tuple[str, str]]:
         """Every (location, contract id) the factory has spawned."""

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.chain.base import Account, BaseChain
+from repro.chain.base import Account, BaseChain, drive
 from repro.did.registry import DidRegistry
 from repro.dht.hypercube import HypercubeDHT
 from repro.ipfs.network import IpfsNetwork
 from repro.reach.compiler import CompiledContract, compile_program
-from repro.reach.runtime import DeployedContract, OpResult, ReachClient
+from repro.reach.runtime import DeployedContract, OpHandle, OpResult, ReachClient
 from repro.core.actors import CertificationAuthority, Prover, Verifier, Witness, uint_did
 from repro.core.bluetooth import BluetoothChannel
 from repro.core.contract import build_pol_program, parse_pol_record, pol_record
@@ -30,8 +30,13 @@ from repro.core.factory import ContractFactory
 from repro.core.proof import LocationProof, ProofFailure, ProofRequest
 
 
-class SystemError_(Exception):
+class PolSystemError(Exception):
     """A facade-level failure (unknown user, missing contract...)."""
+
+
+#: Deprecated alias, kept for one release: the class used to shadow the
+#: awkwardly-underscored name.  New code should catch PolSystemError.
+SystemError_ = PolSystemError
 
 
 @dataclass
@@ -42,6 +47,44 @@ class SubmissionOutcome:
     operation: OpResult
     was_deploy: bool
     olc: str
+
+
+@dataclass
+class PendingSubmission:
+    """A pipelined submission (figure 2.3's flow as a future).
+
+    Wraps the in-flight operation handle; once the event queue settles
+    it, :meth:`outcome` yields the same :class:`SubmissionOutcome` the
+    blocking :meth:`ProofOfLocationSystem.submit` returns.
+    """
+
+    handle: OpHandle
+    olc: str
+    was_deploy: bool
+    deployed: DeployedContract | None = None  # known up front on attach paths
+
+    @property
+    def done(self) -> bool:
+        """Whether every transaction of the submission has confirmed."""
+        return self.handle.done
+
+    def outcome(self) -> SubmissionOutcome:
+        """The settled result; raises the operation's failure, if any."""
+        if not self.handle.done:
+            raise PolSystemError(f"submission for {self.olc} is still in flight")
+        if self.handle.error is not None:
+            raise self.handle.error
+        if self.was_deploy:
+            deployed = self.handle.value
+            return SubmissionOutcome(
+                deployed=deployed, operation=deployed.deploy_result, was_deploy=True, olc=self.olc
+            )
+        deployed = self.deployed
+        if deployed is None:  # attached behind a then-pending deploy
+            raise PolSystemError(f"no contract resolved for {self.olc}")
+        return SubmissionOutcome(
+            deployed=deployed, operation=self.handle.op_result, was_deploy=False, olc=self.olc
+        )
 
 
 @dataclass
@@ -91,12 +134,12 @@ class ProofOfLocationSystem:
 
     def _onboard(self, name: str, latitude: float, longitude: float, funding: int) -> tuple[Account, str, int]:
         if name in self.accounts:
-            raise SystemError_(f"user {name!r} already registered")
+            raise PolSystemError(f"user {name!r} already registered")
         account = self.chain.create_account(seed=f"user/{name}".encode(), funding=funding)
         document = self.registry.create(account.keypair)
         short_did = uint_did(document.id)
         if short_did in self._did_uints:
-            raise SystemError_(f"UInt DID collision for {name!r}; re-register with a new wallet")
+            raise PolSystemError(f"UInt DID collision for {name!r}; re-register with a new wallet")
         self._did_uints[short_did] = document.id
         self.accounts[name] = account
         self.channel.register(name, latitude, longitude)
@@ -129,7 +172,7 @@ class ProofOfLocationSystem:
     def register_verifier(self, name: str, funding: int) -> Verifier:
         """Onboard an accredited verifier (permissioned verification)."""
         if name in self.accounts:
-            raise SystemError_(f"user {name!r} already registered")
+            raise PolSystemError(f"user {name!r} already registered")
         account = self.chain.create_account(seed=f"user/{name}".encode(), funding=funding)
         self.accounts[name] = account
         self.authority.accredit_verifier(name)
@@ -163,7 +206,7 @@ class ProofOfLocationSystem:
         Bluetooth range of the prover's device."""
         prover = self.provers.get(prover_name)
         if prover is None:
-            raise SystemError_(f"unknown prover {prover_name!r}")
+            raise PolSystemError(f"unknown prover {prover_name!r}")
         nearby = self.channel.discover(prover.device_id)
         return [name for name in nearby if name in self.witnesses]
 
@@ -180,7 +223,7 @@ class ProofOfLocationSystem:
         from repro.core.multiwitness import MultiWitnessError, aggregate_proofs
 
         if not witness_names:
-            raise SystemError_("at least one witness is required")
+            raise PolSystemError("at least one witness is required")
         prover = self.provers[prover_name]
         coordinator = self.witnesses[witness_names[0]]
         cid = self.ipfs.add(prover_name, report_content)
@@ -215,18 +258,35 @@ class ProofOfLocationSystem:
             except WitnessRefusal:
                 continue  # an unreachable/unconvinced witness just abstains
         if len(proofs) < threshold:
-            raise SystemError_(
+            raise PolSystemError(
                 f"only {len(proofs)} of the required {threshold} endorsements collected"
             )
         try:
             return request, aggregate_proofs(request, proofs), cid
         except MultiWitnessError as exc:
-            raise SystemError_(str(exc)) from exc
+            raise PolSystemError(str(exc)) from exc
 
     # -- figure 2.3: hypercube lookup + deploy-or-attach -------------------------------
 
     def submit(self, prover_name: str, request: ProofRequest, proof: LocationProof) -> SubmissionOutcome:
         """Store the proof record in the location's contract."""
+        pending = self.submit_async(prover_name, request, proof)
+        pending.handle.wait()
+        self.provers[prover_name].settle_submissions()
+        return pending.outcome()
+
+    def submit_async(self, prover_name: str, request: ProofRequest, proof: LocationProof) -> PendingSubmission:
+        """Start a submission without blocking on confirmations.
+
+        Resolves figure 2.3's branch immediately (the hypercube lookup
+        and factory state are local), then pipelines the chain side:
+
+        - location has a live contract -> attach operation;
+        - location has a deploy *in flight* (another pipelined prover
+          got there first) -> attach scheduled behind that deploy;
+        - fresh location -> deploy; the hypercube registration runs in
+          the deploy's confirmation callback.
+        """
         prover = self.provers[prover_name]
         account = self.accounts[prover_name]
         record = pol_record(
@@ -240,14 +300,54 @@ class ProofOfLocationSystem:
         if lookup.found and lookup.content is not None:
             deployed = self.factory.instance_for(request.olc)
             if deployed is None:
-                raise SystemError_(f"hypercube references unknown contract {lookup.content.contract_id}")
-            operation = deployed.attach_and_call(
-                "attacherAPI.insert_data", record, prover.did_uint, sender=account
+                raise PolSystemError(f"hypercube references unknown contract {lookup.content.contract_id}")
+            handle = self.client.attach_and_call_async(
+                deployed, "attacherAPI.insert_data", [record, prover.did_uint], sender=account
             )
-            return SubmissionOutcome(deployed=deployed, operation=operation, was_deploy=False, olc=request.olc)
-        deployed = self.factory.deploy_instance(request.olc, account, prover.did_uint, record)
-        self.dht.register_contract(request.olc, deployed.ref)
-        return SubmissionOutcome(deployed=deployed, operation=deployed.deploy_result, was_deploy=True, olc=request.olc)
+            submission = PendingSubmission(handle=handle, olc=request.olc, was_deploy=False, deployed=deployed)
+            prover.track_submission(submission)
+            return submission
+        in_flight = self.factory.pending_deploy_for(request.olc)
+        if in_flight is not None:
+            handle = self.client.attach_and_call_after(
+                in_flight, "attacherAPI.insert_data", [record, prover.did_uint], sender=account
+            )
+            submission = PendingSubmission(handle=handle, olc=request.olc, was_deploy=False)
+
+            def resolve_instance(settled: OpHandle) -> None:
+                if settled.error is None:
+                    submission.deployed = settled.value
+
+            in_flight.add_done_callback(resolve_instance)
+            prover.track_submission(submission)
+            return submission
+        handle = self.factory.deploy_instance_async(request.olc, account, prover.did_uint, record)
+
+        def register_location(settled: OpHandle) -> None:
+            if settled.error is None:
+                self.dht.register_contract(request.olc, settled.value.ref)
+
+        handle.add_done_callback(register_location)
+        submission = PendingSubmission(handle=handle, olc=request.olc, was_deploy=True)
+        prover.track_submission(submission)
+        return submission
+
+    def submit_many(self, submissions: list[tuple[str, ProofRequest, LocationProof]]) -> list[SubmissionOutcome]:
+        """Pipeline many provers' submissions on the shared event queue.
+
+        All operations are started up front (their transactions
+        interleave in the same blocks) and the queue is driven once
+        until every one settles -- the system-level counterpart of the
+        bench harness's concurrent mode.
+        """
+        pending = [self.submit_async(name, request, proof) for name, request, proof in submissions]
+        if pending:
+            drive(self.chain.queue, lambda: all(p.done for p in pending), chain=self.chain)
+        for prover_name, request, _ in submissions:
+            tracker = self.provers.get(prover_name)
+            if tracker is not None:
+                tracker.settle_submissions()
+        return [p.outcome() for p in pending]
 
     # -- verifier flows (figure 2.6) -----------------------------------------------------
 
@@ -261,11 +361,11 @@ class ProofOfLocationSystem:
         """Read the record, check the proof, reward, feed the hypercube."""
         verifier = self.verifiers.get(verifier_name)
         if verifier is None:
-            raise SystemError_(f"{verifier_name!r} is not an accredited verifier")
+            raise PolSystemError(f"{verifier_name!r} is not an accredited verifier")
         deployed = self._contract_at(olc)
         raw = deployed.map_value("easy_map", did_uint)
         if raw is None:
-            raise SystemError_(f"no record for DID {did_uint} in contract {deployed.ref}")
+            raise PolSystemError(f"no record for DID {did_uint} in contract {deployed.ref}")
         fields = parse_pol_record(raw)
         prover_public = None
         prover_did = self._did_uints.get(did_uint)
@@ -294,7 +394,7 @@ class ProofOfLocationSystem:
             )
             witness_wallet = self.authority.witness_wallet(signer) if signer else None
             if witness_wallet is None:
-                raise SystemError_("cannot resolve the signing witness's wallet")
+                raise PolSystemError("cannot resolve the signing witness's wallet")
             deployed.api(
                 "verifierAPI.verify", did_uint, str(fields["wallet"]), witness_wallet, sender=account
             )
@@ -320,7 +420,7 @@ class ProofOfLocationSystem:
         """
         prover = self.provers.get(prover_name)
         if prover is None:
-            raise SystemError_(f"unknown prover {prover_name!r}")
+            raise PolSystemError(f"unknown prover {prover_name!r}")
         old_account = self.accounts[prover_name]
         self.registry.deactivate(prover.did, old_account.keypair)
         self._did_uints.pop(prover.did_uint, None)
@@ -333,7 +433,7 @@ class ProofOfLocationSystem:
         document = self.registry.create(new_account.keypair)
         short_did = uint_did(document.id)
         if short_did in self._did_uints:
-            raise SystemError_("UInt DID collision on rotation; retry")
+            raise PolSystemError("UInt DID collision on rotation; retry")
         self._did_uints[short_did] = document.id
         self.accounts[prover_name] = new_account
         rotated = Prover(
@@ -359,5 +459,5 @@ class ProofOfLocationSystem:
     def _contract_at(self, olc: str) -> DeployedContract:
         deployed = self.factory.instance_for(olc)
         if deployed is None:
-            raise SystemError_(f"no contract deployed for location {olc}")
+            raise PolSystemError(f"no contract deployed for location {olc}")
         return deployed

@@ -21,9 +21,10 @@ locally ("their use does not cause any cost", section 4.1.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Generator
 
-from repro.chain.base import Account, BaseChain, Receipt, TxStatus
+from repro.chain.base import Account, BaseChain, Receipt, TxHandle, TxStatus, drive
+from repro.chain.service import ChainService
 from repro.reach.compiler import CompiledContract
 from repro.reach.ir import IRFunction
 
@@ -102,6 +103,115 @@ class OpResult:
         return sum(r.gas_used for r in self.receipts)
 
 
+#: the protocol of an operation plan: a generator that yields awaitables
+#: (``TxHandle`` or nested ``OpHandle``) and returns the final value.
+OpPlan = Generator[Any, Any, Any]
+
+
+class OpHandle:
+    """A composite future: one logical operation spanning 1..n transactions.
+
+    Drives a *plan* -- a generator modelling the operation's state
+    machine (EVM handshake+call, AVM optin+call, the 4-step AVM deploy)
+    -- by submitting each step when the previous one confirms.  All
+    progress happens inside receipt-subscription callbacks fired from
+    the chain's event path, so any number of handles interleave on one
+    event queue without anyone polling.
+
+    The plan may yield :class:`~repro.chain.base.TxHandle` futures
+    (their receipts are collected onto the operation) or other
+    ``OpHandle`` instances (sub-operations owned by someone else, e.g.
+    a pending deploy an attacher must wait out; their receipts are not
+    absorbed).
+    """
+
+    def __init__(
+        self,
+        chain: BaseChain,
+        plan: OpPlan,
+        finalize: Callable[["OpResult"], Any] | None = None,
+        label: str = "",
+    ):
+        self.chain = chain
+        self.label = label
+        self.receipts: list[Receipt] = []
+        self.value: Any = None
+        self.error: Exception | None = None
+        self.done = False
+        self.started_at = chain.queue.clock.now
+        self.finished_at: float | None = None
+        self._plan = plan
+        self._finalize = finalize
+        self._callbacks: list[Callable[["OpHandle"], None]] = []
+        self._advance(None)
+
+    # -- state machine ---------------------------------------------------------
+
+    def _advance(self, completed: Any) -> None:
+        if isinstance(completed, TxHandle):
+            self.receipts.append(completed.receipt)
+        try:
+            step = self._plan.send(completed)
+        except StopIteration as stop:
+            self._settle(stop.value)
+            return
+        except Exception as failure:  # the plan observed a revert/failure
+            self.error = failure
+            self._settle(None)
+            return
+        step.add_done_callback(self._advance)
+
+    def _settle(self, raw: Any) -> None:
+        self.finished_at = self.chain.queue.clock.now
+        if self.error is None:
+            partial = OpResult(value=raw, receipts=self.receipts)
+            self.value = self._finalize(partial) if self._finalize else raw
+        self.done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- future API ------------------------------------------------------------
+
+    @property
+    def op_result(self) -> OpResult:
+        """The aggregated outcome (value + receipts) once settled."""
+        return OpResult(value=self.value, receipts=self.receipts)
+
+    @property
+    def span(self) -> float:
+        """Client-perceived seconds from initiation to final confirmation.
+
+        This is what the concurrent bench harness records per user: the
+        wall span off the handle's own timestamps, not the sum of
+        receipt latencies (steps of *different* users overlap).
+        """
+        end = self.finished_at if self.finished_at is not None else self.chain.queue.clock.now
+        return end - self.started_at
+
+    def add_done_callback(self, callback: Callable[["OpHandle"], None]) -> None:
+        """Run ``callback(self)`` at settlement (now, if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def wait(self, max_steps: int = 500_000) -> "OpHandle":
+        """Drive the event queue until settled; re-raise any failure."""
+        drive(self.chain.queue, lambda: self.done, max_steps=max_steps, chain=self.chain)
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def result(self, max_steps: int = 500_000) -> Any:
+        """Block until settled and return the operation's value."""
+        return self.wait(max_steps=max_steps).value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "in-flight"
+        return f"OpHandle({self.label or 'op'}, {state}, {len(self.receipts)} receipt(s))"
+
+
 @dataclass
 class DeployedContract:
     """A handle on a live contract instance."""
@@ -117,15 +227,22 @@ class DeployedContract:
         """Call an API method (one transaction); raise on revert."""
         return self.client.call(self, method, list(args), sender=sender, pay=pay)
 
+    def api_async(self, method: str, *args: Any, sender: Account, pay: int = 0) -> OpHandle:
+        """Non-blocking :meth:`api`: returns the operation's future."""
+        return self.client.call_async(self, method, list(args), sender=sender, pay=pay)
+
     def attach(self, account: Account) -> OpResult:
         """Run the attach handshake only (first half of the attach op)."""
         return self.client.attach(self, account)
 
     def attach_and_call(self, method: str, *args: Any, sender: Account, pay: int = 0) -> OpResult:
         """The full 2-transaction *attach operation* the thesis measures."""
-        handshake = self.client.attach(self, sender)
-        call = self.client.call(self, method, list(args), sender=sender, pay=pay)
-        return OpResult(value=call.value, receipts=handshake.receipts + call.receipts)
+        handle = self.client.attach_and_call_async(self, method, list(args), sender=sender, pay=pay)
+        return handle.wait().op_result
+
+    def attach_and_call_async(self, method: str, *args: Any, sender: Account, pay: int = 0) -> OpHandle:
+        """Non-blocking attach operation: optin/handshake then the call."""
+        return self.client.attach_and_call_async(self, method, list(args), sender=sender, pay=pay)
 
     def timeout(self, phase_index: int, sender: Account) -> OpResult:
         """Fire a phase timeout (anyone may call it after the deadline)."""
@@ -163,106 +280,117 @@ class ReachClient:
         self.family = chain.profile.family
         if self.family not in ("evm", "avm"):
             raise ReachRuntimeError(f"unsupported chain family {self.family}")
+        self.service = ChainService(chain)
         self._code_hashes: dict[str, str] = {}
 
     # -- deploy ---------------------------------------------------------------
 
     def deploy(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> DeployedContract:
         """Deploy + creator data insert (the thesis's *deploy operation*)."""
+        return self.deploy_async(compiled, creator, publish_args).wait().value
+
+    def deploy_async(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> OpHandle:
+        """Non-blocking deploy; the handle's value is the DeployedContract.
+
+        The multi-step ceremony (EVM create+publish, AVM
+        create/fund/optin/publish) runs as an event-driven state
+        machine: each transaction is submitted from the previous one's
+        confirmation callback.
+        """
         expected = len(compiled.program.publish_params)
         if len(publish_args) != expected:
             raise ReachRuntimeError(f"publish0 expects {expected} values, got {len(publish_args)}")
         if self.family == "evm":
-            return self._deploy_evm(compiled, creator, publish_args)
-        return self._deploy_avm(compiled, creator, publish_args)
+            plan = self._deploy_evm_plan(compiled, creator, publish_args)
+        else:
+            plan = self._deploy_avm_plan(compiled, creator, publish_args)
 
-    def _deploy_evm(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> DeployedContract:
-        chain = self.chain
+        def finalize(partial: OpResult) -> DeployedContract:
+            return DeployedContract(
+                compiled=compiled,
+                chain=self.chain,
+                client=self,
+                ref=partial.value,
+                creator=creator.address,
+                deploy_result=OpResult(receipts=partial.receipts),
+            )
+
+        return OpHandle(self.chain, plan, finalize=finalize, label=f"deploy:{compiled.name}")
+
+    def _deploy_evm_plan(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> OpPlan:
         code_hash = self._code_hashes.get(compiled.name)
         if code_hash is None:
-            code_hash = chain.register_code(compiled.evm_code)
+            code_hash = self.chain.register_code(compiled.evm_code)
             self._code_hashes[compiled.name] = code_hash
-        create = chain.make_transaction(
+        create = self.service.build(
             creator, "create", data={"code_hash": code_hash, "args": []}, gas_limit=EVM_CREATE_GAS_LIMIT
         )
-        create_receipt = chain.transact(creator, create)
+        create_receipt = (yield self.service.submit(creator, create)).receipt
         if create_receipt.status is not TxStatus.SUCCESS:
             raise ReachCallError(create_receipt)
         address = create_receipt.contract_address
-        publish = chain.make_transaction(
+        publish = self.service.build(
             creator,
             "call",
             to=address,
             data={"selector": "publish0", "args": publish_args},
             gas_limit=EVM_CALL_GAS_LIMIT,
         )
-        publish_receipt = chain.transact(creator, publish)
+        publish_receipt = (yield self.service.submit(creator, publish)).receipt
         if publish_receipt.status is not TxStatus.SUCCESS:
             raise ReachCallError(publish_receipt)
-        return DeployedContract(
-            compiled=compiled,
-            chain=chain,
-            client=self,
-            ref=address,
-            creator=creator.address,
-            deploy_result=OpResult(receipts=[create_receipt, publish_receipt]),
-        )
+        return address
 
-    def _deploy_avm(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> DeployedContract:
+    def _deploy_avm_plan(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> OpPlan:
         chain = self.chain
         program_hash = self._code_hashes.get(compiled.name)
         if program_hash is None:
             program_hash = chain.register_program(compiled.teal_source)
             self._code_hashes[compiled.name] = program_hash
-        receipts: list[Receipt] = []
 
-        create = chain.make_transaction(creator, "create", data={"program_hash": program_hash, "args": []})
-        create_receipt = chain.transact(creator, create)
+        create = self.service.build(creator, "create", data={"program_hash": program_hash, "args": []})
+        create_receipt = (yield self.service.submit(creator, create)).receipt
         if create_receipt.status is not TxStatus.SUCCESS:
             raise ReachCallError(create_receipt)
-        receipts.append(create_receipt)
         app_id = int(create_receipt.contract_address)
         app_address = chain.app_address(app_id)
 
-        fund = chain.make_transaction(creator, "transfer", to=app_address, value=ALGO_APP_FUNDING)
-        fund_receipt = chain.transact(creator, fund)
-        receipts.append(fund_receipt)
+        fund = self.service.build(creator, "transfer", to=app_address, value=ALGO_APP_FUNDING)
+        yield self.service.submit(creator, fund)
 
-        optin = chain.make_transaction(creator, "call", data={"app_id": app_id, "on_complete": "optin", "args": []})
-        receipts.append(chain.transact(creator, optin))
+        optin = self.service.build(creator, "call", data={"app_id": app_id, "on_complete": "optin", "args": []})
+        yield self.service.submit(creator, optin)
 
-        publish = chain.make_transaction(
+        publish = self.service.build(
             creator,
             "call",
             data={"app_id": app_id, "args": ["publish0", *publish_args], "budget_txns": ALGO_BUDGET_TXNS},
         )
-        publish_receipt = chain.transact(creator, publish)
+        publish_receipt = (yield self.service.submit(creator, publish)).receipt
         if publish_receipt.status is not TxStatus.SUCCESS:
             raise ReachCallError(publish_receipt)
-        receipts.append(publish_receipt)
-        return DeployedContract(
-            compiled=compiled,
-            chain=chain,
-            client=self,
-            ref=str(app_id),
-            creator=creator.address,
-            deploy_result=OpResult(receipts=receipts),
-        )
+        return str(app_id)
 
     # -- attach + calls ----------------------------------------------------------
 
     def attach(self, deployed: DeployedContract, account: Account) -> OpResult:
         """The attach handshake transaction."""
-        chain = self.chain
+        return self.attach_async(deployed, account).wait().op_result
+
+    def attach_async(self, deployed: DeployedContract, account: Account) -> OpHandle:
+        """Non-blocking attach handshake (EVM transfer / AVM opt-in)."""
+        plan = self._attach_plan(deployed, account)
+        return OpHandle(self.chain, plan, label=f"attach:{deployed.ref}")
+
+    def _attach_plan(self, deployed: DeployedContract, account: Account) -> OpPlan:
         if self.family == "evm":
-            handshake = chain.make_transaction(
-                account, "transfer", to=deployed.ref, value=0, gas_limit=21_000
+            handshake = self.service.build(account, "transfer", to=deployed.ref, value=0, gas_limit=21_000)
+        else:
+            handshake = self.service.build(
+                account, "call", data={"app_id": int(deployed.ref), "on_complete": "optin", "args": []}
             )
-            return OpResult(receipts=[chain.transact(account, handshake)])
-        optin = chain.make_transaction(
-            account, "call", data={"app_id": int(deployed.ref), "on_complete": "optin", "args": []}
-        )
-        return OpResult(receipts=[chain.transact(account, optin)])
+        yield self.service.submit(account, handshake)
+        return None
 
     def call(
         self,
@@ -273,12 +401,33 @@ class ReachClient:
         pay: int = 0,
     ) -> OpResult:
         """One API-method transaction; decodes the return value."""
+        return self.call_async(deployed, method, args, sender=sender, pay=pay).wait().op_result
+
+    def call_async(
+        self,
+        deployed: DeployedContract,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int = 0,
+    ) -> OpHandle:
+        """Non-blocking API call; the handle's value is the return value."""
+        plan = self._call_plan(deployed, method, args, sender, pay)
+        return OpHandle(self.chain, plan, label=f"call:{method}")
+
+    def _call_plan(
+        self,
+        deployed: DeployedContract,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int,
+    ) -> OpPlan:
         function = deployed.compiled.ir.functions.get(method)
         if function is None:
             raise ReachRuntimeError(f"unknown method {method!r}")
-        chain = self.chain
         if self.family == "evm":
-            tx = chain.make_transaction(
+            tx = self.service.build(
                 sender,
                 "call",
                 to=deployed.ref,
@@ -286,20 +435,79 @@ class ReachClient:
                 data={"selector": method, "args": args},
                 gas_limit=EVM_CALL_GAS_LIMIT,
             )
-            receipt = chain.transact(sender, tx)
+            receipt = (yield self.service.submit(sender, tx)).receipt
             if receipt.status is not TxStatus.SUCCESS:
                 raise ReachCallError(receipt)
-            return OpResult(value=receipt.return_value, receipts=[receipt])
-        tx = chain.make_transaction(
+            return receipt.return_value
+        tx = self.service.build(
             sender,
             "call",
             value=pay,
             data={"app_id": int(deployed.ref), "args": [method, *args], "budget_txns": ALGO_BUDGET_TXNS},
         )
-        receipt = chain.transact(sender, tx)
+        receipt = (yield self.service.submit(sender, tx)).receipt
         if receipt.status is not TxStatus.SUCCESS:
             raise ReachCallError(receipt)
-        return OpResult(value=_decode_avm_return(function, receipt.return_value), receipts=[receipt])
+        return _decode_avm_return(function, receipt.return_value)
+
+    def attach_and_call_async(
+        self,
+        deployed: DeployedContract,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int = 0,
+    ) -> OpHandle:
+        """The pipelined 2-transaction attach operation as one future."""
+        plan = self._attach_and_call_plan(deployed, method, args, sender, pay)
+        return OpHandle(self.chain, plan, label=f"attach+call:{method}")
+
+    def _attach_and_call_plan(
+        self,
+        deployed: DeployedContract,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int,
+    ) -> OpPlan:
+        yield from self._attach_plan(deployed, sender)
+        value = yield from self._call_plan(deployed, method, args, sender, pay)
+        return value
+
+    def attach_and_call_after(
+        self,
+        pending_deploy: OpHandle,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int = 0,
+    ) -> OpHandle:
+        """Attach to a contract whose deploy is still in flight.
+
+        The plan first awaits the (other user's) deploy handle, then
+        runs the normal attach operation against the fresh instance.
+        The deploy's receipts stay with the deployer; only the
+        attacher's own two transactions land on this handle.
+        """
+        plan = self._attach_after_plan(pending_deploy, method, args, sender, pay)
+        return OpHandle(self.chain, plan, label=f"attach-after:{method}")
+
+    def _attach_after_plan(
+        self,
+        pending_deploy: OpHandle,
+        method: str,
+        args: list[Any],
+        sender: Account,
+        pay: int,
+    ) -> OpPlan:
+        settled = yield pending_deploy
+        if settled.error is not None:
+            raise ReachRuntimeError(
+                f"cannot attach: the pending deploy failed ({settled.error})"
+            )
+        deployed = settled.value
+        value = yield from self._attach_and_call_plan(deployed, method, args, sender, pay)
+        return value
 
     # -- views ------------------------------------------------------------------
 

@@ -56,6 +56,18 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
+    def pending_labels(self) -> list[str]:
+        """Labels of the pending events in firing order (diagnostics).
+
+        Unlabelled events report as ``"<unlabelled>"``; cancelled events
+        are skipped, matching :meth:`__len__`.
+        """
+        return [
+            event.label or "<unlabelled>"
+            for event in sorted(self._heap)
+            if not event.cancelled
+        ]
+
     def step(self) -> ScheduledEvent | None:
         """Fire the earliest pending event, advancing the clock to it.
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chain import InsufficientFunds, InvalidTransaction, TxStatus
+from repro.chain import ChainError, InsufficientFunds, InvalidTransaction, TxState, TxStatus, drive
 from repro.chain.ethereum import EthereumChain
 
 ETH = 10**18
@@ -131,3 +131,92 @@ class TestBlocks:
         receipt = chain.transact(alice, tx)
         block = chain.blocks[receipt.block_number]
         assert any(t.txid == receipt.txid for t in block.transactions)
+
+
+class TestTxHandle:
+    def test_submit_async_returns_live_handle(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        handle = chain.submit_async(alice, tx)
+        assert handle.state is TxState.SUBMITTED
+        assert not handle.done
+
+    def test_handle_confirms_without_polling(self, chain, alice, bob):
+        """Callbacks fire from the block-production event path."""
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        handle = chain.submit_async(alice, tx)
+        confirmed_at = []
+        handle.add_done_callback(lambda h: confirmed_at.append(chain.queue.clock.now))
+        drive(chain.queue, lambda: handle.done, chain=chain)
+        assert handle.state is TxState.CONFIRMED
+        assert confirmed_at == [handle.receipt.confirmed_at]
+
+    def test_callback_added_after_done_fires_immediately(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        handle = chain.submit_async(alice, tx)
+        handle.result()
+        fired = []
+        handle.add_done_callback(fired.append)
+        assert fired == [handle]
+
+    def test_many_handles_interleave_on_one_queue(self, chain, alice, bob):
+        handles = []
+        for _ in range(4):
+            tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+            handles.append(chain.submit_async(alice, tx))
+        assert chain.mempool_depth == 4
+        drive(chain.queue, lambda: all(h.done for h in handles), chain=chain)
+        blocks = {h.receipt.block_number for h in handles}
+        assert len(blocks) == 1  # one block took all four
+
+    def test_result_is_the_blocking_fallback(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        handle = chain.submit_async(alice, tx)
+        receipt = handle.result()
+        assert receipt.status is TxStatus.SUCCESS
+        assert handle.done
+
+    def test_subscribe_to_confirmed_receipt_fires_immediately(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        receipt = chain.transact(alice, tx)
+        seen = []
+        chain.subscribe_receipt(receipt.txid, seen.append)
+        assert seen == [receipt]
+
+    def test_subscribe_to_unknown_txid_raises(self, chain):
+        with pytest.raises(ChainError):
+            chain.subscribe_receipt("deadbeef", lambda receipt: None)
+
+
+class TestNonceObservation:
+    def test_chain_tracks_admitted_nonces(self, chain, alice, bob):
+        assert chain.next_nonce_for(alice.address) == 0
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        chain.transact(alice, tx)
+        assert chain.next_nonce_for(alice.address) == 1
+
+    def test_rejected_submission_does_not_advance_observed_nonce(self, chain, alice, bob):
+        """The drift scenario: the local nonce advances on a rejection,
+        but the chain-observed nonce (the resync source) does not."""
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=100 * ETH)
+        chain.sign(alice, tx)
+        with pytest.raises(InsufficientFunds):
+            chain.submit(tx)
+        assert alice.nonce == 1  # drifted client-side
+        assert chain.next_nonce_for(alice.address) == 0  # truth to resync from
+
+
+class TestDriveDiagnostics:
+    def test_dry_queue_reports_pending_state(self, chain):
+        with pytest.raises(ChainError, match="ran dry"):
+            drive(chain.queue, lambda: False, chain=chain)
+
+    def test_step_exhaustion_reports_labels_and_mempool(self, chain, alice, bob):
+        tx = chain.make_transaction(alice, "transfer", to=bob.address, value=1)
+        chain.sign(alice, tx)
+        chain.submit(tx)
+        with pytest.raises(ChainError) as failure:
+            drive(chain.queue, lambda: False, max_steps=3, chain=chain)
+        message = str(failure.value)
+        assert "3 steps" in message
+        assert "eth-devnet-block" in message
+        assert "mempool depth" in message

@@ -1,0 +1,116 @@
+"""Tests for the client-side chain session (nonces, fees, retry)."""
+
+import pytest
+
+from repro.chain import ChainService, InsufficientFunds, TxStatus
+from repro.chain.algorand import AlgorandChain
+from repro.chain.ethereum import EthereumChain
+from repro.chain.ethereum.chain import MIN_BASE_FEE
+from repro.chain.params import GWEI
+
+ETH = 10**18
+ALGO = 10**6
+
+
+@pytest.fixture
+def eth_chain() -> EthereumChain:
+    return EthereumChain(profile="eth-devnet", seed=1, validator_count=4)
+
+
+@pytest.fixture
+def algo_chain() -> AlgorandChain:
+    return AlgorandChain(profile="algo-devnet", seed=1, participant_count=6)
+
+
+class TestFeeEstimation:
+    def test_evm_fees_follow_eip1559(self, eth_chain):
+        service = ChainService(eth_chain)
+        fields = service.fee_fields()
+        priority = int(eth_chain.profile.priority_fee_gwei * GWEI)
+        assert fields == {
+            "max_fee_per_gas": max(eth_chain.base_fee * 2, MIN_BASE_FEE) + priority,
+            "priority_fee_per_gas": priority,
+        }
+
+    def test_avm_fees_are_the_flat_minimum(self, algo_chain):
+        service = ChainService(algo_chain)
+        assert service.fee_fields() == {"flat_fee": algo_chain.profile.min_fee}
+
+    def test_build_prices_like_the_chain_convenience(self, eth_chain):
+        """Both build paths must price identically (serial-path parity)."""
+        service = ChainService(eth_chain)
+        account = eth_chain.create_account(seed=b"alice", funding=ETH)
+        built = service.build(account, "transfer", to=account.address, value=1)
+        reference = eth_chain.make_transaction(account, "transfer", to=account.address, value=1)
+        assert built.max_fee_per_gas == reference.max_fee_per_gas
+        assert built.priority_fee_per_gas == reference.priority_fee_per_gas
+        assert built.gas_limit == reference.gas_limit
+
+    def test_avm_build_carries_no_gas_limit(self, algo_chain):
+        service = ChainService(algo_chain)
+        account = algo_chain.create_account(seed=b"alice", funding=ALGO)
+        built = service.build(account, "transfer", to=account.address, value=1)
+        assert built.gas_limit == 0
+        assert built.flat_fee == algo_chain.profile.min_fee
+
+
+class TestNonceResync:
+    def test_submit_confirms_end_to_end(self, eth_chain):
+        service = ChainService(eth_chain)
+        alice = eth_chain.create_account(seed=b"alice", funding=10 * ETH)
+        bob = eth_chain.create_account(seed=b"bob")
+        tx = service.build(alice, "transfer", to=bob.address, value=ETH)
+        receipt = service.submit(alice, tx).result()
+        assert receipt.status is TxStatus.SUCCESS
+        assert service.rejections == 0
+
+    def test_rejection_resyncs_the_client_nonce(self, eth_chain):
+        """The drift bug: a rejected build must not burn a nonce forever."""
+        service = ChainService(eth_chain)
+        alice = eth_chain.create_account(seed=b"alice", funding=10 * ETH)
+        bob = eth_chain.create_account(seed=b"bob")
+        doomed = service.build(alice, "transfer", to=bob.address, value=100 * ETH)
+        with pytest.raises(InsufficientFunds):
+            service.submit(alice, doomed)
+        assert alice.nonce == 0  # resynced from chain-observed state
+        # The account is immediately usable again.
+        tx = service.build(alice, "transfer", to=bob.address, value=ETH)
+        receipt = service.submit(alice, tx).result()
+        assert receipt.status is TxStatus.SUCCESS
+
+    def test_deterministic_rejection_not_retried_forever(self, eth_chain):
+        """A rebuild that changes nothing is re-raised immediately."""
+        service = ChainService(eth_chain)
+        alice = eth_chain.create_account(seed=b"alice", funding=ETH)
+        bob = eth_chain.create_account(seed=b"bob")
+        doomed = service.build(alice, "transfer", to=bob.address, value=100 * ETH)
+        with pytest.raises(InsufficientFunds):
+            service.submit(alice, doomed)
+        # One rejection observed; the rebuild was identical, so no retry ran.
+        assert service.rejections == 1
+        assert service.retries == 0
+
+    def test_replayed_transaction_rebuilt_and_lands(self, eth_chain):
+        """A duplicate submission is re-nonced, re-signed and resubmitted."""
+        service = ChainService(eth_chain)
+        alice = eth_chain.create_account(seed=b"alice", funding=10 * ETH)
+        bob = eth_chain.create_account(seed=b"bob")
+        tx = service.build(alice, "transfer", to=bob.address, value=1)
+        eth_chain.sign(alice, tx)
+        eth_chain.submit(tx)
+        # A wallet replaying the same signed transaction gets a duplicate
+        # rejection; the service resyncs, rebuilds with the next nonce
+        # (changing the txid) and the retry is admitted.
+        receipt = service.submit(alice, tx).result()
+        assert receipt.status is TxStatus.SUCCESS
+        assert service.rejections == 1
+        assert service.retries == 1
+        assert eth_chain.balance_of(bob.address) == 2  # both copies landed
+
+    def test_transact_blocks_until_confirmation(self, algo_chain):
+        service = ChainService(algo_chain)
+        alice = algo_chain.create_account(seed=b"alice", funding=10 * ALGO)
+        bob = algo_chain.create_account(seed=b"bob")
+        receipt = service.transact(alice, service.build(alice, "transfer", to=bob.address, value=ALGO))
+        assert receipt.status is TxStatus.SUCCESS
+        assert algo_chain.balance_of(bob.address) == ALGO

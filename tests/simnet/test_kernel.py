@@ -107,6 +107,107 @@ class TestEventQueue:
             queue.run_until_idle(max_events=100)
 
 
+class TestEventQueueCancellation:
+    def test_cancel_one_of_simultaneous_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("a"))
+        doomed = queue.schedule(1.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("c"))
+        doomed.cancel()
+        queue.run_until_idle()
+        assert fired == ["a", "c"]
+
+    def test_cancelled_events_do_not_count(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_from_inside_an_event(self):
+        """An event may cancel a later one the moment it fires."""
+        queue = EventQueue()
+        fired = []
+        later = queue.schedule(2.0, lambda: fired.append("later"))
+        queue.schedule(1.0, later.cancel)
+        queue.run_until_idle()
+        assert fired == []
+
+    def test_cancel_after_firing_is_harmless(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.run_until_idle()
+        event.cancel()  # no error, no effect
+        assert len(queue) == 0
+
+
+class TestEventQueueIdleTime:
+    def test_run_until_advances_clock_with_no_events(self):
+        """Idle simulated time passes even when nothing is scheduled."""
+        queue = EventQueue()
+        assert queue.run_until(30.0) == 0
+        assert queue.clock.now == 30.0
+
+    def test_run_until_advances_past_last_event(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.0, lambda: times.append(queue.clock.now))
+        queue.run_until(10.0)
+        assert times == [1.0]
+        assert queue.clock.now == 10.0
+
+    def test_run_until_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.schedule(1.0, lambda: None)
+        head.cancel()
+        assert queue.run_until(5.0) == 0
+        assert queue.clock.now == 5.0
+
+
+class TestEventQueueDeterminism:
+    def test_same_timestamp_fires_in_schedule_order_across_runs(self):
+        """Two identically-built queues replay the exact same order."""
+
+        def run_once():
+            queue = EventQueue()
+            order = []
+            for name in ("a", "b", "c", "d"):
+                queue.schedule(1.0, lambda name=name: order.append(name))
+            # Events scheduled from inside events keep the global order.
+            queue.schedule(1.0, lambda: queue.schedule(0.0, lambda: order.append("nested")))
+            queue.run_until_idle()
+            return order
+
+        assert run_once() == run_once()
+        assert run_once() == ["a", "b", "c", "d", "nested"]
+
+    def test_zero_delay_event_fires_after_current_timestamp_batch(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: (order.append("first"), queue.schedule(0.0, lambda: order.append("zero"))))
+        queue.schedule(1.0, lambda: order.append("second"))
+        queue.run_until_idle()
+        assert order == ["first", "second", "zero"]
+
+
+class TestPendingLabels:
+    def test_labels_in_firing_order(self):
+        queue = EventQueue()
+        queue.schedule(3.0, lambda: None, label="late")
+        queue.schedule(1.0, lambda: None, label="early")
+        queue.schedule(2.0, lambda: None)
+        assert queue.pending_labels() == ["early", "<unlabelled>", "late"]
+
+    def test_cancelled_events_omitted(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None, label="keep")
+        doomed = queue.schedule(2.0, lambda: None, label="drop")
+        doomed.cancel()
+        assert queue.pending_labels() == ["keep"]
+
+
 class TestLatencyModel:
     def test_zero_sigma_is_deterministic(self):
         model = LatencyModel(base=2.0, sigma=0.0)

@@ -16,7 +16,7 @@ import argparse
 import sys
 
 from repro.bench.metrics import render_bar_chart, render_table, summarize
-from repro.bench.simulation import run_simulation
+from repro.bench.simulation import run_simulation, run_simulation_concurrent
 from repro.chain.params import PROFILES
 
 
@@ -51,7 +51,13 @@ def _cmd_simulate(args) -> int:
     if args.network not in PROFILES:
         print(f"unknown network {args.network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
         return 2
-    result = run_simulation(args.network, args.users, seed=args.seed)
+    recorder = None
+    if args.trace or args.metrics:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+    runner = run_simulation_concurrent if args.concurrent else run_simulation
+    result = runner(args.network, args.users, seed=args.seed, recorder=recorder)
     print(render_bar_chart(f"{args.network}: {args.users} users", result.per_user_series()))
     print()
     rows = [
@@ -59,6 +65,15 @@ def _cmd_simulate(args) -> int:
         summarize(args.network, "attach", result.attaches()),
     ]
     print(render_table(f"{args.network} | {args.users} users (deploy, attach)", rows))
+    if recorder is not None:
+        from repro.obs import write_chrome_trace, write_prometheus
+
+        if args.trace:
+            write_chrome_trace(recorder, args.trace)
+            print(f"trace written to {args.trace} (open in https://ui.perfetto.dev)")
+        if args.metrics:
+            write_prometheus(recorder, args.metrics)
+            print(f"metrics written to {args.metrics}")
     return 0
 
 
@@ -148,6 +163,18 @@ def main(argv: list[str] | None = None) -> int:
     simulate.add_argument("network", help="network profile (e.g. goerli, algorand-testnet)")
     simulate.add_argument("users", type=int, nargs="?", default=16)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--concurrent", action="store_true",
+        help="pipeline the attachers on one event queue (the thesis's threaded mode)",
+    )
+    simulate.add_argument(
+        "--trace", nargs="?", const="out.trace.json", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of the run (default: out.trace.json)",
+    )
+    simulate.add_argument(
+        "--metrics", nargs="?", const="out.prom", default=None, metavar="PATH",
+        help="write the run's metrics in Prometheus text format (default: out.prom)",
+    )
 
     compare = subparsers.add_parser("compare", help="the chapter-5 comparison tables")
     compare.add_argument("users", type=int, nargs="?", default=16)

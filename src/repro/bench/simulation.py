@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.chain import make_chain
 from repro.chain.base import drive
 from repro.core.contract import build_pol_program, pol_record
+from repro.obs.recorder import NullRecorder
 from repro.reach.compiler import CompiledContract, compile_program
 from repro.reach.runtime import DeployedContract, ReachClient
 from repro.bench.workload import USERS_PER_CONTRACT, generate_workload
@@ -52,6 +53,9 @@ class SimulationResult:
     network: str
     user_count: int
     timings: list[UserTiming] = field(default_factory=list)
+    #: the run's full metric snapshot (counters/gauges/histograms) when
+    #: a live recorder was attached; None on uninstrumented runs.
+    metrics: dict | None = None
 
     def deploys(self) -> list[UserTiming]:
         """The deploy operations in user order."""
@@ -82,6 +86,7 @@ def run_simulation_concurrent(
     seed: int = 0,
     reward: int = 0,
     compiled: CompiledContract | None = None,
+    recorder: NullRecorder | None = None,
 ) -> SimulationResult:
     """The thesis's Thread-based variant: attachers act concurrently.
 
@@ -95,7 +100,7 @@ def run_simulation_concurrent(
     The harness is chain-agnostic: the per-family ceremonies live in
     the Reach runtime, below this layer.
     """
-    chain = make_chain(network, seed=seed)
+    chain = make_chain(network, seed=seed, recorder=recorder)
     client = ReachClient(chain)
     if compiled is None:
         compiled = compile_program(
@@ -164,6 +169,8 @@ def run_simulation_concurrent(
                 transactions=len(handle.receipts),
             )
         )
+    if recorder is not None and recorder.enabled:
+        result.metrics = recorder.snapshot()
     return result
 
 
@@ -173,13 +180,14 @@ def run_simulation(
     seed: int = 0,
     reward: int = 0,
     compiled: CompiledContract | None = None,
+    recorder: NullRecorder | None = None,
 ) -> SimulationResult:
     """Run the chapter-5 workload on one network.
 
     Returns per-user timings; deploy = contract creation + creator data
     insert, attach = the two-transaction attach operation.
     """
-    chain = make_chain(network, seed=seed)
+    chain = make_chain(network, seed=seed, recorder=recorder)
     client = ReachClient(chain)
     if compiled is None:
         compiled = compile_program(
@@ -229,4 +237,6 @@ def run_simulation(
                 transactions=len(operation.receipts),
             )
         )
+    if recorder is not None and recorder.enabled:
+        result.metrics = recorder.snapshot()
     return result

@@ -34,22 +34,26 @@ from repro.chain.params import NetworkProfile, PROFILES
 from repro.chain.service import ChainService
 
 
-def make_chain(network: str, seed: int = 0) -> BaseChain:
+def make_chain(network: str, seed: int = 0, recorder=None) -> BaseChain:
     """Instantiate the simulator for a named testnet profile.
 
     The only place the chain *class* is picked: everything above (the
     Reach runtime, the PoL core, the bench harness) is family-agnostic.
+    Passing a :class:`repro.obs.Recorder` attaches it to the chain's
+    event queue, so every layer's instrumentation lands in one sink.
     """
     from repro.chain.algorand import AlgorandChain
     from repro.chain.ethereum import EthereumChain
     from repro.chain.polygon import PolygonChain
+    from repro.simnet import EventQueue
 
     profile = PROFILES[network]
+    queue = EventQueue(recorder=recorder)
     if network.startswith("polygon"):
-        return PolygonChain(profile=profile, seed=seed, validator_count=8)
+        return PolygonChain(profile=profile, queue=queue, seed=seed, validator_count=8)
     if profile.family == "evm":
-        return EthereumChain(profile=profile, seed=seed, validator_count=8)
-    return AlgorandChain(profile=profile, seed=seed, participant_count=10)
+        return EthereumChain(profile=profile, queue=queue, seed=seed, validator_count=8)
+    return AlgorandChain(profile=profile, queue=queue, seed=seed, participant_count=10)
 
 
 __all__ = [

@@ -19,6 +19,7 @@ from typing import Any, Callable
 from repro.crypto.hashing import sha256, sha256_hex
 from repro.crypto.keys import KeyPair, PublicKey, Signature
 from repro.crypto.merkle import merkle_root
+from repro.obs.recorder import RATIO_BUCKETS, NullRecorder, Span, track_for
 from repro.simnet import CongestionProcess, EventQueue, LatencyModel
 from repro.chain.params import NetworkProfile
 
@@ -273,7 +274,13 @@ class BaseChain:
         )
         self._accounts_created = 0
         self._started = False
+        self._tx_spans: dict[str, Span] = {}  # open submitted->confirmed windows
         self._genesis()
+
+    @property
+    def recorder(self) -> NullRecorder:
+        """The telemetry sink, shared with (and owned by) the event queue."""
+        return self.queue.recorder
 
     # -- hooks ---------------------------------------------------------------
 
@@ -418,6 +425,14 @@ class BaseChain:
         self.receipts[txid] = Receipt(txid=txid, submitted_at=self.queue.clock.now)
         observed = self._observed_nonces.get(tx.sender, 0)
         self._observed_nonces[tx.sender] = max(observed, tx.nonce + 1)
+        recorder = self.recorder
+        if recorder.enabled:
+            chain_name = self.profile.name
+            recorder.counter("chain_tx_submitted_total", chain=chain_name, kind=tx.kind)
+            recorder.gauge("chain_mempool_depth", len(self._mempool), chain=chain_name)
+            self._tx_spans[txid] = recorder.span(
+                f"tx:{tx.kind}", track=track_for(tx.sender), cat="tx", chain=chain_name, txid=txid[:12]
+            )
         return txid
 
     def next_nonce_for(self, address: str) -> int:
@@ -453,6 +468,16 @@ class BaseChain:
         self._receipt_watchers.setdefault(txid, []).append(callback)
 
     def _notify_confirmed(self, receipt: Receipt) -> None:
+        span = self._tx_spans.pop(receipt.txid, None)
+        if span is not None:
+            span.end(status=receipt.status.value, block=receipt.block_number)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.counter(
+                "chain_tx_confirmed_total", chain=self.profile.name, status=receipt.status.value
+            )
+            if receipt.latency is not None:
+                recorder.observe("chain_tx_latency_seconds", receipt.latency, chain=self.profile.name)
         for callback in self._receipt_watchers.pop(receipt.txid, []):
             callback(receipt)
 
@@ -503,11 +528,18 @@ class BaseChain:
             metadata=seal,
         )
         self._begin_block(block)
+        recorder = self.recorder
+        instrumented = recorder.enabled
+        if instrumented:
+            recorder.gauge("chain_mempool_depth", len(self._mempool), chain=self.profile.name)
 
         if not self._block_can_include(block):
             # An uncertified round carries no transactions; pending ones
             # wait for the next certified round (liveness degradation,
             # not loss).
+            if instrumented:
+                recorder.counter("chain_blocks_total", chain=self.profile.name)
+                recorder.counter("chain_uncertified_rounds_total", chain=self.profile.name)
             self.blocks.append(block)
             self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
             return
@@ -535,11 +567,27 @@ class BaseChain:
             gas_budget -= receipt.gas_used
             block.gas_used += receipt.gas_used
             self._mempool.remove(entry)
+            if instrumented:
+                recorder.observe("chain_fee_paid_base_units", receipt.fee_paid, chain=self.profile.name)
             self._schedule_confirmation(receipt)
 
         block.transactions = included
         block.tx_root = merkle_root([tx.txid.encode() for tx in included])
         self.blocks.append(block)
+        if instrumented:
+            chain_name = self.profile.name
+            recorder.counter("chain_blocks_total", chain=chain_name)
+            if included:
+                recorder.counter("chain_txs_included_total", value=len(included), chain=chain_name)
+            # Gas-metered families report real utilization; flat-fee
+            # chains (gas_used 0) report 0 and rely on tx counts instead.
+            limit = self.profile.block_gas_limit
+            recorder.observe(
+                "chain_block_utilization_ratio",
+                block.gas_used / limit if limit else 0.0,
+                buckets=RATIO_BUCKETS,
+                chain=chain_name,
+            )
         self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
 
     def _schedule_confirmation(self, receipt: Receipt) -> None:
@@ -604,4 +652,8 @@ def _stall_report(reason: str, queue: EventQueue, chain: "BaseChain | None") -> 
         parts.append(f"labels: {summary}")
     if chain is not None:
         parts.append(f"mempool depth {chain.mempool_depth}")
+    if queue.recorder.enabled:
+        metrics = queue.recorder.render_compact()
+        if metrics:
+            parts.append(f"metrics: {metrics}")
     return "; ".join(parts)

@@ -43,6 +43,12 @@ class ChainService:
         self.rejections = 0  # rejected submissions observed this session
         self.retries = 0  # rebuilt submissions that were re-attempted
 
+    @property
+    def recorder(self):
+        """The chain's telemetry sink (read through, never cached: a
+        recorder may be attached to the queue after this session opens)."""
+        return self.chain.recorder
+
     # -- fee estimation --------------------------------------------------------
 
     def fee_fields(self) -> dict[str, int]:
@@ -102,12 +108,17 @@ class ChainService:
                 return TxHandle(self.chain, txid)
             except ChainError:
                 self.rejections += 1
+                recorder = self.recorder
+                if recorder.enabled:
+                    recorder.counter("chain_tx_rejected_total", chain=self.chain.profile.name)
                 self.resync_nonce(account)
                 attempts += 1
                 rebuilt = self._rebuild(account, tx)
                 if attempts > self.max_retries or rebuilt is None:
                     raise
                 self.retries += 1
+                if recorder.enabled:
+                    recorder.counter("chain_tx_retries_total", chain=self.chain.profile.name)
                 tx = rebuilt
 
     def _rebuild(self, account: Account, rejected: Transaction) -> Transaction | None:
@@ -133,6 +144,9 @@ class ChainService:
     def resync_nonce(self, account: Account) -> None:
         """Reset the client-side nonce to the chain-observed next value."""
         account.nonce = self.chain.next_nonce_for(account.address)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.counter("chain_nonce_resyncs_total", chain=self.chain.profile.name)
 
     def transact(self, account: Account, tx: Transaction) -> Any:
         """Submit and block until confirmation (drives the event queue)."""

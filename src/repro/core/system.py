@@ -15,7 +15,9 @@ The three flows map to the thesis's sequence diagrams:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.chain.base import Account, BaseChain, drive
 from repro.did.registry import DidRegistry
@@ -34,9 +36,19 @@ class PolSystemError(Exception):
     """A facade-level failure (unknown user, missing contract...)."""
 
 
-#: Deprecated alias, kept for one release: the class used to shadow the
-#: awkwardly-underscored name.  New code should catch PolSystemError.
-SystemError_ = PolSystemError
+def __getattr__(name: str) -> Any:
+    # Deprecated alias, kept for one release: the class used to shadow
+    # the awkwardly-underscored name.  New code should catch
+    # PolSystemError; the module-level __getattr__ keeps old imports
+    # working while warning on every access.
+    if name == "SystemError_":
+        warnings.warn(
+            "SystemError_ is deprecated; catch PolSystemError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PolSystemError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -188,17 +200,20 @@ class ProofOfLocationSystem:
         """Upload the report to IPFS and obtain a witness-signed proof."""
         prover = self.provers[prover_name]
         witness = self.witnesses[witness_name]
-        cid = self.ipfs.add(prover_name, report_content)
-        nonce = witness.issue_nonce()
-        request = prover.make_request(nonce, cid, timestamp=self.chain.queue.clock.now)
-        proof = witness.handle_request(
-            request,
-            prover_device=prover.device_id,
-            channel=self.channel,
-            registry=self.registry,
-            prover_keypair=prover.keypair,
-            now=self.chain.queue.clock.now,
-        )
+        with self.chain.recorder.span(
+            "proof:request", track=f"prover:{prover_name}", cat="proof", witness=witness_name
+        ):
+            cid = self.ipfs.add(prover_name, report_content)
+            nonce = witness.issue_nonce()
+            request = prover.make_request(nonce, cid, timestamp=self.chain.queue.clock.now)
+            proof = witness.handle_request(
+                request,
+                prover_device=prover.device_id,
+                channel=self.channel,
+                registry=self.registry,
+                prover_keypair=prover.keypair,
+                now=self.chain.queue.clock.now,
+            )
         return request, proof, cid
 
     def discover_witnesses(self, prover_name: str) -> list[str]:
@@ -287,6 +302,21 @@ class ProofOfLocationSystem:
         - fresh location -> deploy; the hypercube registration runs in
           the deploy's confirmation callback.
         """
+        submission = self._start_submission(prover_name, request, proof)
+        recorder = self.chain.recorder
+        if recorder.enabled:
+            span = recorder.span(
+                "proof:submit", track=f"prover:{prover_name}", cat="proof",
+                olc=request.olc, was_deploy=submission.was_deploy,
+            )
+            submission.handle.add_done_callback(
+                lambda settled: span.end(
+                    error=type(settled.error).__name__ if settled.error is not None else ""
+                )
+            )
+        return submission
+
+    def _start_submission(self, prover_name: str, request: ProofRequest, proof: LocationProof) -> PendingSubmission:
         prover = self.provers[prover_name]
         account = self.accounts[prover_name]
         record = pol_record(
@@ -362,6 +392,14 @@ class ProofOfLocationSystem:
         verifier = self.verifiers.get(verifier_name)
         if verifier is None:
             raise PolSystemError(f"{verifier_name!r} is not an accredited verifier")
+        with self.chain.recorder.span(
+            "proof:verify", track=f"verifier:{verifier_name}", cat="proof", olc=olc, did=did_uint
+        ):
+            return self._verify_and_reward(verifier, verifier_name, olc, did_uint)
+
+    def _verify_and_reward(
+        self, verifier: Verifier, verifier_name: str, olc: str, did_uint: int
+    ) -> ProofFailure:
         deployed = self._contract_at(olc)
         raw = deployed.map_value("easy_map", did_uint)
         if raw is None:

@@ -1,0 +1,44 @@
+"""Sim-time observability: recorder, instruments and exporters.
+
+Attach a :class:`Recorder` to an event queue (or pass one to
+``make_chain`` / the bench runners) and every instrumented layer --
+the event kernel, the chains, the Reach runtime, the PoL core --
+reports into it on the simulated clock.  Export with
+:func:`write_chrome_trace` (open in Perfetto) or
+:func:`write_prometheus`; the :data:`NULL_RECORDER` default keeps
+disabled runs at near-zero overhead.
+"""
+
+from repro.obs.recorder import (
+    DEFAULT_BUCKETS,
+    NULL_RECORDER,
+    RATIO_BUCKETS,
+    NullRecorder,
+    Recorder,
+    Span,
+    track_for,
+)
+from repro.obs.export import (
+    chrome_trace_json,
+    to_chrome_trace,
+    to_prometheus,
+    to_snapshot_json,
+    write_chrome_trace,
+    write_prometheus,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "track_for",
+    "chrome_trace_json",
+    "to_chrome_trace",
+    "to_prometheus",
+    "to_snapshot_json",
+    "write_chrome_trace",
+    "write_prometheus",
+]

@@ -1,0 +1,154 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text format.
+
+Two audiences:
+
+- **Chrome trace-event JSON** (``to_chrome_trace``) loads in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``: one named track
+  per user and per chain, complete (``"X"``) events for closed spans,
+  begin (``"B"``) events for spans still open at export time, and
+  counter (``"C"``) tracks for every gauge time series -- mempool
+  depth over simulated time sits right above the transaction windows
+  that caused it.  Timestamps are simulated **microseconds**.
+- **Prometheus text exposition** (``to_prometheus``) for scraping or
+  offline diffing, plus a JSON snapshot (``to_snapshot_json``) that
+  round-trips through ``json.loads`` for programmatic checks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import Recorder
+
+__all__ = [
+    "chrome_trace_json",
+    "to_chrome_trace",
+    "to_prometheus",
+    "to_snapshot_json",
+    "write_chrome_trace",
+    "write_prometheus",
+]
+
+_PID = 1  # one simulated process; tracks are threads within it
+
+
+def to_chrome_trace(recorder: "Recorder") -> dict[str, Any]:
+    """Render the recorder as a Chrome trace-event object."""
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "pid": _PID, "name": "process_name", "args": {"name": "repro simulation (sim time)"}},
+    ]
+    track_ids: dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        known = track_ids.get(track)
+        if known is None:
+            known = track_ids[track] = len(track_ids) + 1
+            events.append(
+                {"ph": "M", "pid": _PID, "tid": known, "name": "thread_name", "args": {"name": track}}
+            )
+        return known
+
+    for span in recorder.spans:
+        base = {
+            "name": span.name,
+            "cat": span.cat or "span",
+            "pid": _PID,
+            "tid": tid(span.track),
+            "ts": int(span.started_at * 1_000_000),
+            "args": dict(span.args),
+        }
+        if span.finished_at is not None:
+            base["ph"] = "X"
+            base["dur"] = max(int((span.finished_at - span.started_at) * 1_000_000), 0)
+        else:
+            base["ph"] = "B"  # still open: Perfetto renders to trace end
+        events.append(base)
+
+    for (name, labels), series in recorder._gauge_series.items():
+        label_text = ",".join(f"{label}={value}" for label, value in labels)
+        counter_name = f"{name}{{{label_text}}}" if label_text else name
+        for timestamp, value in series:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": _PID,
+                    "name": counter_name,
+                    "ts": int(timestamp * 1_000_000),
+                    "args": {"value": value},
+                }
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(recorder: "Recorder") -> str:
+    """The trace object serialized for ``--trace`` / Perfetto."""
+    return json.dumps(to_chrome_trace(recorder), separators=(",", ":"))
+
+
+def write_chrome_trace(recorder: "Recorder", path: str) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(recorder))
+
+
+def to_prometheus(recorder: "Recorder") -> str:
+    """Render every instrument in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for (name, labels), value in sorted(recorder._counters.items()):
+        type_line(name, "counter")
+        lines.append(f"{name}{_label_block(labels)} {_format_value(value)}")
+
+    for (name, labels), value in sorted(recorder._gauges.items()):
+        type_line(name, "gauge")
+        lines.append(f"{name}{_label_block(labels)} {_format_value(value)}")
+
+    for (name, labels), histogram in sorted(recorder._histograms.items()):
+        type_line(name, "histogram")
+        for bound, cumulative in histogram.cumulative():
+            le = "+Inf" if bound == float("inf") else f"{bound:g}"
+            lines.append(f"{name}_bucket{_label_block(labels, extra=('le', le))} {cumulative}")
+        lines.append(f"{name}_sum{_label_block(labels)} {_format_value(histogram.total)}")
+        lines.append(f"{name}_count{_label_block(labels)} {histogram.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(recorder: "Recorder", path: str) -> None:
+    """Write the Prometheus text exposition to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(recorder))
+
+
+def to_snapshot_json(recorder: "Recorder") -> str:
+    """The recorder's snapshot as pretty-printed JSON."""
+    return json.dumps(recorder.snapshot(), indent=2, sort_keys=True)
+
+
+def _label_block(labels: tuple[tuple[str, str], ...], extra: tuple[str, str] | None = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{label}="{_escape(value)}"' for label, value in pairs)
+    return f"{{{body}}}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Generator
 
 from repro.chain.base import Account, BaseChain, Receipt, TxHandle, TxStatus, drive
 from repro.chain.service import ChainService
+from repro.obs.recorder import track_for
 from repro.reach.compiler import CompiledContract
 from repro.reach.ir import IRFunction
 
@@ -131,6 +132,7 @@ class OpHandle:
         plan: OpPlan,
         finalize: Callable[["OpResult"], Any] | None = None,
         label: str = "",
+        track: str = "",
     ):
         self.chain = chain
         self.label = label
@@ -143,6 +145,12 @@ class OpHandle:
         self._plan = plan
         self._finalize = finalize
         self._callbacks: list[Callable[["OpHandle"], None]] = []
+        recorder = chain.recorder
+        # Opened before the first _advance: a plan that fails
+        # synchronously settles (and must close the span) immediately.
+        self._span = (
+            recorder.span(label or "op", track=track or "ops", cat="op") if recorder.enabled else None
+        )
         self._advance(None)
 
     # -- state machine ---------------------------------------------------------
@@ -166,6 +174,11 @@ class OpHandle:
         if self.error is None:
             partial = OpResult(value=raw, receipts=self.receipts)
             self.value = self._finalize(partial) if self._finalize else raw
+        if self._span is not None:
+            self._span.end(
+                transactions=len(self.receipts),
+                error=type(self.error).__name__ if self.error is not None else "",
+            )
         self.done = True
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
@@ -315,7 +328,9 @@ class ReachClient:
                 deploy_result=OpResult(receipts=partial.receipts),
             )
 
-        return OpHandle(self.chain, plan, finalize=finalize, label=f"deploy:{compiled.name}")
+        return OpHandle(
+            self.chain, plan, finalize=finalize, label=f"deploy:{compiled.name}", track=track_for(creator.address)
+        )
 
     def _deploy_evm_plan(self, compiled: CompiledContract, creator: Account, publish_args: list[Any]) -> OpPlan:
         code_hash = self._code_hashes.get(compiled.name)
@@ -380,7 +395,7 @@ class ReachClient:
     def attach_async(self, deployed: DeployedContract, account: Account) -> OpHandle:
         """Non-blocking attach handshake (EVM transfer / AVM opt-in)."""
         plan = self._attach_plan(deployed, account)
-        return OpHandle(self.chain, plan, label=f"attach:{deployed.ref}")
+        return OpHandle(self.chain, plan, label=f"attach:{deployed.ref}", track=track_for(account.address))
 
     def _attach_plan(self, deployed: DeployedContract, account: Account) -> OpPlan:
         if self.family == "evm":
@@ -413,7 +428,7 @@ class ReachClient:
     ) -> OpHandle:
         """Non-blocking API call; the handle's value is the return value."""
         plan = self._call_plan(deployed, method, args, sender, pay)
-        return OpHandle(self.chain, plan, label=f"call:{method}")
+        return OpHandle(self.chain, plan, label=f"call:{method}", track=track_for(sender.address))
 
     def _call_plan(
         self,
@@ -460,7 +475,7 @@ class ReachClient:
     ) -> OpHandle:
         """The pipelined 2-transaction attach operation as one future."""
         plan = self._attach_and_call_plan(deployed, method, args, sender, pay)
-        return OpHandle(self.chain, plan, label=f"attach+call:{method}")
+        return OpHandle(self.chain, plan, label=f"attach+call:{method}", track=track_for(sender.address))
 
     def _attach_and_call_plan(
         self,
@@ -490,7 +505,7 @@ class ReachClient:
         attacher's own two transactions land on this handle.
         """
         plan = self._attach_after_plan(pending_deploy, method, args, sender, pay)
-        return OpHandle(self.chain, plan, label=f"attach-after:{method}")
+        return OpHandle(self.chain, plan, label=f"attach-after:{method}", track=track_for(sender.address))
 
     def _attach_after_plan(
         self,

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.simnet.clock import SimClock
 
 
@@ -25,22 +26,42 @@ class ScheduledEvent:
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: back-reference kept while the event is pending so cancel() can
+    #: maintain the queue's live counter; cleared when the event fires.
+    queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when it comes due."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._forget(self)
 
 
 class EventQueue:
     """A deterministic future-event list bound to a :class:`SimClock`."""
 
-    def __init__(self, clock: SimClock | None = None):
+    def __init__(self, clock: SimClock | None = None, recorder: NullRecorder | None = None):
         self.clock = clock if clock is not None else SimClock()
         self._heap: list[ScheduledEvent] = []
         self._sequence = itertools.count()
+        self._live = 0  # pending, non-cancelled entries (O(1) __len__)
+        self.recorder = NULL_RECORDER
+        if recorder is not None:
+            self.attach_recorder(recorder)
+
+    def attach_recorder(self, recorder: NullRecorder) -> None:
+        """Route this queue's telemetry into ``recorder``.
+
+        Binds the recorder to this queue's clock (first binding wins),
+        so gauge samples and spans land on the simulated time axis.
+        """
+        self.recorder = recorder
+        recorder.bind_clock(self.clock)
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -52,9 +73,24 @@ class EventQueue:
         """Schedule ``callback`` at an absolute simulated ``timestamp``."""
         if timestamp < self.clock.now:
             raise ValueError("cannot schedule an event in the past")
-        event = ScheduledEvent(time=timestamp, sequence=next(self._sequence), callback=callback, label=label)
+        event = ScheduledEvent(
+            time=timestamp, sequence=next(self._sequence), callback=callback, label=label, queue=self
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.counter("sim_events_scheduled_total", label=label or "<unlabelled>")
+            recorder.gauge("sim_queue_depth", self._live)
         return event
+
+    def _forget(self, event: ScheduledEvent) -> None:
+        """Account for a pending event's cancellation (O(1) ``__len__``)."""
+        self._live -= 1
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.counter("sim_events_cancelled_total", label=event.label or "<unlabelled>")
+            recorder.gauge("sim_queue_depth", self._live)
 
     def pending_labels(self) -> list[str]:
         """Labels of the pending events in firing order (diagnostics).
@@ -76,8 +112,14 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # its cancellation already left the live count
+            self._live -= 1
+            event.queue = None  # a late cancel() must not re-decrement
             self.clock.advance_to(event.time)
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.counter("sim_events_fired_total", label=event.label or "<unlabelled>")
+                recorder.gauge("sim_queue_depth", self._live)
             event.callback()
             return event
         return None

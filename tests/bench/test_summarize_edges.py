@@ -1,0 +1,55 @@
+"""Edge cases for :func:`repro.bench.metrics.summarize` and row rendering."""
+
+import pytest
+
+from repro.bench.metrics import render_table, summarize
+from repro.bench.simulation import UserTiming
+
+
+def timing(latency: float, fees: int = 0) -> UserTiming:
+    return UserTiming(
+        name="user-0",
+        did=1,
+        olc="8FPHF9VV+XX",
+        operation="deploy",
+        latency=latency,
+        fees=fees,
+        gas_used=21_000,
+        transactions=2,
+    )
+
+
+class TestSingleTiming:
+    def test_std_dev_is_exactly_zero(self):
+        stats = summarize("goerli", "deploy", [timing(12.5, fees=1_000)])
+        assert stats.count == 1
+        assert stats.std_dev == 0.0
+        assert stats.mean == stats.maximum == stats.minimum == 12.5
+
+    def test_row_renders(self):
+        stats = summarize("goerli", "deploy", [timing(12.5, fees=1_000)])
+        assert "0.00s" in stats.row()
+
+
+class TestEmptyTimings:
+    def test_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty timing list"):
+            summarize("goerli", "deploy", [])
+
+
+class TestZeroFees:
+    def test_zero_fee_run_renders_cleanly(self):
+        """A free run must not leave division artifacts in the EUR column."""
+        stats = summarize("algorand-testnet", "attach", [timing(4.0), timing(6.0)])
+        assert stats.total_fees_base == 0
+        assert stats.total_fees_tokens == 0.0
+        assert stats.total_fees_eur == 0.0
+        row = stats.row()
+        assert "EUR     0.0000" in row
+        assert "nan" not in row.lower()
+        assert "inf" not in row.lower()
+
+    def test_zero_fee_table(self):
+        stats = summarize("algorand-testnet", "attach", [timing(4.0)])
+        table = render_table("Attach", [stats])
+        assert "0.000000" in table

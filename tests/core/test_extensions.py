@@ -11,7 +11,7 @@ import pytest
 
 from repro.chain.ethereum import EthereumChain
 from repro.core.proof import ProofFailure, ProofRequest, build_proof, identify_witness
-from repro.core.system import ProofOfLocationSystem
+from repro.core.system import PolSystemError, ProofOfLocationSystem
 from repro.ipfs import ContentNotAvailable
 
 ETH = 10**18
@@ -108,9 +108,7 @@ class TestPseudonymRotation:
 
     def test_unknown_prover_rotation_rejected(self):
         system = build_system()
-        from repro.core.system import SystemError_
-
-        with pytest.raises(SystemError_):
+        with pytest.raises(PolSystemError):
             system.rotate_identity("ghost")
 
 

@@ -11,7 +11,7 @@ from repro.core.multiwitness import (
     verify_multi,
 )
 from repro.core.proof import ProofFailure, ProofRequest, build_proof
-from repro.core.system import ProofOfLocationSystem, SystemError_
+from repro.core.system import PolSystemError, ProofOfLocationSystem
 
 ETH = 10**18
 LAT, LNG = 44.4949, 11.3426
@@ -118,7 +118,7 @@ class TestSystemIntegration:
         assert multi.witness_count == 1
 
     def test_threshold_unmet_raises(self, system):
-        with pytest.raises(SystemError_):
+        with pytest.raises(PolSystemError):
             system.request_multi_witness_proof("anna", ["w1", "far"], b"report", threshold=2)
 
     def test_endorser_replay_refused(self, system):

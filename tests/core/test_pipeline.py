@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.ethereum import EthereumChain
 from repro.core.factory import FactoryError
-from repro.core.system import PolSystemError, ProofOfLocationSystem, SystemError_
+from repro.core.system import PolSystemError, ProofOfLocationSystem
 
 FUNDING = 10**18
 LAT, LNG = 44.4949, 11.3426
@@ -30,11 +30,28 @@ def proof_for(system, prover_name):
 class TestErrorRename:
     def test_alias_is_the_same_class(self):
         """The deprecated trailing-underscore name must keep working."""
-        assert SystemError_ is PolSystemError
+        import repro.core.system as system_module
+
+        with pytest.warns(DeprecationWarning, match="SystemError_ is deprecated"):
+            alias = system_module.SystemError_
+        assert alias is PolSystemError
+
+    def test_alias_import_warns(self):
+        """`from ... import SystemError_` resolves through __getattr__ too."""
+        with pytest.warns(DeprecationWarning, match="SystemError_ is deprecated"):
+            from repro.core.system import SystemError_  # noqa: F401
 
     def test_old_handlers_still_catch(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.core.system import SystemError_
         with pytest.raises(SystemError_):
             raise PolSystemError("caught through the alias")
+
+    def test_other_missing_attributes_still_raise(self):
+        import repro.core.system as system_module
+
+        with pytest.raises(AttributeError):
+            system_module.NoSuchName
 
 
 class TestSubmitAsync:

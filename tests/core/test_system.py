@@ -6,7 +6,7 @@ from repro.chain.algorand import AlgorandChain
 from repro.chain.ethereum import EthereumChain
 from repro.core.attacks import run_all_attacks
 from repro.core.proof import ProofFailure
-from repro.core.system import ProofOfLocationSystem, SystemError_
+from repro.core.system import PolSystemError, ProofOfLocationSystem
 from repro.app import CrowdsensingApp, Report, ReportCategory
 
 ETH = 10**18
@@ -53,7 +53,7 @@ class TestOnboarding:
             system.authority.witness_list("anna")
 
     def test_duplicate_registration_rejected(self, system):
-        with pytest.raises(SystemError_):
+        with pytest.raises(PolSystemError):
             system.register_prover("anna", LAT, LNG, funding=1)
 
 
@@ -113,7 +113,7 @@ class TestFullPipeline:
         system = build_system("evm", seed=55)
         app = CrowdsensingApp(system=system)
         filed = app.file_report("anna", "walter", "T", "D")
-        with pytest.raises(SystemError_):
+        with pytest.raises(PolSystemError):
             system.verify_and_reward("vera", filed.olc, 123456789)
 
     def test_display_empty_location(self, system):

@@ -1,0 +1,121 @@
+"""Exporter tests: Chrome trace-event JSON and Prometheus text format."""
+
+import json
+import re
+
+from repro.obs.export import (
+    chrome_trace_json,
+    to_chrome_trace,
+    to_prometheus,
+    to_snapshot_json,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.recorder import Recorder
+from repro.simnet import SimClock
+
+#: a Prometheus sample line: name, optional label block, numeric value
+SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*$")
+
+
+def build_recorder() -> Recorder:
+    clock = SimClock()
+    recorder = Recorder(clock=clock)
+    recorder.counter("tx_total", chain="goerli", kind="call")
+    recorder.gauge("mempool_depth", 2, chain="goerli")
+    clock.advance(12.0)
+    recorder.gauge("mempool_depth", 0, chain="goerli")
+    recorder.observe("fee_paid", 1500.0, buckets=(1e3, 1e6), chain="goerli")
+    with recorder.span("deploy:pol", track="user:0xaaaa", cat="op", olc="X"):
+        clock.advance(30.0)
+    recorder.span("attach:pol", track="user:0xbbbb", cat="op")  # left open
+    return recorder
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        recorder = build_recorder()
+        parsed = json.loads(chrome_trace_json(recorder))
+        assert isinstance(parsed["traceEvents"], list)
+
+    def test_complete_event_for_closed_span(self):
+        trace = to_chrome_trace(build_recorder())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        (event,) = complete
+        assert event["name"] == "deploy:pol"
+        assert event["ts"] == 12_000_000  # sim seconds -> microseconds
+        assert event["dur"] == 30_000_000
+        assert event["args"]["olc"] == "X"
+
+    def test_begin_event_for_open_span(self):
+        trace = to_chrome_trace(build_recorder())
+        begins = [e for e in trace["traceEvents"] if e["ph"] == "B"]
+        assert [e["name"] for e in begins] == ["attach:pol"]
+
+    def test_one_named_track_per_span_source(self):
+        trace = to_chrome_trace(build_recorder())
+        threads = {
+            e["args"]["name"]: e["tid"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert set(threads) == {"user:0xaaaa", "user:0xbbbb"}
+        assert len(set(threads.values())) == 2
+
+    def test_gauge_series_exported_as_counter_events(self):
+        trace = to_chrome_trace(build_recorder())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        values = [(e["ts"], e["args"]["value"]) for e in counters]
+        assert (0, 2) in values
+        assert (12_000_000, 0) in values
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(build_recorder(), str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestPrometheus:
+    def test_every_line_is_comment_or_sample(self):
+        text = to_prometheus(build_recorder())
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$", line)
+            else:
+                assert SAMPLE_RE.match(line), line
+
+    def test_counter_gauge_and_histogram_families(self):
+        text = to_prometheus(build_recorder())
+        assert "# TYPE tx_total counter" in text
+        assert 'tx_total{chain="goerli",kind="call"} 1' in text
+        assert "# TYPE mempool_depth gauge" in text
+        assert 'mempool_depth{chain="goerli"} 0' in text  # last value
+        assert "# TYPE fee_paid histogram" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus(build_recorder())
+        assert 'fee_paid_bucket{chain="goerli",le="1000"} 0' in text
+        assert 'fee_paid_bucket{chain="goerli",le="1e+06"} 1' in text
+        assert 'fee_paid_bucket{chain="goerli",le="+Inf"} 1' in text
+        assert 'fee_paid_sum{chain="goerli"} 1500' in text
+        assert 'fee_paid_count{chain="goerli"} 1' in text
+
+    def test_label_values_escaped(self):
+        recorder = Recorder()
+        recorder.counter("weird_total", label='a"b\\c')
+        text = to_prometheus(recorder)
+        assert 'weird_total{label="a\\"b\\\\c"} 1' in text
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "out.prom"
+        write_prometheus(build_recorder(), str(path))
+        assert path.read_text().endswith("\n")
+
+
+class TestSnapshotJson:
+    def test_round_trips(self):
+        snapshot = json.loads(to_snapshot_json(build_recorder()))
+        assert snapshot["counters"]['tx_total{chain="goerli",kind="call"}'] == 1
+        assert snapshot["spans"] == {"total": 2, "open": 1}
+        assert snapshot["sim_time"] == 42.0

@@ -1,0 +1,172 @@
+"""Unit tests for the sim-time telemetry recorder."""
+
+import pytest
+
+from repro.obs.recorder import (
+    DEFAULT_BUCKETS,
+    NULL_RECORDER,
+    NullRecorder,
+    RATIO_BUCKETS,
+    Recorder,
+    track_for,
+)
+from repro.simnet import SimClock
+
+
+class TestCounters:
+    def test_accumulates(self):
+        recorder = Recorder()
+        recorder.counter("requests_total")
+        recorder.counter("requests_total", value=2.0)
+        assert recorder.counter_value("requests_total") == 3.0
+
+    def test_labels_distinguish_series(self):
+        recorder = Recorder()
+        recorder.counter("tx_total", chain="goerli")
+        recorder.counter("tx_total", chain="mumbai")
+        recorder.counter("tx_total", chain="goerli")
+        assert recorder.counter_value("tx_total", chain="goerli") == 2.0
+        assert recorder.counter_value("tx_total", chain="mumbai") == 1.0
+
+    def test_label_order_is_irrelevant(self):
+        recorder = Recorder()
+        recorder.counter("m", a="1", b="2")
+        assert recorder.counter_value("m", b="2", a="1") == 1.0
+
+
+class TestGauges:
+    def test_series_samples_carry_sim_time(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        recorder.gauge("depth", 3)
+        clock.advance(10.0)
+        recorder.gauge("depth", 5)
+        assert recorder.gauge_series("depth") == [(0.0, 3), (10.0, 5)]
+
+    def test_snapshot_keeps_last_value(self):
+        recorder = Recorder()
+        recorder.gauge("depth", 3, chain="goerli")
+        recorder.gauge("depth", 1, chain="goerli")
+        assert recorder.snapshot()["gauges"]['depth{chain="goerli"}'] == 1
+
+
+class TestHistograms:
+    def test_bucket_counts_sum_and_count(self):
+        recorder = Recorder()
+        for value in (0.5, 5.0, 50.0):
+            recorder.observe("latency", value, buckets=(1.0, 10.0, 100.0))
+        snapshot = recorder.snapshot()["histograms"]["latency"]
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == 55.5
+        # cumulative, Prometheus `le` semantics
+        assert snapshot["buckets"] == {"1": 1, "10": 2, "100": 3, "+Inf": 3}
+
+    def test_value_on_bucket_bound_is_included(self):
+        recorder = Recorder()
+        recorder.observe("latency", 10.0, buckets=(1.0, 10.0))
+        snapshot = recorder.snapshot()["histograms"]["latency"]
+        assert snapshot["buckets"]["10"] == 1
+
+    def test_declared_buckets_win(self):
+        recorder = Recorder()
+        recorder.declare_histogram("ratio", RATIO_BUCKETS)
+        recorder.observe("ratio", 0.35)
+        snapshot = recorder.snapshot()["histograms"]["ratio"]
+        assert snapshot["buckets"]["0.4"] == 1
+
+    def test_default_buckets_cover_fees_and_latencies(self):
+        assert DEFAULT_BUCKETS[0] <= 0.01
+        assert DEFAULT_BUCKETS[-1] >= 1e13
+
+
+class TestSpans:
+    def test_context_manager_records_sim_interval(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        with recorder.span("work", track="user:abc") as span:
+            clock.advance(4.0)
+        assert span.started_at == 0.0
+        assert span.finished_at == 4.0
+        assert span.duration == 4.0
+
+    def test_open_span_duration_tracks_now(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        span = recorder.span("inflight")
+        clock.advance(2.5)
+        assert not span.done
+        assert span.duration == 2.5
+        assert recorder.open_spans == [span]
+
+    def test_end_is_idempotent_and_merges_args(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        span = recorder.span("op", key="v")
+        clock.advance(1.0)
+        span.end(status="ok")
+        clock.advance(1.0)
+        span.end(status="late")  # ignored
+        assert span.finished_at == 1.0
+        assert span.args == {"key": "v", "status": "ok"}
+
+    def test_exception_inside_span_records_error(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("boom"):
+                raise RuntimeError("x")
+        assert recorder.spans[0].args["error"] == "RuntimeError"
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.counter("anything")
+        NULL_RECORDER.gauge("anything", 1)
+        NULL_RECORDER.observe("anything", 1)
+        NULL_RECORDER.declare_histogram("anything", (1.0,))
+        assert NULL_RECORDER.snapshot() == {}
+        assert NULL_RECORDER.render_compact() == ""
+
+    def test_null_span_supports_both_usage_styles(self):
+        with NULL_RECORDER.span("x") as span:
+            pass
+        span.end(extra="ignored")
+
+    def test_recorder_is_a_null_recorder_subtype(self):
+        # Call sites type against NullRecorder; the live one must fit.
+        assert isinstance(Recorder(), NullRecorder)
+
+
+class TestClockBinding:
+    def test_first_binding_wins(self):
+        recorder = Recorder()
+        first, second = SimClock(), SimClock()
+        recorder.bind_clock(first)
+        recorder.bind_clock(second)
+        first.advance(7.0)
+        assert recorder.now() == 7.0
+
+    def test_unbound_recorder_reads_zero(self):
+        assert Recorder().now() == 0.0
+
+
+class TestCompactRendering:
+    def test_counters_and_gauges_listed(self):
+        recorder = Recorder()
+        recorder.counter("a_total", value=2, chain="goerli")
+        recorder.gauge("depth", 4)
+        text = recorder.render_compact()
+        assert 'a_total{chain="goerli"}=2' in text
+        assert "depth=4" in text
+
+    def test_limit_elides(self):
+        recorder = Recorder()
+        for index in range(15):
+            recorder.counter(f"metric_{index:02}")
+        text = recorder.render_compact(limit=10)
+        assert "5 more" in text
+
+
+def test_track_for_is_stable_and_short():
+    assert track_for("0xabcdef0123456789") == "user:0xabcdef01"
+    assert track_for("0xabcdef0123456789") == track_for("0xabcdef0123456789")

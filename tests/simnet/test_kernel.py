@@ -266,3 +266,56 @@ class TestCongestionProcess:
             CongestionProcess(mean=0.5, volatility=-0.1)
         with pytest.raises(ValueError):
             CongestionProcess(mean=0.5, volatility=0.1, reversion=0.0)
+
+
+class TestLiveCountInvariant:
+    """`len(queue)` is a maintained counter; the heap scan is the oracle."""
+
+    @staticmethod
+    def scan(queue):
+        """The O(n) definition __len__ used to implement directly."""
+        return sum(1 for event in queue._heap if not event.cancelled)
+
+    def test_counter_matches_scan_through_a_workout(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert len(queue) == self.scan(queue) == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert len(queue) == self.scan(queue) == 8
+        queue.run_until(4.0)  # fires 1,2,3 and skips the cancelled 4
+        assert len(queue) == self.scan(queue) == 5
+        for event in events:
+            event.cancel()  # double-cancels and cancel-after-fire included
+        assert len(queue) == self.scan(queue) == 0
+
+    def test_double_cancel_does_not_underflow(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == self.scan(queue) == 0
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.step()
+        event.cancel()
+        assert len(queue) == self.scan(queue) == 1
+
+    @given(st.lists(st.tuples(st.floats(0.0, 50.0), st.booleans()), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_counter_matches_scan_random(self, plan):
+        queue = EventQueue()
+        scheduled = []
+        for delay, do_cancel in plan:
+            scheduled.append((queue.schedule(delay, lambda: None), do_cancel))
+        for event, do_cancel in scheduled:
+            if do_cancel:
+                event.cancel()
+        assert len(queue) == self.scan(queue)
+        queue.run_until(25.0)
+        assert len(queue) == self.scan(queue)
+        queue.run_until_idle()
+        assert len(queue) == self.scan(queue) == 0

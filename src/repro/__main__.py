@@ -52,12 +52,25 @@ def _cmd_simulate(args) -> int:
         print(f"unknown network {args.network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
         return 2
     recorder = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.faults is not None:
         from repro.obs import Recorder
 
         recorder = Recorder()
-    runner = run_simulation_concurrent if args.concurrent else run_simulation
-    result = runner(args.network, args.users, seed=args.seed, recorder=recorder)
+    if args.faults is not None:
+        # Chaos mode: concurrent run under an active fault plan, with
+        # the end-to-end resilience invariants asserted (exits nonzero
+        # through ChaosError if any are violated).
+        from repro.faults import run_chaos
+
+        report = run_chaos(
+            args.network, args.users, seed=args.seed, fault_seed=args.faults, recorder=recorder
+        )
+        print(report.summary())
+        print()
+        result = report.result
+    else:
+        runner = run_simulation_concurrent if args.concurrent else run_simulation
+        result = runner(args.network, args.users, seed=args.seed, recorder=recorder)
     print(render_bar_chart(f"{args.network}: {args.users} users", result.per_user_series()))
     print()
     rows = [
@@ -166,6 +179,11 @@ def main(argv: list[str] | None = None) -> int:
     simulate.add_argument(
         "--concurrent", action="store_true",
         help="pipeline the attachers on one event queue (the thesis's threaded mode)",
+    )
+    simulate.add_argument(
+        "--faults", type=int, default=None, metavar="SEED",
+        help="chaos mode: run concurrently under a seeded fault plan and "
+        "assert the resilience invariants (implies --concurrent)",
     )
     simulate.add_argument(
         "--trace", nargs="?", const="out.trace.json", default=None, metavar="PATH",

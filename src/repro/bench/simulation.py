@@ -56,6 +56,9 @@ class SimulationResult:
     #: the run's full metric snapshot (counters/gauges/histograms) when
     #: a live recorder was attached; None on uninstrumented runs.
     metrics: dict | None = None
+    #: chaos-mode report ({"seed": ..., "injected": {kind: count}})
+    #: when a fault plan was installed; None on unfaulted runs.
+    faults: dict | None = None
 
     def deploys(self) -> list[UserTiming]:
         """The deploy operations in user order."""
@@ -87,6 +90,7 @@ def run_simulation_concurrent(
     reward: int = 0,
     compiled: CompiledContract | None = None,
     recorder: NullRecorder | None = None,
+    faults=None,
 ) -> SimulationResult:
     """The thesis's Thread-based variant: attachers act concurrently.
 
@@ -97,11 +101,24 @@ def run_simulation_concurrent(
     handshake's confirmation callback.  Per-user latency is the span of
     the user's handle -- first submission to final confirmation.
 
+    ``faults`` (a :class:`repro.faults.plan.FaultPlan`) switches the run
+    into chaos mode: a chain fault injector is installed and every
+    submission is armed with the plan's retry/backoff policy.  With
+    ``faults=None`` (the default) the run is byte-identical to a
+    build without the fault layer.
+
     The harness is chain-agnostic: the per-family ceremonies live in
     the Reach runtime, below this layer.
     """
     chain = make_chain(network, seed=seed, recorder=recorder)
-    client = ReachClient(chain)
+    injector = None
+    policy = None
+    if faults is not None:
+        from repro.faults.inject import ChainFaultInjector
+
+        injector = ChainFaultInjector(faults).install(chain)
+        policy = faults.policy
+    client = ReachClient(chain, policy=policy)
     if compiled is None:
         compiled = compile_program(
             build_pol_program(max_users=USERS_PER_CONTRACT, reward=reward or 1_000)
@@ -171,6 +188,8 @@ def run_simulation_concurrent(
         )
     if recorder is not None and recorder.enabled:
         result.metrics = recorder.snapshot()
+    if injector is not None:
+        result.faults = {"seed": faults.seed, "injected": dict(injector.injected)}
     return result
 
 

@@ -25,13 +25,14 @@ from repro.chain.base import (
     InvalidTransaction,
     Receipt,
     Transaction,
+    TransientChainError,
     TxHandle,
     TxState,
     TxStatus,
     drive,
 )
 from repro.chain.params import NetworkProfile, PROFILES
-from repro.chain.service import ChainService
+from repro.chain.service import ChainService, ManagedTxHandle
 
 
 def make_chain(network: str, seed: int = 0, recorder=None) -> BaseChain:
@@ -64,8 +65,10 @@ __all__ = [
     "ChainService",
     "InsufficientFunds",
     "InvalidTransaction",
+    "ManagedTxHandle",
     "Receipt",
     "Transaction",
+    "TransientChainError",
     "TxHandle",
     "TxState",
     "TxStatus",

@@ -36,6 +36,41 @@ class InsufficientFunds(ChainError):
     """The sender cannot cover value + maximum fee."""
 
 
+class TransientChainError(ChainError):
+    """A submission the provider dropped transiently (retry-safe).
+
+    Models the RPC-level flakiness the thesis's live-testnet scripts hit
+    (rate limits, load-balancer 502s, brief mempool-full rejections):
+    the transaction itself is valid and an identical resubmission is
+    expected to succeed.  Raised only by installed fault injectors;
+    :class:`repro.chain.service.ChainService` retries these without
+    resyncing or rebuilding.
+    """
+
+
+class NullFaultInjector:
+    """No-fault injector: the default wired into every chain.
+
+    The null object mirroring :data:`repro.obs.recorder.NULL_RECORDER` --
+    hot paths guard on ``faults.enabled`` so an unfaulted run never pays
+    for the hooks and stays byte-identical to pre-fault-layer output.
+    :class:`repro.faults.inject.ChainFaultInjector` subclasses this with
+    ``enabled = True`` and a real schedule.
+    """
+
+    enabled = False
+
+    def on_submit(self, tx: "Transaction") -> None:
+        """Chance to reject ``tx`` transiently (raise TransientChainError)."""
+
+    def on_block_begin(self, chain: "BaseChain", block: "Block") -> None:
+        """Chance to distort the fee market for this block."""
+
+
+#: shared no-fault singleton (stateless, safe to share across chains).
+NULL_FAULTS = NullFaultInjector()
+
+
 class TxStatus(Enum):
     """Lifecycle of a submitted transaction."""
 
@@ -274,6 +309,7 @@ class BaseChain:
         )
         self._accounts_created = 0
         self._started = False
+        self.faults: NullFaultInjector = NULL_FAULTS
         self._tx_spans: dict[str, Span] = {}  # open submitted->confirmed windows
         self._genesis()
 
@@ -401,6 +437,8 @@ class BaseChain:
         failures a node provider would surface synchronously.
         """
         self.start()
+        if self.faults.enabled:
+            self.faults.on_submit(tx)
         if tx.signature is None:
             raise InvalidTransaction("unsigned transaction")
         public = self.known_keys.get(tx.sender)
@@ -416,6 +454,7 @@ class BaseChain:
         txid = tx.txid
         if txid in self.receipts:
             raise InvalidTransaction("duplicate transaction")
+        self._maybe_replace(tx)
         entry = _MempoolEntry(
             transaction=tx,
             arrived_at=self.queue.clock.now,
@@ -434,6 +473,33 @@ class BaseChain:
                 f"tx:{tx.kind}", track=track_for(tx.sender), cat="tx", chain=chain_name, txid=txid[:12]
             )
         return txid
+
+    def _maybe_replace(self, tx: Transaction) -> None:
+        """Replace-by-nonce: evict a pending tx with the same (sender, nonce).
+
+        A fee-bumped resubmission (see
+        :meth:`repro.chain.service.ChainService.bump_fees`) must not land
+        alongside the copy it replaces -- at most one transaction per
+        account nonce can ever execute.  The replacement must strictly
+        outbid the pending copy, otherwise it is rejected as underpriced
+        (geth's replace-by-fee rule, flat-fee analog for AVM).
+        """
+        for entry in self._mempool:
+            pending = entry.transaction
+            if pending.sender != tx.sender or pending.nonce != tx.nonce:
+                continue
+            if tx.max_fee_per_gas + tx.flat_fee <= pending.max_fee_per_gas + pending.flat_fee:
+                raise InvalidTransaction("replacement transaction underpriced")
+            self._mempool.remove(entry)
+            replaced = self.receipts[pending.txid]
+            replaced.error = "replaced"
+            self._receipt_watchers.pop(pending.txid, None)
+            span = self._tx_spans.pop(pending.txid, None)
+            if span is not None:
+                span.end(status="replaced")
+            if self.recorder.enabled:
+                self.recorder.counter("chain_tx_replaced_total", chain=self.profile.name)
+            return
 
     def next_nonce_for(self, address: str) -> int:
         """The chain-observed next nonce for ``address``.
@@ -528,6 +594,8 @@ class BaseChain:
             metadata=seal,
         )
         self._begin_block(block)
+        if self.faults.enabled:
+            self.faults.on_block_begin(self, block)
         recorder = self.recorder
         instrumented = recorder.enabled
         if instrumented:

@@ -36,6 +36,17 @@ class BluetoothChannel:
     range_m: float = DEFAULT_RANGE_M
     devices: dict[str, _Device] = field(default_factory=dict)
     messages_sent: int = 0
+    #: radio-fault scale on the nominal range (1.0 = nominal); a range
+    #: flap injector shrinks this to model interference/occlusion.
+    range_scale: float = 1.0
+    #: fault hook consulted on every send (None = no faults installed;
+    #: see :class:`repro.faults.inject.RadioFaultInjector`).
+    faults: Any = None
+
+    @property
+    def effective_range_m(self) -> float:
+        """The nominal range after any active radio fault."""
+        return self.range_m * self.range_scale
 
     def register(self, device_id: str, latitude: float, longitude: float) -> None:
         """Power on a device at a position."""
@@ -60,7 +71,7 @@ class BluetoothChannel:
 
     def in_range(self, a: str, b: str) -> bool:
         """Whether two devices can currently talk."""
-        return a != b and self.distance_m(a, b) <= self.range_m
+        return a != b and self.distance_m(a, b) <= self.effective_range_m
 
     def discover(self, device_id: str) -> list[str]:
         """The 'view users nearby' feature: device ids within range."""
@@ -69,10 +80,12 @@ class BluetoothChannel:
 
     def send(self, sender: str, recipient: str, payload: Any) -> None:
         """Deliver a message if (and only if) the peers are in range."""
+        if self.faults is not None:
+            self.faults.on_send(self)
         if not self.in_range(sender, recipient):
             raise BluetoothError(
                 f"{recipient!r} is out of Bluetooth range of {sender!r} "
-                f"({self.distance_m(sender, recipient):.0f} m > {self.range_m:.0f} m)"
+                f"({self.distance_m(sender, recipient):.0f} m > {self.effective_range_m:.0f} m)"
             )
         self.messages_sent += 1
         self._device(recipient).inbox.append((sender, payload))

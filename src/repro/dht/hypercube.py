@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.geo.rbit import olc_to_rbit, rbit_to_int
 from repro.dht.node import HypercubeNode, NodeContent
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 
 
 class HypercubeError(Exception):
@@ -44,6 +45,9 @@ class HypercubeDHT:
     r: int = 8
     replication: int = 0
     nodes: dict[int, HypercubeNode] = field(default_factory=dict)
+    #: records healed by read-repair (see :meth:`_heal`).
+    read_repairs: int = 0
+    recorder: NullRecorder = NULL_RECORDER
 
     def __post_init__(self) -> None:
         if not 1 <= self.r <= 24:
@@ -77,6 +81,13 @@ class HypercubeDHT:
     def route(self, origin_id: int, target_id: int, max_hops: int | None = None) -> list[int]:
         """Greedy bit-fixing path from origin to target (inclusive).
 
+        Offline nodes do not forward: routing detours through an
+        alternate one-bit-differing neighbour (any differing bit still
+        strictly reduces the Hamming distance, so the path length is
+        unchanged) and raises :class:`HypercubeError` when every live
+        candidate is down.  The target itself may be offline -- the
+        caller (``lookup``) handles endpoint fallback to replicas.
+
         Raises :class:`HypercubeError` if the hop budget is exceeded --
         the bounded-query mechanism of the thesis's section 1.3.
         """
@@ -90,10 +101,31 @@ class HypercubeDHT:
                 raise HypercubeError(
                     f"hop budget {budget} exhausted routing {origin_id} -> {target_id}"
                 )
+            next_id = self._next_live_hop(current, target_id)
+            if next_id is None:
+                raise HypercubeError(
+                    f"no online route from {current.node_id} toward {target_id}"
+                )
             current.lookups_forwarded += 1
-            current = self.nodes[current.next_hop(target_id)]
+            current = self.nodes[next_id]
             path.append(current.node_id)
         return path
+
+    def _next_live_hop(self, current: HypercubeNode, target_id: int) -> int | None:
+        """The preferred live next hop, or None if all candidates are down.
+
+        Tries the greedy highest-differing-bit neighbour first (the
+        unfaulted path, byte-identical to plain bit-fixing when every
+        node is up), then the remaining differing bits as detours.
+        """
+        difference = current.node_id ^ target_id
+        for bit in range(difference.bit_length() - 1, -1, -1):
+            if not difference & (1 << bit):
+                continue
+            candidate = current.node_id ^ (1 << bit)
+            if candidate == target_id or self.nodes[candidate].online:
+                return candidate
+        return None
 
     # -- public API (figure 2.3 / section 2.5 flows) ---------------------------------
 
@@ -105,26 +137,62 @@ class HypercubeDHT:
         """
         target = self.responsible_node(olc)
         path = self.route(origin_id, target.node_id, max_hops)
+        if self.replication > 0:
+            self._heal(olc.upper())
         if target.online:
             target.lookups_served += 1
             content = target.retrieve(olc.upper())
             return LookupResult(found=content is not None, content=content, hops=len(path) - 1, path=tuple(path))
-        extra_hops = 0
         for replica in self.replica_nodes(olc):
-            extra_hops += 1  # replicas are one-bit neighbours of the target
             if not replica.online:
-                continue
+                continue  # skipped replicas are never contacted: no hop cost
             replica.lookups_served += 1
             content = replica.retrieve(olc.upper())
             return LookupResult(
                 found=content is not None,
                 content=content,
-                hops=len(path) - 1 + extra_hops,
+                hops=len(path),  # the serving replica is one hop off the target
                 path=tuple(path) + (replica.node_id,),
             )
         raise HypercubeError(
             f"node {target.node_id} and all {self.replication} replicas are offline for {olc}"
         )
+
+    def _heal(self, olc_key: str) -> None:
+        """Read-repair: converge the online copies of one record.
+
+        A write that lands while a holder (primary or replica) is
+        offline leaves that holder stale or empty when it comes back.
+        On every replicated lookup the online holders merge their CID
+        lists (union, first-seen order) and missing copies are
+        re-stored, so availability gaps heal on the read path instead
+        of silently diverging -- the churn-tolerance MobChain and the
+        P2P PoL line of work treat as table stakes.
+        """
+        holders = [self.responsible_node(olc_key)] + self.replica_nodes(olc_key)
+        online = [node for node in holders if node.online]
+        records = [(node, node.retrieve(olc_key)) for node in online]
+        present = [record for _, record in records if record is not None]
+        if not present:
+            return  # nothing survives online; nothing to heal from
+        merged: list[str] = []
+        for record in present:
+            for cid in record.cids:
+                if cid not in merged:
+                    merged.append(cid)
+        contract_id = present[0].contract_id
+        healed = 0
+        for node, record in records:
+            if record is None:
+                node.store(olc_key, NodeContent(contract_id=contract_id, olc=olc_key, cids=list(merged)))
+                healed += 1
+            elif record.cids != merged:
+                record.cids[:] = merged
+                healed += 1
+        if healed:
+            self.read_repairs += healed
+            if self.recorder.enabled:
+                self.recorder.counter("dht_read_repairs_total", value=float(healed))
 
     def _write_targets(self, olc: str) -> list[HypercubeNode]:
         """Primary + replicas, skipping offline nodes (writes still land

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and the recovery policies it drives.
+
+The thesis argues decentralization buys resilience -- the hypercube
+survives node loss (section 2.5) and the chain substrates tolerate
+rejected submissions -- but a reproduction that only ever exercises the
+happy path cannot *show* it.  This package makes the failure paths the
+product:
+
+- :mod:`repro.faults.plan` -- a seeded :class:`FaultPlan`: chain-level
+  faults (transient submission rejections, receipt delays,
+  block-production stalls, fee spikes), DHT churn and radio range
+  flaps, all derived deterministically from one seed;
+- :mod:`repro.faults.policy` -- the :class:`RetryPolicy` recovery knobs
+  (timeout, exponential backoff, fee-bump resubmission);
+- :mod:`repro.faults.inject` -- the injectors that realize a plan
+  through the small hooks in :mod:`repro.simnet.events`,
+  :mod:`repro.chain.base`, :mod:`repro.dht.hypercube` and
+  :mod:`repro.core.bluetooth`;
+- :mod:`repro.faults.chaos` -- the end-to-end chaos harness behind the
+  bench CLI's ``--faults`` flag, asserting the resilience invariants
+  (no lost proofs, all handles settle, telemetry matches the injected
+  plan).
+
+Everything is off by default: without an installed injector the hooks
+are no-ops and simulation output is byte-identical to an unfaulted run.
+"""
+
+from repro.faults.chaos import ChaosError, ChaosReport, run_chaos
+from repro.faults.inject import ChainFaultInjector, DhtFaultInjector, RadioFaultInjector
+from repro.faults.plan import FaultPlan, FaultWindow
+from repro.faults.policy import RetryPolicy
+
+__all__ = [
+    "ChainFaultInjector",
+    "ChaosError",
+    "ChaosReport",
+    "DhtFaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "RadioFaultInjector",
+    "RetryPolicy",
+    "run_chaos",
+]

@@ -1,0 +1,209 @@
+"""The chaos harness: run the bench workload under an active FaultPlan.
+
+``run_chaos`` is what the CLI's ``--faults <seed>`` executes.  It runs
+the concurrent simulation with a chain fault injector installed and the
+plan's retry/backoff policy armed, then replays deterministic DHT churn
+and radio-flap scenarios, asserting the end-to-end resilience
+invariants:
+
+- **no lost proofs** -- every user in the workload produced a timing
+  (all handles settled; the drive would have stalled otherwise);
+- **counters match the plan** -- every ``fault_injected_total{kind}``
+  in the telemetry snapshot equals the injector tallies, and every
+  transient rejection shows a matching recovery;
+- **the DHT heals** -- records written during primary/replica outages
+  are readable from every holder after read-repair;
+- **the radio recovers** -- every flapped message is ultimately
+  delivered.
+
+Determinism is part of the contract: the same (seed, fault_seed) pair
+reproduces the same event sequence, timings and counters, which the CI
+chaos smoke job checks by diffing two identical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.simulation import SimulationResult, run_simulation_concurrent
+from repro.bench.workload import THESIS_LOCATIONS
+from repro.core.bluetooth import BluetoothChannel
+from repro.dht.hypercube import HypercubeDHT
+from repro.faults.inject import DhtFaultInjector, RadioFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs.recorder import Recorder
+
+
+class ChaosError(AssertionError):
+    """An end-to-end chaos invariant did not hold."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosError(message)
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run measured and asserted."""
+
+    network: str
+    user_count: int
+    seed: int
+    fault_seed: int
+    result: SimulationResult
+    #: per-kind injected-fault tallies across all subsystems.
+    injected: dict[str, int] = field(default_factory=dict)
+    #: per-kind recovery tallies from the telemetry snapshot.
+    recovered: dict[str, int] = field(default_factory=dict)
+    read_repairs: int = 0
+    radio_messages: int = 0
+
+    def summary(self) -> str:
+        """A compact human-readable account of the run."""
+        lines = [
+            f"chaos run: {self.network}, {self.user_count} users, "
+            f"seed={self.seed}, fault_seed={self.fault_seed}",
+            f"  proofs landed: {len(self.result.timings)}/{self.user_count}",
+        ]
+        for kind in sorted(self.injected):
+            recovered = self.recovered.get(kind)
+            tail = f", recovered {recovered}" if recovered is not None else ""
+            lines.append(f"  injected {kind}: {self.injected[kind]}{tail}")
+        lines.append(f"  dht read-repairs: {self.read_repairs}")
+        lines.append(f"  radio messages delivered: {self.radio_messages}")
+        lines.append("  invariants: all held")
+        return "\n".join(lines)
+
+
+def run_chaos(
+    network: str,
+    user_count: int,
+    seed: int = 0,
+    fault_seed: int = 1,
+    recorder: Recorder | None = None,
+    plan: FaultPlan | None = None,
+) -> ChaosReport:
+    """Run the full chaos scenario; raise :class:`ChaosError` on violation."""
+    if recorder is None:
+        recorder = Recorder()
+    if plan is None:
+        plan = FaultPlan.generate(fault_seed)
+
+    result = run_simulation_concurrent(
+        network, user_count, seed=seed, recorder=recorder, faults=plan
+    )
+    report = ChaosReport(
+        network=network,
+        user_count=user_count,
+        seed=seed,
+        fault_seed=plan.seed,
+        result=result,
+    )
+
+    # Invariant: no lost proofs -- every user settled with a sane timing.
+    _check(result.faults is not None, "chaos run did not report a fault summary")
+    _check(
+        len(result.timings) == user_count,
+        f"lost proofs: {len(result.timings)}/{user_count} users produced a timing",
+    )
+    for timing in result.timings:
+        _check(timing.latency > 0, f"{timing.name}: non-positive latency {timing.latency}")
+        _check(timing.transactions >= 1, f"{timing.name}: no transactions recorded")
+
+    report.injected.update(result.faults["injected"])
+
+    # The deterministic DHT churn scenario: crash holders, write during
+    # the outage, restore, and require the next lookup to heal them.
+    dht_injector = _run_dht_churn(plan, recorder)
+    report.injected.update(dht_injector.injected)
+    report.read_repairs = dht_injector.dht.read_repairs
+
+    # The radio-flap scenario: every message delivered despite flaps.
+    radio = _run_radio_flaps(plan, recorder)
+    report.injected.update(radio.injected)
+    report.radio_messages = radio.channel.messages_sent
+
+    # Invariant: telemetry matches the injected plan, kind by kind.
+    for kind, count in sorted(report.injected.items()):
+        observed = int(recorder.counter_value("fault_injected_total", kind=kind))
+        _check(
+            observed == count,
+            f"fault_injected_total{{kind={kind}}} is {observed}, injector says {count}",
+        )
+
+    # Invariant: every transient rejection recovered on retry.
+    for kind in ("tx_rejection", "stuck_tx", "radio_flap"):
+        report.recovered[kind] = int(recorder.counter_value("fault_recovered_total", kind=kind))
+    _check(
+        report.recovered["tx_rejection"] == report.injected.get("tx_rejection", 0),
+        f"{report.injected.get('tx_rejection', 0)} transient rejections injected "
+        f"but {report.recovered['tx_rejection']} recovered",
+    )
+    _check(
+        report.recovered["radio_flap"] == report.injected.get("radio_flap", 0),
+        f"{report.injected.get('radio_flap', 0)} radio flaps injected "
+        f"but {report.recovered['radio_flap']} recovered",
+    )
+    return report
+
+
+def _run_dht_churn(plan: FaultPlan, recorder: Recorder) -> DhtFaultInjector:
+    """Churn the hypercube per the plan; assert read-repair heals it."""
+    dht = HypercubeDHT(r=6, replication=2, recorder=recorder)
+    injector = DhtFaultInjector(dht)
+    expected: dict[str, list[str]] = {}
+    for index, olc in enumerate(THESIS_LOCATIONS):
+        dht.register_contract(olc, f"contract-{index}")
+        expected[olc.upper()] = []
+
+    for round_number in range(plan.churn_rounds):
+        for index, olc in enumerate(THESIS_LOCATIONS):
+            key = olc.upper()
+            primary = dht.responsible_node(key)
+            replicas = dht.replica_nodes(key)
+            injector.crash(primary.node_id)
+            if round_number % 2 == 1:
+                injector.crash(replicas[0].node_id)  # replica loss too
+            cid = f"cid-{index}-round-{round_number}"
+            dht.append_cid(key, cid)
+            expected[key].append(cid)
+            injector.restore(primary.node_id)
+            if round_number % 2 == 1:
+                injector.restore(replicas[0].node_id)
+            outcome = dht.lookup(key)  # the healing read
+            _check(outcome.found, f"{key}: record lost after churn round {round_number}")
+
+    for key, cids in expected.items():
+        holders = [dht.responsible_node(key)] + dht.replica_nodes(key)
+        for holder in holders:
+            record = holder.retrieve(key)
+            _check(record is not None, f"{key}: holder {holder.node_id} lost the record")
+            _check(
+                record.cids == cids,
+                f"{key}: holder {holder.node_id} has {record.cids}, expected {cids}",
+            )
+    if plan.churn_rounds:
+        _check(dht.read_repairs > 0, "churn ran but no read-repair was ever needed")
+    return injector
+
+
+def _run_radio_flaps(plan: FaultPlan, recorder: Recorder) -> RadioFaultInjector:
+    """Flap the Bluetooth range per the plan; every message must land."""
+    channel = BluetoothChannel()
+    channel.register("prover", 44.4949, 11.3426)
+    channel.register("witness", 44.4949, 11.3428)  # ~16 m apart: in range
+    radio = RadioFaultInjector(channel, plan.radio_flaps, factor=0.1, recorder=recorder)
+    messages = (plan.radio_flaps[-1][1] + 4) if plan.radio_flaps else 4
+    for index in range(messages):
+        radio.send_with_retry("prover", "witness", f"proof-{index}")
+    delivered = len(channel.receive("witness"))
+    _check(
+        delivered == messages,
+        f"radio delivered {delivered}/{messages} messages",
+    )
+    _check(
+        radio.recovered == len(plan.radio_flaps),
+        f"{len(plan.radio_flaps)} flap windows planned but {radio.recovered} recoveries",
+    )
+    return radio

@@ -1,0 +1,176 @@
+"""Injectors that realize a :class:`~repro.faults.plan.FaultPlan`.
+
+Each injector attaches to one subsystem through the narrow hooks that
+subsystem exposes and keeps a tally of everything it injected, mirrored
+into the telemetry recorder as ``fault_injected_total{kind=...}`` so
+the chaos harness can assert the counters match the plan exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.chain.base import BaseChain, Block, NullFaultInjector, Transaction, TransientChainError
+from repro.faults.plan import FaultPlan, FaultWindow
+
+if TYPE_CHECKING:
+    from repro.core.bluetooth import BluetoothChannel
+    from repro.dht.hypercube import HypercubeDHT
+
+
+class ChainFaultInjector(NullFaultInjector):
+    """Chain-level faults: rejections, fee spikes, stalls, slow receipts."""
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.chain: BaseChain | None = None
+        #: per-kind injection tally (source of truth for the invariants).
+        self.injected: dict[str, int] = {}
+        self._submissions = 0
+        #: absolute base-fee level per spike window, fixed on entry so a
+        #: multi-block window holds the spike instead of compounding it.
+        self._spike_levels: dict[FaultWindow, int] = {}
+        self._stalls_counted: set[FaultWindow] = set()
+
+    def install(self, chain: BaseChain) -> "ChainFaultInjector":
+        """Attach to ``chain``: submit/block hooks + scheduling delays."""
+        self.chain = chain
+        chain.faults = self
+        chain.queue.fault_delay = self.event_delay
+        return self
+
+    def _count(self, kind: str, value: int = 1) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + value
+        if self.chain is not None and self.chain.recorder.enabled:
+            self.chain.recorder.counter("fault_injected_total", value=float(value), kind=kind)
+
+    # -- hook implementations --------------------------------------------------
+
+    def on_submit(self, tx: Transaction) -> None:
+        """Reject planned submission ordinals transiently."""
+        ordinal = self._submissions
+        self._submissions += 1
+        if ordinal in self.plan.reject_submissions:
+            self._count("tx_rejection")
+            raise TransientChainError(f"provider dropped submission #{ordinal} (injected)")
+
+    def on_block_begin(self, chain: BaseChain, block: Block) -> None:
+        """Hold the base fee at a spiked level inside fee_spike windows."""
+        if chain.profile.family != "evm":
+            return  # flat-fee families have no fee market to spike
+        window = self.plan.window_at("fee_spike", chain.queue.clock.now)
+        if window is None:
+            return
+        level = self._spike_levels.get(window)
+        if level is None:
+            level = max(int(chain.base_fee * window.magnitude), chain.base_fee + 1)
+            self._spike_levels[window] = level
+            self._count("fee_spike")
+        chain.base_fee = max(chain.base_fee, level)
+        block.base_fee_per_gas = chain.base_fee  # _begin_block stamped pre-spike
+
+    def event_delay(self, label: str, fire_time: float) -> float:
+        """Extra scheduling delay: block stalls and slow confirmations."""
+        if label.endswith("-block"):
+            window = self.plan.window_at("block_stall", fire_time)
+            if window is not None:
+                if window not in self._stalls_counted:
+                    self._stalls_counted.add(window)
+                    self._count("block_stall")
+                return window.magnitude
+        elif label == "confirm":
+            window = self.plan.window_at("receipt_delay", fire_time)
+            if window is not None:
+                self._count("receipt_delay")
+                return window.magnitude
+        return 0.0
+
+
+class DhtFaultInjector:
+    """Node churn against the hypercube: crash/restart, replica loss."""
+
+    def __init__(self, dht: "HypercubeDHT"):
+        self.dht = dht
+        self.injected: dict[str, int] = {}
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if self.dht.recorder.enabled:
+            self.dht.recorder.counter("fault_injected_total", kind=kind)
+
+    def crash(self, node_id: int) -> None:
+        """Take a node offline (counted as one injected fault)."""
+        self.dht.set_online(node_id, False)
+        self._count("dht_crash")
+
+    def restore(self, node_id: int) -> None:
+        """Bring a crashed node back (recovery happens via read-repair)."""
+        self.dht.set_online(node_id, True)
+
+
+class RadioFaultInjector:
+    """Bluetooth range flaps: the radio briefly shrinks to a fraction."""
+
+    def __init__(
+        self,
+        channel: "BluetoothChannel",
+        flaps: tuple[tuple[int, int], ...],
+        factor: float = 0.1,
+        recorder=None,
+    ):
+        from repro.obs.recorder import NULL_RECORDER
+
+        self.channel = channel
+        #: half-open send-ordinal ranges during which the range collapses.
+        self.flaps = flaps
+        self.factor = factor
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.injected: dict[str, int] = {}
+        self.recovered = 0
+        self._sends = 0
+        self._flaps_counted: set[tuple[int, int]] = set()
+        channel.faults = self
+
+    def on_send(self, channel: "BluetoothChannel") -> None:
+        """Called by the channel before each delivery attempt."""
+        ordinal = self._sends
+        self._sends += 1
+        for flap in self.flaps:
+            if flap[0] <= ordinal < flap[1]:
+                if flap not in self._flaps_counted:
+                    self._flaps_counted.add(flap)
+                    self.injected["radio_flap"] = self.injected.get("radio_flap", 0) + 1
+                    if self.recorder.enabled:
+                        self.recorder.counter("fault_injected_total", kind="radio_flap")
+                channel.range_scale = self.factor
+                return
+        channel.range_scale = 1.0
+
+    def send_with_retry(self, sender: str, recipient: str, payload, max_attempts: int = 16) -> int:
+        """Retry a send until the radio recovers; return attempts used.
+
+        The application-level recovery for radio flaps: a prover whose
+        witness exchange fails keeps retrying until the link comes back
+        (each attempt advances the send ordinal, so a flap window always
+        drains).  Raises the last :class:`BluetoothError` if the link
+        never recovers within ``max_attempts``.
+        """
+        from repro.core.bluetooth import BluetoothError
+
+        failures = 0
+        for _ in range(max_attempts):
+            try:
+                self.channel.send(sender, recipient, payload)
+            except BluetoothError:
+                failures += 1
+                continue
+            if failures:
+                self.recovered += 1
+                if self.recorder.enabled:
+                    self.recorder.counter("fault_recovered_total", kind="radio_flap")
+            return failures + 1
+        raise BluetoothError(
+            f"radio to {recipient!r} never recovered within {max_attempts} attempts"
+        )

@@ -1,0 +1,46 @@
+"""Recovery-policy knobs: timeout, exponential backoff, fee bumping.
+
+A :class:`RetryPolicy` parameterizes the client-side recovery the
+paper's resilience story implies but never spells out: a submitted
+transaction that sits unconfirmed past a timeout is re-priced (same
+nonce, bumped fees) and resubmitted, replacing the stuck mempool copy;
+each further resubmission waits exponentially longer.  The policy is
+consumed by :class:`repro.chain.service.ChainService` /
+:class:`repro.chain.service.ManagedTxHandle` -- this module stays free
+of chain imports so every layer can depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + exponential backoff + fee-bump resubmission."""
+
+    #: simulated seconds a transaction may sit unconfirmed before the
+    #: first re-priced resubmission.
+    timeout: float = 90.0
+    #: multiplier applied to the timeout after each resubmission.
+    backoff: float = 2.0
+    #: fee-bumped replacements attempted before the client settles in
+    #: to wait on the mempool copy.
+    max_resubmits: int = 3
+    #: multiplier on the previous fee bid per resubmission (must beat
+    #: the chain's replace-by-nonce bar, i.e. be > 1).
+    fee_bump: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must not shrink the timeout")
+        if self.max_resubmits < 0:
+            raise ValueError("max_resubmits cannot be negative")
+        if self.fee_bump <= 1.0:
+            raise ValueError("fee_bump must raise the bid (> 1)")
+
+    def delay(self, resubmits: int) -> float:
+        """Watchdog delay before the next timeout check."""
+        return self.timeout * (self.backoff ** min(resubmits, self.max_resubmits))

@@ -288,12 +288,14 @@ class DeployedContract:
 class ReachClient:
     """One compiled source, any connector: the blockchain-agnostic client."""
 
-    def __init__(self, chain: BaseChain):
+    def __init__(self, chain: BaseChain, policy=None):
         self.chain = chain
         self.family = chain.profile.family
         if self.family not in ("evm", "avm"):
             raise ReachRuntimeError(f"unsupported chain family {self.family}")
-        self.service = ChainService(chain)
+        # policy: an optional repro.faults RetryPolicy arming stuck-tx
+        # recovery (timeout/backoff/fee-bump) on every submission.
+        self.service = ChainService(chain, policy=policy)
         self._code_hashes: dict[str, str] = {}
 
     # -- deploy ---------------------------------------------------------------

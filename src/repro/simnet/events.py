@@ -47,6 +47,11 @@ class EventQueue:
         self._heap: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._live = 0  # pending, non-cancelled entries (O(1) __len__)
+        #: fault hook: ``(label, fire_time) -> extra delay seconds``.
+        #: None (the default) keeps scheduling byte-identical to an
+        #: unfaulted run; installed by repro.faults injectors to model
+        #: block-production stalls and receipt delays.
+        self.fault_delay: Callable[[str, float], float] | None = None
         self.recorder = NULL_RECORDER
         if recorder is not None:
             self.attach_recorder(recorder)
@@ -67,6 +72,8 @@ class EventQueue:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("cannot schedule an event in the past")
+        if self.fault_delay is not None:
+            delay += self.fault_delay(label, self.clock.now + delay)
         return self.schedule_at(self.clock.now + delay, callback, label)
 
     def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:

@@ -1,0 +1,147 @@
+"""Tests for DHT behaviour under churn: offline routing, hop accounting,
+write-during-outage recovery via read-repair."""
+
+import pytest
+
+from repro.dht import HypercubeDHT
+from repro.dht.hypercube import HypercubeError
+from repro.geo import encode
+from repro.obs import Recorder
+
+OLC = encode(44.494, 11.342)
+
+
+@pytest.fixture
+def dht():
+    return HypercubeDHT(r=6, replication=2)
+
+
+class TestRouteAroundOfflineNodes:
+    def test_offline_intermediate_is_bypassed(self):
+        dht = HypercubeDHT(r=4)
+        # Greedy bit-fixing 0 -> 3 goes via 2 (highest differing bit
+        # first); with 2 down the route detours via 1 instead.
+        dht.set_online(2, False)
+        path = dht.route(0, 3)
+        assert path == [0, 1, 3]
+        assert dht.nodes[2].lookups_forwarded == 0
+
+    def test_detour_keeps_the_path_length(self):
+        dht = HypercubeDHT(r=6)
+        target = 0b101101
+        baseline = dht.route(0, target)
+        dht.set_online(baseline[1], False)  # kill the first greedy hop
+        detour = dht.route(0, target)
+        assert len(detour) == len(baseline)  # any differing bit is progress
+        assert baseline[1] not in detour
+
+    def test_no_online_route_raises(self):
+        dht = HypercubeDHT(r=2)
+        # Both intermediates between 0 and 3 are down; 3 itself is not
+        # adjacent to 0, so there is no live route.
+        dht.set_online(1, False)
+        dht.set_online(2, False)
+        with pytest.raises(HypercubeError, match="no online route"):
+            dht.route(0, 3)
+
+    def test_offline_target_is_still_reachable(self):
+        """Endpoint fallback is lookup's job; routing must deliver the
+        request to the target's position either way."""
+        dht = HypercubeDHT(r=4)
+        dht.set_online(5, False)
+        assert dht.route(0, 5)[-1] == 5
+
+    def test_unfaulted_route_is_plain_greedy_bit_fixing(self):
+        dht = HypercubeDHT(r=4)
+        assert dht.route(0, 0b0101) == [0, 0b0100, 0b0101]
+
+
+class TestHopAccounting:
+    def test_replica_fallback_costs_exactly_one_extra_hop(self):
+        dht = HypercubeDHT(r=6, replication=2)
+        dht.register_contract(OLC, "c1")
+        primary = dht.responsible_node(OLC)
+        replicas = dht.replica_nodes(OLC)
+        baseline = dht.lookup(OLC).hops
+        # Primary and the first replica go down: the second replica
+        # serves, and the skipped offline replica costs nothing (it is
+        # never contacted).
+        dht.set_online(primary.node_id, False)
+        dht.set_online(replicas[0].node_id, False)
+        result = dht.lookup(OLC)
+        assert result.found
+        assert result.path[-1] == replicas[1].node_id
+        assert result.hops == baseline + 1
+
+    def test_primary_hit_reports_route_length(self, dht):
+        dht.register_contract(OLC, "c1")
+        result = dht.lookup(OLC)
+        assert result.hops == len(result.path) - 1
+
+
+class TestReadRepair:
+    def test_write_during_primary_outage_heals_on_lookup(self, dht):
+        dht.register_contract(OLC, "c1")
+        primary = dht.responsible_node(OLC)
+        dht.set_online(primary.node_id, False)
+        dht.append_cid(OLC, "cid-during-outage")
+        dht.set_online(primary.node_id, True)
+        assert "cid-during-outage" not in primary.retrieve(OLC.upper()).cids
+        result = dht.lookup(OLC)  # the healing read
+        assert result.found
+        assert primary.retrieve(OLC.upper()).cids == ["cid-during-outage"]
+        assert dht.read_repairs >= 1
+
+    def test_lagging_replica_healed_too(self, dht):
+        dht.register_contract(OLC, "c1")
+        replica = dht.replica_nodes(OLC)[0]
+        dht.set_online(replica.node_id, False)
+        dht.append_cid(OLC, "cid-x")
+        dht.set_online(replica.node_id, True)
+        dht.lookup(OLC)
+        assert replica.retrieve(OLC.upper()).cids == ["cid-x"]
+
+    def test_record_missing_entirely_is_restored(self, dht):
+        """A holder that was down for the *registration* gets the whole
+        record back on the next replicated lookup."""
+        primary = dht.responsible_node(OLC)
+        dht.set_online(primary.node_id, False)
+        dht.register_contract(OLC, "c1")
+        dht.append_cid(OLC, "cid-1")
+        dht.set_online(primary.node_id, True)
+        assert primary.retrieve(OLC.upper()) is None
+        dht.lookup(OLC)
+        record = primary.retrieve(OLC.upper())
+        assert record is not None
+        assert record.contract_id == "c1"
+        assert record.cids == ["cid-1"]
+
+    def test_read_repairs_counted_in_telemetry(self):
+        recorder = Recorder()
+        dht = HypercubeDHT(r=6, replication=2, recorder=recorder)
+        dht.register_contract(OLC, "c1")
+        primary = dht.responsible_node(OLC)
+        dht.set_online(primary.node_id, False)
+        dht.append_cid(OLC, "cid-1")
+        dht.set_online(primary.node_id, True)
+        dht.lookup(OLC)
+        assert recorder.counter_value("dht_read_repairs_total") == dht.read_repairs >= 1
+
+    def test_replica_exhaustion_still_raises(self, dht):
+        dht.register_contract(OLC, "c1")
+        dht.append_cid(OLC, "cid-1")
+        primary = dht.responsible_node(OLC)
+        dht.set_online(primary.node_id, False)
+        for replica in dht.replica_nodes(OLC):
+            dht.set_online(replica.node_id, False)
+        # Originating at the dead primary itself isolates the endpoint
+        # branch (a remote origin would already fail to route, since the
+        # target's live neighbours are exactly its replicas).
+        with pytest.raises(HypercubeError, match="replicas are offline"):
+            dht.lookup(OLC, origin_id=primary.node_id)
+
+    def test_no_heal_without_replication(self):
+        bare = HypercubeDHT(r=6, replication=0)
+        bare.register_contract(OLC, "c1")
+        bare.lookup(OLC)
+        assert bare.read_repairs == 0

@@ -5,6 +5,7 @@ A scriptable counterpart of the thesis's console frontend (section
 
     python -m repro demo                 # the quickstart PoL pipeline
     python -m repro simulate goerli 16   # one chapter-5 measurement run
+    python -m repro analyze              # traced journeys + BENCH_pol.json
     python -m repro compare              # tables across the three networks
     python -m repro verify-contract      # compile + theorem report + analysis
     python -m repro attacks              # run the attack gauntlet
@@ -52,7 +53,7 @@ def _cmd_simulate(args) -> int:
         print(f"unknown network {args.network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
         return 2
     recorder = None
-    if args.trace or args.metrics or args.faults is not None:
+    if args.trace or args.metrics or args.report or args.faults is not None:
         from repro.obs import Recorder
 
         recorder = Recorder()
@@ -87,7 +88,67 @@ def _cmd_simulate(args) -> int:
         if args.metrics:
             write_prometheus(recorder, args.metrics)
             print(f"metrics written to {args.metrics}")
+        if args.report:
+            from repro.obs import reconstruct_journeys, render_report
+
+            # Bench runs trace at the operation layer; analyse each
+            # user's deploy/attach trace as its own journey.
+            ops = reconstruct_journeys(recorder, roots=("deploy:", "attach", "call:"))
+            rendered = render_report(ops, title=f"{args.network} operation critical path")
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(rendered)
+            print(f"report written to {args.report}")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Traced proof-journey runs on both families + ``BENCH_pol.json``.
+
+    Fails (exit 1) if any journey is incomplete: orphan spans, spans
+    left open, a critical path that does not tile the end-to-end time,
+    or a missing mempool/confirm stage.
+    """
+    import json
+
+    from repro.bench.simulation import run_traced_journeys
+    from repro.obs import bench_summary, render_report, validate_journeys
+
+    sections: list[str] = []
+    payload: dict = {
+        "benchmark": "pol-proof-journeys",
+        "users": args.users,
+        "seed": args.seed,
+        "families": {},
+    }
+    failed = False
+    for network in args.networks:
+        if network not in PROFILES:
+            print(f"unknown network {network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
+            return 2
+        report, recorder = run_traced_journeys(network, args.users, seed=args.seed)
+        problems = validate_journeys(report)
+        rendered = render_report(report, title=f"{network} proof-journey critical path")
+        if problems:
+            failed = True
+            rendered += "\n  INCOMPLETE JOURNEYS:\n" + "\n".join(
+                f"    - {problem}" for problem in problems
+            )
+        sections.append(rendered)
+        family = PROFILES[network].family
+        payload["families"][family] = {"network": network, **bench_summary(report, recorder)}
+        payload["families"][family]["validation_problems"] = problems
+    text = "\n\n".join(sections)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.report}")
+    with open(args.bench, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"benchmark trajectory written to {args.bench}")
+    return 1 if failed else 0
 
 
 def _cmd_compare(args) -> int:
@@ -193,6 +254,32 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics", nargs="?", const="out.prom", default=None, metavar="PATH",
         help="write the run's metrics in Prometheus text format (default: out.prom)",
     )
+    simulate.add_argument(
+        "--report", nargs="?", const="out.report.txt", default=None, metavar="PATH",
+        help="write a per-operation critical-path report of the run "
+        "(default: out.report.txt)",
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="traced proof-journey runs (both families) + critical-path report "
+        "and BENCH_pol.json; fails on incomplete journeys",
+    )
+    analyze.add_argument("--users", type=int, default=16)
+    analyze.add_argument("--seed", type=int, default=1)
+    analyze.add_argument(
+        "--networks", nargs="+", default=["goerli", "algorand-testnet"],
+        help="network profiles to trace (default: goerli algorand-testnet)",
+    )
+    analyze.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the rendered journey report to PATH",
+    )
+    analyze.add_argument(
+        "--bench", default="BENCH_pol.json", metavar="PATH",
+        help="where to write the machine-readable benchmark trajectory "
+        "(default: BENCH_pol.json)",
+    )
 
     compare = subparsers.add_parser("compare", help="the chapter-5 comparison tables")
     compare.add_argument("users", type=int, nargs="?", default=16)
@@ -211,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "simulate": _cmd_simulate,
+        "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "verify-contract": _cmd_verify_contract,
         "attacks": _cmd_attacks,

@@ -29,6 +29,7 @@ __all__ = [
     "make_chain",  # re-exported; the dispatch now lives in repro.chain
     "run_simulation",
     "run_simulation_concurrent",
+    "run_traced_journeys",
 ]
 
 
@@ -44,6 +45,9 @@ class UserTiming:
     fees: int  # base units
     gas_used: int
     transactions: int
+    #: the operation's trace in the run's recorder ("" when untraced);
+    #: links this row to its spans in the Chrome trace / journey report.
+    trace_id: str = ""
 
 
 @dataclass
@@ -143,7 +147,10 @@ def run_simulation_concurrent(
     result = SimulationResult(network=network, user_count=user_count)
     contracts: dict[str, DeployedContract] = {}
     for spec in (s for s in workload if s.is_creator):
-        deployed = client.deploy(compiled, accounts[spec.name], [spec.olc, spec.did, records[spec.name]])
+        pending = client.deploy_async(
+            compiled, accounts[spec.name], [spec.olc, spec.did, records[spec.name]]
+        )
+        deployed = pending.wait().value
         contracts[spec.olc] = deployed
         result.timings.append(
             UserTiming(
@@ -151,6 +158,7 @@ def run_simulation_concurrent(
                 latency=deployed.deploy_result.latency, fees=deployed.deploy_result.fees,
                 gas_used=deployed.deploy_result.gas_used,
                 transactions=len(deployed.deploy_result.receipts),
+                trace_id=pending.trace_id,
             )
         )
 
@@ -184,6 +192,7 @@ def run_simulation_concurrent(
                 fees=operation.fees,
                 gas_used=operation.gas_used,
                 transactions=len(handle.receipts),
+                trace_id=handle.trace_id,
             )
         )
     if recorder is not None and recorder.enabled:
@@ -191,6 +200,61 @@ def run_simulation_concurrent(
     if injector is not None:
         result.faults = {"seed": faults.seed, "injected": dict(injector.injected)}
     return result
+
+
+def run_traced_journeys(network: str, user_count: int, seed: int = 0, reward: int = 5_000):
+    """One fully-traced proof lifecycle run through the system facade.
+
+    The bench runners measure at the Reach-client layer (proof
+    generation skipped, as in the thesis); journey analysis needs the
+    *whole* lifecycle, so this runner drives
+    :class:`~repro.core.system.ProofOfLocationSystem` end to end with a
+    live recorder: ``user_count`` provers grouped four to a location
+    request witness-signed proofs, submit them concurrently
+    (``submit_many`` pipelines every ceremony on one event queue), and
+    an accredited verifier checks and rewards each record.
+
+    Returns ``(report, recorder)``: the reconstructed
+    :class:`~repro.obs.analysis.JourneyReport` plus the recorder, whose
+    spans/counters back the Chrome trace and ``BENCH_pol.json`` entry.
+    """
+    from repro.core.system import ProofOfLocationSystem
+    from repro.obs.analysis import reconstruct_journeys
+    from repro.obs.recorder import Recorder
+
+    recorder = Recorder()
+    chain = make_chain(network, seed=seed, recorder=recorder)
+    system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=USERS_PER_CONTRACT)
+    funding = chain.profile.simulation_funding
+    base_lat, base_lng = 44.4949, 11.3426
+    group_count = (user_count + USERS_PER_CONTRACT - 1) // USERS_PER_CONTRACT
+    for group in range(group_count):
+        # ~1.1 km apart: distinct OLC cells, one contract per group; the
+        # group's witness sits ~22 m away, inside Bluetooth range.
+        system.register_witness(f"witness-{group}", base_lat + 0.01 * group, base_lng + 0.0002)
+    system.register_verifier("verifier", funding=funding)
+    names = [f"user-{index:03d}" for index in range(user_count)]
+    for index, name in enumerate(names):
+        group = index // USERS_PER_CONTRACT
+        system.register_prover(name, base_lat + 0.01 * group, base_lng, funding=funding)
+
+    submissions = []
+    for index, name in enumerate(names):
+        group = index // USERS_PER_CONTRACT
+        request, proof, _cid = system.request_location_proof(
+            name, f"witness-{group}", f"report by {name}".encode()
+        )
+        submissions.append((name, request, proof))
+    outcomes = system.submit_many(submissions)
+
+    per_location: dict[str, int] = {}
+    for outcome in outcomes:
+        per_location[outcome.olc] = per_location.get(outcome.olc, 0) + 1
+    for olc in sorted(per_location):
+        system.fund_contract("verifier", olc, reward * per_location[olc])
+    for (name, _request, _proof), outcome in zip(submissions, outcomes):
+        system.verify_and_reward("verifier", outcome.olc, system.provers[name].did_uint)
+    return reconstruct_journeys(recorder), recorder
 
 
 def run_simulation(
@@ -235,14 +299,16 @@ def run_simulation(
         )
         deployed = contracts.get(spec.olc)
         if deployed is None:
-            deployed = client.deploy(compiled, account, [spec.olc, spec.did, record])
+            handle = client.deploy_async(compiled, account, [spec.olc, spec.did, record])
+            deployed = handle.wait().value
             contracts[spec.olc] = deployed
             operation = deployed.deploy_result
             kind = "deploy"
         else:
-            operation = deployed.attach_and_call(
+            handle = deployed.attach_and_call_async(
                 "attacherAPI.insert_data", record, spec.did, sender=account
             )
+            operation = handle.wait().op_result
             kind = "attach"
         result.timings.append(
             UserTiming(
@@ -254,6 +320,7 @@ def run_simulation(
                 fees=operation.fees,
                 gas_used=operation.gas_used,
                 transactions=len(operation.receipts),
+                trace_id=handle.trace_id,
             )
         )
     if recorder is not None and recorder.enabled:

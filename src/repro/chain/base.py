@@ -252,7 +252,23 @@ class TxHandle:
         return TxState.CONFIRMED if receipt.status is TxStatus.SUCCESS else TxState.REJECTED
 
     def add_done_callback(self, callback: Callable[["TxHandle"], None]) -> None:
-        """Run ``callback(self)`` at confirmation (now, if already done)."""
+        """Run ``callback(self)`` at confirmation (now, if already done).
+
+        The ambient trace context at *registration* time is captured and
+        re-activated around the callback, so a settlement continuation
+        reports into the trace that awaited the transaction rather than
+        into whichever block event delivered the receipt.
+        """
+        recorder = self.chain.recorder
+        if recorder.enabled:
+            context = recorder.current_context()
+            if context is not None:
+                inner = callback
+
+                def callback(handle: "TxHandle", _inner=inner, _ctx=context) -> None:
+                    with recorder.activate(_ctx):
+                        _inner(handle)
+
         if self.done:
             callback(self)
         else:
@@ -374,7 +390,10 @@ class BaseChain:
         if self._started:
             return
         self._started = True
-        self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
+        self.queue.schedule(
+            self.profile.block_time, self._produce_block,
+            label=f"{self.profile.name}-block", inherit_context=False,
+        )
 
     @property
     def height(self) -> int:
@@ -536,7 +555,14 @@ class BaseChain:
     def _notify_confirmed(self, receipt: Receipt) -> None:
         span = self._tx_spans.pop(receipt.txid, None)
         if span is not None:
-            span.end(status=receipt.status.value, block=receipt.block_number)
+            extra: dict[str, Any] = {
+                "status": receipt.status.value, "block": receipt.block_number,
+            }
+            if receipt.included_at is not None:
+                # Lets the journey analyser split the submitted->confirmed
+                # window into mempool-wait and confirmation-depth stages.
+                extra["included_at"] = receipt.included_at
+            span.end(**extra)
         recorder = self.recorder
         if recorder.enabled:
             recorder.counter(
@@ -609,7 +635,10 @@ class BaseChain:
                 recorder.counter("chain_blocks_total", chain=self.profile.name)
                 recorder.counter("chain_uncertified_rounds_total", chain=self.profile.name)
             self.blocks.append(block)
-            self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
+            self.queue.schedule(
+                self.profile.block_time, self._produce_block,
+                label=f"{self.profile.name}-block", inherit_context=False,
+            )
             return
 
         ready: list[_MempoolEntry] = []
@@ -656,7 +685,10 @@ class BaseChain:
                 buckets=RATIO_BUCKETS,
                 chain=chain_name,
             )
-        self.queue.schedule(self.profile.block_time, self._produce_block, label=f"{self.profile.name}-block")
+        self.queue.schedule(
+            self.profile.block_time, self._produce_block,
+            label=f"{self.profile.name}-block", inherit_context=False,
+        )
 
     def _schedule_confirmation(self, receipt: Receipt) -> None:
         delay = self.profile.confirmation_depth * self.profile.block_time + self._overhead.sample().total
@@ -721,6 +753,9 @@ def _stall_report(reason: str, queue: EventQueue, chain: "BaseChain | None") -> 
     if chain is not None:
         parts.append(f"mempool depth {chain.mempool_depth}")
     if queue.recorder.enabled:
+        dropped = getattr(queue.recorder, "spans_dropped", 0)
+        if dropped:
+            parts.append(f"{dropped} span(s) dropped at MAX_SPANS")
         metrics = queue.recorder.render_compact()
         if metrics:
             parts.append(f"metrics: {metrics}")

@@ -251,6 +251,11 @@ class ManagedTxHandle(TxHandle):
         self.tx = tx
         self.resubmits = 0
         self._watchdog = None
+        #: trace context at submission; watchdog re-arms and fee-bump
+        #: replacement spans are pinned to it so recovery activity stays
+        #: inside the journey that submitted the original transaction.
+        recorder = service.chain.recorder
+        self._context = recorder.current_context() if recorder.enabled else None
         super().__init__(service.chain, tx.txid)
         self._arm()
 
@@ -258,7 +263,10 @@ class ManagedTxHandle(TxHandle):
         if self.done:
             return
         delay = self.service.policy.delay(self.resubmits)
-        self._watchdog = self.chain.queue.schedule(delay, self._on_timeout, label="tx-watchdog")
+        with self.chain.recorder.activate(self._context):
+            self._watchdog = self.chain.queue.schedule(
+                delay, self._on_timeout, label="tx-watchdog"
+            )
 
     def _on_confirmed(self, receipt) -> None:
         if self._watchdog is not None:

@@ -121,6 +121,14 @@ class ProofOfLocationSystem:
     witnesses: dict[str, Witness] = field(default_factory=dict)
     verifiers: dict[str, Verifier] = field(default_factory=dict)
     _did_uints: dict[int, str] = field(default_factory=dict)
+    #: journey linkage (only populated while a live recorder is attached):
+    #: the ``proof:request`` span's context keyed by (prover, nonce), so
+    #: the later submit call joins the same trace ...
+    _journey_roots: dict[tuple[str, int], Any] = field(default_factory=dict)
+    #: ... and the journey context keyed by (olc, did_uint), so the
+    #: verifier's read -- a separate call, often much later -- parents
+    #: its ``proof:verify`` span into the proof's trace too.
+    _journey_records: dict[tuple[str, int], Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.compiled is None:
@@ -200,9 +208,10 @@ class ProofOfLocationSystem:
         """Upload the report to IPFS and obtain a witness-signed proof."""
         prover = self.provers[prover_name]
         witness = self.witnesses[witness_name]
-        with self.chain.recorder.span(
+        recorder = self.chain.recorder
+        with recorder.span(
             "proof:request", track=f"prover:{prover_name}", cat="proof", witness=witness_name
-        ):
+        ) as span:
             cid = self.ipfs.add(prover_name, report_content)
             nonce = witness.issue_nonce()
             request = prover.make_request(nonce, cid, timestamp=self.chain.queue.clock.now)
@@ -214,6 +223,10 @@ class ProofOfLocationSystem:
                 prover_keypair=prover.keypair,
                 now=self.chain.queue.clock.now,
             )
+        if recorder.enabled:
+            # This span roots the proof's journey; the submit call joins
+            # it via the (prover, nonce) key.
+            self._journey_roots[(prover_name, request.nonce)] = span.context
         return request, proof, cid
 
     def discover_witnesses(self, prover_name: str) -> list[str]:
@@ -302,18 +315,29 @@ class ProofOfLocationSystem:
         - fresh location -> deploy; the hypercube registration runs in
           the deploy's confirmation callback.
         """
-        submission = self._start_submission(prover_name, request, proof)
         recorder = self.chain.recorder
-        if recorder.enabled:
-            span = recorder.span(
-                "proof:submit", track=f"prover:{prover_name}", cat="proof",
-                olc=request.olc, was_deploy=submission.was_deploy,
+        if not recorder.enabled:
+            return self._start_submission(prover_name, request, proof)
+        root = self._journey_roots.pop((prover_name, request.nonce), None)
+        span = recorder.span(
+            "proof:submit", track=f"prover:{prover_name}", cat="proof",
+            olc=request.olc, parent=root,
+        )
+        # Activating the submit span around the pipelined start makes the
+        # op/tx spans of the ceremony its children; the done callback is
+        # where the journey's chain phase actually closes.
+        with recorder.activate(span.context):
+            submission = self._start_submission(prover_name, request, proof)
+        prover = self.provers[prover_name]
+        self._journey_records[(request.olc, prover.did_uint)] = (
+            root if root is not None else span.context
+        )
+        submission.handle.add_done_callback(
+            lambda settled: span.end(
+                error=type(settled.error).__name__ if settled.error is not None else "",
+                was_deploy=submission.was_deploy,
             )
-            submission.handle.add_done_callback(
-                lambda settled: span.end(
-                    error=type(settled.error).__name__ if settled.error is not None else ""
-                )
-            )
+        )
         return submission
 
     def _start_submission(self, prover_name: str, request: ProofRequest, proof: LocationProof) -> PendingSubmission:
@@ -392,9 +416,12 @@ class ProofOfLocationSystem:
         verifier = self.verifiers.get(verifier_name)
         if verifier is None:
             raise PolSystemError(f"{verifier_name!r} is not an accredited verifier")
-        with self.chain.recorder.span(
-            "proof:verify", track=f"verifier:{verifier_name}", cat="proof", olc=olc, did=did_uint
-        ):
+        recorder = self.chain.recorder
+        journey = self._journey_records.pop((olc, did_uint), None) if recorder.enabled else None
+        with recorder.span(
+            "proof:verify", track=f"verifier:{verifier_name}", cat="proof",
+            olc=olc, did=did_uint, parent=journey,
+        ) as span, recorder.activate(span.context):
             return self._verify_and_reward(verifier, verifier_name, olc, did_uint)
 
     def _verify_and_reward(
@@ -439,7 +466,10 @@ class ProofOfLocationSystem:
         else:
             deployed.api("verifierAPI.verify", did_uint, str(fields["wallet"]), sender=account)
         cid = str(fields["cid"])
-        self.dht.append_cid(olc, cid)
+        with self.chain.recorder.span(
+            "dht:publish", track=f"verifier:{verifier_name}", cat="dht", olc=olc
+        ):
+            self.dht.append_cid(olc, cid)
         # Keep verified reports alive: replicate + pin on the gateway so
         # they survive the uploader garbage-collecting its node.
         try:

@@ -16,7 +16,18 @@ from repro.obs.recorder import (
     NullRecorder,
     Recorder,
     Span,
+    TraceContext,
     track_for,
+)
+from repro.obs.analysis import (
+    Journey,
+    JourneyReport,
+    Stage,
+    bench_summary,
+    reconstruct_journeys,
+    render_report,
+    stage_statistics,
+    validate_journeys,
 )
 from repro.obs.export import (
     chrome_trace_json,
@@ -34,7 +45,16 @@ __all__ = [
     "NullRecorder",
     "Recorder",
     "Span",
+    "TraceContext",
     "track_for",
+    "Journey",
+    "JourneyReport",
+    "Stage",
+    "bench_summary",
+    "reconstruct_journeys",
+    "render_report",
+    "stage_statistics",
+    "validate_journeys",
     "chrome_trace_json",
     "to_chrome_trace",
     "to_prometheus",

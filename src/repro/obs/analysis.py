@@ -1,0 +1,404 @@
+"""Journey reconstruction and critical-path analysis over recorded traces.
+
+The tracing layer (:mod:`repro.obs.context`) stamps every span with
+``trace_id``/``span_id``/``parent_id``; this module turns those flat
+records back into per-proof **journeys** and answers the questions the
+thesis's evaluation chapter asks of them:
+
+- *Where did the time go?*  A journey's **critical path** is a
+  stage-attributed tiling of the interval from the ``proof:request``
+  root to the last span of the trace: every instant belongs to exactly
+  one stage, so the stage durations sum to the end-to-end latency by
+  construction (within float tolerance).
+- *What is typical, what is tail?*  :func:`stage_statistics` computes
+  per-stage p50/p95/p99 across journeys, and :func:`render_report`
+  turns them into the bottleneck report the ``analyze`` CLI prints.
+- *Is the data trustworthy?*  :func:`validate_journeys` flags orphan
+  spans (a parent that never made it into the trace), spans left open,
+  stage sums that fail to tile, and missing required stages -- CI fails
+  the run on any of these.
+
+Stage taxonomy (the cover attributes intervals bottom-up; a child's
+stages always win over its parent's):
+
+==============  ====================================================
+stage           meaning
+==============  ====================================================
+ble_exchange    inside ``proof:request`` -- IPFS add + the
+                prover<->witness Bluetooth round trip
+client          orchestration gaps: between ceremony transactions,
+                between request and submit, nonce/fee building
+mempool         a transaction's submitted -> block-inclusion wait
+confirm         inclusion -> confirmation-depth wait
+verify          inside ``proof:verify`` -- record read + signature
+                and OLC checks (the reward transaction's chain time
+                still lands in mempool/confirm)
+dht_publish     inside ``dht:publish`` -- the hypercube append
+==============  ====================================================
+
+Leaf ``tx:*`` spans are split at the ``included_at`` timestamp their
+confirmation stamped into the span args; a transaction that was never
+included (or a profile with zero confirmation depth) simply contributes
+nothing to the missing sub-stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.recorder import NullRecorder, Span
+
+__all__ = [
+    "FLOAT_TOLERANCE",
+    "STAGE_ORDER",
+    "Stage",
+    "Journey",
+    "JourneyReport",
+    "reconstruct_journeys",
+    "stage_statistics",
+    "percentile",
+    "render_report",
+    "validate_journeys",
+    "bench_summary",
+]
+
+#: |stage sums - end_to_end| beyond this is a tiling bug, not rounding.
+FLOAT_TOLERANCE = 1e-6
+
+#: canonical render order, roughly the journey's own chronology.
+STAGE_ORDER = ("ble_exchange", "client", "mempool", "confirm", "verify", "dht_publish")
+
+#: the journey root's span name; traces rooted elsewhere (a verifier
+#: funding a contract, ad-hoc ops) are not proof journeys.
+ROOT_SPAN = "proof:request"
+
+_OWN_STAGE = {
+    "proof:request": "ble_exchange",
+    "proof:submit": "client",
+    "proof:verify": "verify",
+    "dht:publish": "dht_publish",
+}
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One attributed interval of a journey's critical path."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Journey:
+    """One proof's reconstructed lifetime: a parent-linked span tree."""
+
+    trace_id: str
+    root: Span
+    spans: list[Span]
+    end: float  # last instant any span of the trace covers
+    stages: list[Stage] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def end_to_end(self) -> float:
+        """Seconds from the proof request to the journey's last span."""
+        return self.end - self.root.started_at
+
+    @property
+    def complete(self) -> bool:
+        return not self.problems
+
+    def stage_totals(self) -> dict[str, float]:
+        """Total seconds per stage (they tile :attr:`end_to_end`)."""
+        totals: dict[str, float] = {}
+        for stage in self.stages:
+            totals[stage.name] = totals.get(stage.name, 0.0) + stage.duration
+        return totals
+
+
+@dataclass
+class JourneyReport:
+    """Every proof journey of one run, plus anything that looked wrong."""
+
+    journeys: list[Journey]
+    orphan_spans: list[Span] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.orphan_spans and all(j.complete for j in self.journeys)
+
+    def problems(self) -> list[str]:
+        """Flat human-readable list of everything wrong, for CI output."""
+        found = [
+            f"orphan span {span.name!r} (trace {span.trace_id}, parent #{span.parent_id} missing)"
+            for span in self.orphan_spans
+        ]
+        for journey in self.journeys:
+            found.extend(f"journey {journey.trace_id}: {problem}" for problem in journey.problems)
+        return found
+
+
+# -- reconstruction ------------------------------------------------------------
+
+
+def reconstruct_journeys(
+    recorder: NullRecorder, roots: tuple[str, ...] = (ROOT_SPAN,)
+) -> JourneyReport:
+    """Group the recorder's spans into parent-linked proof journeys.
+
+    Traces whose root name does not start with one of ``roots``
+    (standalone operations, by default) are ignored -- pass operation
+    prefixes like ``("deploy:", "attach")`` to analyse a bench run's
+    op-rooted traces instead.  Within each accepted trace, spans
+    pointing at a parent that never landed in the trace -- only
+    possible when spans were dropped at the cap, or a propagation bug
+    -- are reported as orphans.
+    """
+    groups: dict[str, list[Span]] = {}
+    for span in getattr(recorder, "spans", []):
+        groups.setdefault(span.trace_id, []).append(span)
+    journeys: list[Journey] = []
+    orphans: list[Span] = []
+    for trace_id in sorted(groups):
+        spans = sorted(groups[trace_id], key=lambda s: (s.started_at, s.span_id))
+        trace_roots = [span for span in spans if span.parent_id is None]
+        if not any(root.name.startswith(roots) for root in trace_roots):
+            continue
+        known = {span.span_id for span in spans}
+        stray = [
+            span for span in spans
+            if span.parent_id is not None and span.parent_id not in known
+        ]
+        orphans.extend(stray)
+        root = next(root for root in trace_roots if root.name.startswith(roots))
+        journey = _build_journey(trace_id, root, spans)
+        if len(trace_roots) > 1:
+            journey.problems.append(f"{len(trace_roots)} roots in one trace")
+        if stray:
+            journey.problems.append(f"{len(stray)} orphan span(s)")
+        journeys.append(journey)
+    return JourneyReport(journeys=journeys, orphan_spans=orphans)
+
+
+def _build_journey(trace_id: str, root: Span, spans: list[Span]) -> Journey:
+    problems = [
+        f"span {span.name!r} (#{span.span_id}) never closed"
+        for span in spans
+        if span.finished_at is None
+    ]
+    end = max(_end_of(span) for span in spans)
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    stages = _cover(root, children, root.started_at, max(end, _end_of(root)))
+    journey = Journey(
+        trace_id=trace_id, root=root, spans=spans, end=end,
+        stages=[stage for stage in stages if stage.duration > 0.0],
+        problems=problems,
+    )
+    mismatch = abs(sum(s.duration for s in stages) - journey.end_to_end)
+    if mismatch > FLOAT_TOLERANCE:
+        journey.problems.append(
+            f"critical path does not tile end-to-end (off by {mismatch:g}s)"
+        )
+    return journey
+
+
+def _end_of(span: Span) -> float:
+    return span.finished_at if span.finished_at is not None else span.started_at
+
+
+def _cover(
+    span: Span, children: dict[int, list[Span]], start: float, end: float
+) -> list[Stage]:
+    """Tile ``[start, end]`` with stages attributed inside ``span``.
+
+    Children are laid down in start order, each clipped to the
+    still-uncovered suffix (a cursor sweep), and recursed into; the
+    uncovered remainder belongs to the parent's own stage.  The root is
+    the only span whose interval extends past its own end (to the last
+    span of the trace) -- time out there is client orchestration, not
+    more of the root's stage.
+    """
+    kids = sorted(children.get(span.span_id, ()), key=lambda s: (s.started_at, s.span_id))
+    if not kids:
+        return _leaf_stages(span, start, end)
+    stages: list[Stage] = []
+    cursor = start
+    for kid in kids:
+        kid_end = min(_end_of(kid), end)
+        if kid_end <= cursor:
+            continue  # fully inside already-covered time
+        kid_start = max(kid.started_at, cursor)
+        if kid_start > cursor:
+            _own_gap(span, cursor, kid_start, stages)
+        stages.extend(_cover(kid, children, kid_start, kid_end))
+        cursor = kid_end
+    if cursor < end:
+        _own_gap(span, cursor, end, stages)
+    return stages
+
+
+def _own_gap(span: Span, start: float, end: float, stages: list[Stage]) -> None:
+    """Attribute an uncovered gap to ``span``; past its own end (the
+    extended root interval) the time is client-side orchestration."""
+    own = _OWN_STAGE.get(span.name, "client")
+    own_end = _end_of(span)
+    if start < own_end:
+        stages.append(Stage(own, start, min(own_end, end)))
+        start = min(own_end, end)
+    if start < end:
+        stages.append(Stage("client", start, end))
+
+
+def _leaf_stages(span: Span, start: float, end: float) -> list[Stage]:
+    """Stages of a childless span; ``tx:*`` spans split at inclusion."""
+    if span.cat == "tx":
+        included = span.args.get("included_at")
+        split = float(included) if included is not None else end
+        split = min(max(split, start), end)
+        stages = []
+        if split > start:
+            stages.append(Stage("mempool", start, split))
+        if end > split:
+            stages.append(Stage("confirm", split, end))
+        return stages
+    return [Stage(_OWN_STAGE.get(span.name, "client"), start, end)]
+
+
+# -- statistics ----------------------------------------------------------------
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _stats(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+def stage_statistics(journeys: list[Journey]) -> dict[str, dict[str, float]]:
+    """Per-stage latency distribution across journeys.
+
+    Every journey contributes to every observed stage (0.0 when the
+    stage did not occur for it), so percentiles across stages are
+    comparable and shares sum sensibly.
+    """
+    names: list[str] = [
+        name for name in STAGE_ORDER
+        if any(name in journey.stage_totals() for journey in journeys)
+    ]
+    extras = sorted(
+        {name for journey in journeys for name in journey.stage_totals()} - set(names)
+    )
+    totals = [journey.stage_totals() for journey in journeys]
+    return {
+        name: _stats([total.get(name, 0.0) for total in totals])
+        for name in [*names, *extras]
+    }
+
+
+def render_report(report: JourneyReport, title: str = "") -> str:
+    """The human-readable bottleneck report the ``analyze`` CLI prints."""
+    lines: list[str] = []
+    header = title or "Proof-journey critical path"
+    lines.append(f"{header} — {len(report.journeys)} journey(s)")
+    if not report.journeys:
+        lines.append("  (no journeys recorded)")
+        return "\n".join(lines)
+    e2e = _stats([journey.end_to_end for journey in report.journeys])
+    lines.append(
+        f"  end-to-end: p50={e2e['p50']:.2f}s p95={e2e['p95']:.2f}s "
+        f"p99={e2e['p99']:.2f}s mean={e2e['mean']:.2f}s"
+    )
+    per_stage = stage_statistics(report.journeys)
+    mean_total = e2e["mean"] or 1.0
+    lines.append(f"  {'stage':<14}{'share':>7}{'p50':>10}{'p95':>10}{'p99':>10}")
+    bottleneck = ""
+    best_share = -1.0
+    for name, stats in per_stage.items():
+        share = 100.0 * stats["mean"] / mean_total
+        if share > best_share:
+            best_share, bottleneck = share, name
+        lines.append(
+            f"  {name:<14}{share:>6.1f}%{stats['p50']:>9.2f}s"
+            f"{stats['p95']:>9.2f}s{stats['p99']:>9.2f}s"
+        )
+    lines.append(f"  bottleneck: {bottleneck} ({best_share:.1f}% of mean end-to-end)")
+    problems = report.problems()
+    if problems:
+        lines.append(f"  PROBLEMS ({len(problems)}):")
+        lines.extend(f"    - {problem}" for problem in problems)
+    return "\n".join(lines)
+
+
+def validate_journeys(
+    report: JourneyReport, required: tuple[str, ...] = ("mempool", "confirm")
+) -> list[str]:
+    """Everything that disqualifies the run's data, for CI gating.
+
+    Beyond the structural problems already attached to the report, each
+    journey must exhibit every ``required`` stage (testnet profiles have
+    non-zero inclusion and confirmation windows, so a proof whose trace
+    lacks them lost spans somewhere).
+    """
+    problems = report.problems()
+    for journey in report.journeys:
+        missing = [name for name in required if name not in journey.stage_totals()]
+        if missing:
+            problems.append(
+                f"journey {journey.trace_id}: missing stage(s) {', '.join(missing)}"
+            )
+    return problems
+
+
+# -- benchmark emission --------------------------------------------------------
+
+
+def _counter_total(recorder: NullRecorder, name: str) -> float:
+    counters = getattr(recorder, "_counters", {})
+    return sum(value for (metric, _labels), value in counters.items() if metric == name)
+
+
+def bench_summary(report: JourneyReport, recorder: NullRecorder) -> dict[str, Any]:
+    """One chain family's machine-readable entry for ``BENCH_pol.json``."""
+    journeys = report.journeys
+    histograms = getattr(recorder, "_histograms", {})
+    fees = sum(
+        histogram.total
+        for (metric, _labels), histogram in histograms.items()
+        if metric == "chain_fee_paid_base_units"
+    )
+    return {
+        "journeys": len(journeys),
+        "complete": report.complete,
+        "end_to_end_seconds": _stats([journey.end_to_end for journey in journeys]),
+        "stages_seconds": stage_statistics(journeys),
+        "fees_base_units_total": fees,
+        "tx_retries_total": _counter_total(recorder, "chain_tx_retries_total"),
+        "tx_rejected_total": _counter_total(recorder, "chain_tx_rejected_total"),
+        "tx_fee_bumped_total": _counter_total(recorder, "chain_tx_fee_bumped_total"),
+        "faults_recovered_total": _counter_total(recorder, "fault_recovered_total"),
+        "spans_dropped": getattr(recorder, "spans_dropped", 0),
+    }

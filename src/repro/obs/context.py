@@ -1,0 +1,53 @@
+"""Causal trace context: the identity a span hands to its continuations.
+
+The thesis's headline numbers are end-to-end latencies, but one proof's
+life is a *chain of handoffs* across actors and layers: the BLE
+exchange with the witness, the contract submission, the mempool wait,
+block inclusion, the confirmation depth, verification, the reward
+transfer and the hypercube publish.  Flat spans cannot reconstruct that
+chain -- witness-oriented PoL work (Brambilla et al., MobChain) argues
+the multi-actor handoff sequence is exactly where both latency and
+collusion windows hide.
+
+A :class:`TraceContext` is the minimal causal identity: the trace a
+span belongs to plus the span itself, so a child opened under it links
+``parent_id -> span_id`` and inherits ``trace_id``.  Contexts are
+immutable values; *where they flow* is the recorder's ambient context
+stack (:meth:`repro.obs.recorder.Recorder.activate`) plus three
+capture points that carry them across asynchronous gaps:
+
+- :meth:`repro.simnet.events.EventQueue.schedule` stores the ambient
+  context on the scheduled event and restores it around the callback
+  (block-production cadence opts out -- blocks are infrastructure, not
+  caused by any one trace);
+- :meth:`repro.chain.base.TxHandle.add_done_callback` and
+  :meth:`repro.reach.runtime.OpHandle.add_done_callback` capture the
+  *registration* context, so a settlement continuation runs under the
+  trace that awaited it, not under whichever block event delivered the
+  receipt;
+- :class:`repro.reach.runtime.OpHandle` re-activates its own span's
+  context around every plan step, so the transactions of a multi-step
+  ceremony all parent to the operation span.
+
+Everything here is deterministic: ids are monotone counters on the
+recorder, never wall clocks or randomness, so the same seeded run
+yields the same trace ids -- and a disabled recorder propagates
+``None`` everywhere, keeping untraced runs byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceContext"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a trace: ``trace_id`` plus the would-be parent span."""
+
+    trace_id: str
+    span_id: int
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id}/{self.span_id})"

@@ -8,7 +8,11 @@ Two audiences:
   begin (``"B"``) events for spans still open at export time, and
   counter (``"C"``) tracks for every gauge time series -- mempool
   depth over simulated time sits right above the transaction windows
-  that caused it.  Timestamps are simulated **microseconds**.
+  that caused it.  Timestamps are simulated **microseconds**.  Every
+  span's args carry its ``trace_id``/``span_id``/``parent_id``, and
+  parent->child causality is drawn as flow events (``"s"``/``"f"``
+  arrows), so one proof's journey reads as a connected chain across
+  the prover, chain and verifier tracks.
 - **Prometheus text exposition** (``to_prometheus``) for scraping or
   offline diffing, plus a JSON snapshot (``to_snapshot_json``) that
   round-trips through ``json.loads`` for programmatic checks.
@@ -50,14 +54,21 @@ def to_chrome_trace(recorder: "Recorder") -> dict[str, Any]:
             )
         return known
 
+    by_id = {span.span_id: span for span in recorder.spans if span.span_id}
     for span in recorder.spans:
+        args = dict(span.args)
+        if span.trace_id:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
         base = {
             "name": span.name,
             "cat": span.cat or "span",
             "pid": _PID,
             "tid": tid(span.track),
             "ts": int(span.started_at * 1_000_000),
-            "args": dict(span.args),
+            "args": args,
         }
         if span.finished_at is not None:
             base["ph"] = "X"
@@ -65,6 +76,20 @@ def to_chrome_trace(recorder: "Recorder") -> dict[str, Any]:
         else:
             base["ph"] = "B"  # still open: Perfetto renders to trace end
         events.append(base)
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None:
+            continue
+        # A flow arrow per parent->child edge: start ("s") anchored in
+        # the parent at the child's start time (clipped into the parent
+        # so viewers bind it), finish ("f", bp="e") at the child start.
+        flow_ts = int(span.started_at * 1_000_000)
+        parent_ts = flow_ts
+        if parent.finished_at is not None:
+            parent_ts = min(parent_ts, int(parent.finished_at * 1_000_000))
+        parent_ts = max(parent_ts, int(parent.started_at * 1_000_000))
+        flow = {"cat": "trace", "name": "causal", "pid": _PID, "id": span.span_id}
+        events.append({**flow, "ph": "s", "tid": tid(parent.track), "ts": parent_ts})
+        events.append({**flow, "ph": "f", "bp": "e", "tid": tid(span.track), "ts": flow_ts})
 
     for (name, labels), series in recorder._gauge_series.items():
         label_text = ",".join(f"{label}={value}" for label, value in labels)

@@ -22,7 +22,12 @@ Three instrument kinds, Prometheus-shaped:
 Plus **spans**: named intervals on a per-user/per-chain track
 (operation ceremonies, submitted->confirmed transaction windows, proof
 lifecycle stages), exportable as Chrome trace events
-(:mod:`repro.obs.export`).
+(:mod:`repro.obs.export`).  Every span carries a causal identity --
+``trace_id``/``span_id``/``parent_id`` -- assigned from the recorder's
+ambient :class:`~repro.obs.context.TraceContext` stack, so one proof's
+whole life (BLE exchange, submit, mempool, inclusion, confirmation,
+verify, hypercube publish) reconstructs as a single parent-linked
+journey (:mod:`repro.obs.analysis`).
 
 Everything is off by default: components fall back to the module-level
 :data:`NULL_RECORDER`, whose methods are no-ops, and hot paths guard
@@ -33,7 +38,10 @@ pays only an attribute read.
 from __future__ import annotations
 
 from bisect import bisect_left
+from contextlib import contextmanager
 from typing import Any, Iterator
+
+from repro.obs.context import TraceContext
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -42,6 +50,7 @@ __all__ = [
     "NullRecorder",
     "Recorder",
     "Span",
+    "TraceContext",
     "track_for",
 ]
 
@@ -81,9 +90,17 @@ class Span:
     Usable as a context manager for synchronous sections, or held open
     across event-queue callbacks and closed with :meth:`end` (the
     submitted->confirmed transaction window, an operation ceremony).
+
+    Causal identity: ``trace_id`` groups every span of one journey,
+    ``span_id`` is unique per recorder, ``parent_id`` links to the span
+    that was ambient (or explicitly passed) at creation -- ``None``
+    marks a trace root.
     """
 
-    __slots__ = ("name", "track", "cat", "args", "started_at", "finished_at", "_recorder")
+    __slots__ = (
+        "name", "track", "cat", "args", "started_at", "finished_at",
+        "trace_id", "span_id", "parent_id", "_recorder",
+    )
 
     def __init__(self, recorder: "Recorder", name: str, track: str, cat: str, args: dict[str, Any]):
         self._recorder = recorder
@@ -93,6 +110,14 @@ class Span:
         self.args = args
         self.started_at = recorder.now()
         self.finished_at: float | None = None
+        self.trace_id = ""
+        self.span_id = 0
+        self.parent_id: int | None = None
+
+    @property
+    def context(self) -> TraceContext:
+        """The context children inherit to parent under this span."""
+        return TraceContext(self.trace_id, self.span_id)
 
     @property
     def done(self) -> bool:
@@ -138,6 +163,10 @@ class _NullSpan:
     finished_at: float | None = 0.0
     done = True
     duration = 0.0
+    trace_id = ""
+    span_id = 0
+    parent_id: int | None = None
+    context: TraceContext | None = None
 
     def end(self, **extra: Any) -> None:
         pass
@@ -186,12 +215,19 @@ class NullRecorder:
     enabled = False
 
     _NULL_SPAN = _NullSpan()
+    spans_dropped = 0
 
     def bind_clock(self, clock: Any) -> None:
         pass
 
     def now(self) -> float:
         return 0.0
+
+    def current_context(self) -> TraceContext | None:
+        return None
+
+    def activate(self, context: TraceContext | None) -> "_NullActivation":
+        return _NULL_ACTIVATION
 
     def counter(self, name: str, value: float = 1.0, **labels: Any) -> None:
         pass
@@ -205,7 +241,10 @@ class NullRecorder:
     def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
         pass
 
-    def span(self, name: str, track: str = "main", cat: str = "span", **args: Any) -> _NullSpan:
+    def span(
+        self, name: str, track: str = "main", cat: str = "span",
+        parent: TraceContext | None = None, **args: Any,
+    ) -> _NullSpan:
         return self._NULL_SPAN
 
     def snapshot(self) -> dict[str, Any]:
@@ -214,6 +253,20 @@ class NullRecorder:
     def render_compact(self, limit: int = 10) -> str:
         return ""
 
+
+class _NullActivation:
+    """The shared no-op context manager ``NullRecorder.activate`` returns."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+
+_NULL_ACTIVATION = _NullActivation()
 
 #: the process-wide disabled recorder every component defaults to.
 NULL_RECORDER = NullRecorder()
@@ -236,9 +289,15 @@ class Recorder(NullRecorder):
         self._counters: dict[MetricKey, float] = {}
         self._gauges: dict[MetricKey, float] = {}
         self._gauge_series: dict[MetricKey, list[tuple[float, float]]] = {}
+        self._gauge_strides: dict[MetricKey, int] = {}
+        self._gauge_ticks: dict[MetricKey, int] = {}
         self._histograms: dict[MetricKey, _Histogram] = {}
         self._declared_buckets: dict[str, tuple[float, ...]] = {}
         self.spans: list[Span] = []
+        self.spans_dropped = 0
+        self._context_stack: list[TraceContext] = []
+        self._trace_count = 0
+        self._span_count = 0
 
     # -- clock ----------------------------------------------------------------
 
@@ -251,6 +310,31 @@ class Recorder(NullRecorder):
         """Current simulated time (0.0 until a clock is bound)."""
         return self.clock.now if self.clock is not None else 0.0
 
+    # -- causal context -------------------------------------------------------
+
+    def current_context(self) -> TraceContext | None:
+        """The ambient :class:`TraceContext` new spans parent under."""
+        return self._context_stack[-1] if self._context_stack else None
+
+    @contextmanager
+    def activate(self, context: TraceContext | None):
+        """Make ``context`` ambient for the duration of the ``with`` body.
+
+        The propagation primitive: the event kernel and the tx/op
+        futures capture a context at scheduling/registration time and
+        re-activate it around the continuation, so spans opened inside
+        asynchronous callbacks parent into the right trace.  A ``None``
+        context is a no-op (disabled runs pay nothing).
+        """
+        if context is None:
+            yield
+            return
+        self._context_stack.append(context)
+        try:
+            yield
+        finally:
+            self._context_stack.pop()
+
     # -- instruments ----------------------------------------------------------
 
     def counter(self, name: str, value: float = 1.0, **labels: Any) -> None:
@@ -259,12 +343,36 @@ class Recorder(NullRecorder):
         self._counters[key] = self._counters.get(key, 0.0) + value
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
-        """Set the gauge's last value and append a (sim-time, value) sample."""
+        """Set the gauge's last value and append a (sim-time, value) sample.
+
+        The full time series is retained up to :data:`MAX_GAUGE_SAMPLES`
+        points; past that the series is stride-downsampled -- every
+        other retained sample is discarded, the sampling stride doubles,
+        and only every stride-th subsequent call is kept -- so a
+        long-running series keeps its overall shape at bounded memory.
+        Every sample not retained is counted in
+        ``gauge_samples_dropped_total{gauge=<name>}``; the last-value
+        read (:meth:`snapshot`) always stays exact.
+        """
         key = _key(name, labels)
         self._gauges[key] = value
         series = self._gauge_series.setdefault(key, [])
-        if len(series) < MAX_GAUGE_SAMPLES:
-            series.append((self.now(), value))
+        stride = self._gauge_strides.get(key, 1)
+        if stride > 1:
+            tick = self._gauge_ticks.get(key, 0) + 1
+            self._gauge_ticks[key] = tick
+            if tick % stride:
+                self.counter("gauge_samples_dropped_total", gauge=name)
+                return
+        series.append((self.now(), value))
+        if len(series) >= MAX_GAUGE_SAMPLES:
+            before = len(series)
+            del series[1::2]  # keep every other sample; shape survives
+            self._gauge_strides[key] = stride * 2
+            self._gauge_ticks[key] = 0
+            self.counter(
+                "gauge_samples_dropped_total", value=float(before - len(series)), gauge=name
+            )
 
     def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
         """Pin the bucket bounds used when ``name`` is first observed."""
@@ -284,11 +392,35 @@ class Recorder(NullRecorder):
             histogram = self._histograms[key] = _Histogram(tuple(bounds))
         histogram.observe(value)
 
-    def span(self, name: str, track: str = "main", cat: str = "span", **args: Any) -> Span:
-        """Open a span starting now; close it with ``end()`` or ``with``."""
+    def span(
+        self, name: str, track: str = "main", cat: str = "span",
+        parent: TraceContext | None = None, **args: Any,
+    ) -> Span:
+        """Open a span starting now; close it with ``end()`` or ``with``.
+
+        The span parents under ``parent`` when given, else under the
+        ambient :meth:`current_context`; with neither it roots a fresh
+        trace.  Past :data:`MAX_SPANS` new spans are still returned (so
+        call sites never branch) but not retained; the loss is counted
+        in ``obs_spans_dropped_total`` and surfaced by :meth:`snapshot`
+        and the drive() stall report.
+        """
         span = Span(self, name, track, cat, {label: str(value) for label, value in args.items()})
+        if parent is None:
+            parent = self.current_context()
+        if parent is None:
+            self._trace_count += 1
+            span.trace_id = f"t{self._trace_count:06d}"
+        else:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        self._span_count += 1
+        span.span_id = self._span_count
         if len(self.spans) < MAX_SPANS:
             self.spans.append(span)
+        else:
+            self.spans_dropped += 1
+            self.counter("obs_spans_dropped_total")
         return span
 
     # -- inspection -----------------------------------------------------------
@@ -327,6 +459,7 @@ class Recorder(NullRecorder):
             "spans": {
                 "total": len(self.spans),
                 "open": sum(1 for span in self.spans if not span.done),
+                "dropped": self.spans_dropped,
             },
         }
 

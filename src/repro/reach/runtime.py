@@ -151,11 +151,25 @@ class OpHandle:
         self._span = (
             recorder.span(label or "op", track=track or "ops", cat="op") if recorder.enabled else None
         )
+        #: the operation span's own trace context; re-activated around
+        #: every plan step so each transaction of a multi-step ceremony
+        #: parents to the op span (not to whatever was ambient when the
+        #: confirming block event fired).
+        self._context = self._span.context if self._span is not None else None
         self._advance(None)
 
     # -- state machine ---------------------------------------------------------
 
+    @property
+    def trace_id(self) -> str:
+        """The trace this operation's spans belong to ("" untraced)."""
+        return self._span.trace_id if self._span is not None else ""
+
     def _advance(self, completed: Any) -> None:
+        with self.chain.recorder.activate(self._context):
+            self._advance_step(completed)
+
+    def _advance_step(self, completed: Any) -> None:
         if isinstance(completed, TxHandle):
             self.receipts.append(completed.receipt)
         try:
@@ -203,7 +217,22 @@ class OpHandle:
         return end - self.started_at
 
     def add_done_callback(self, callback: Callable[["OpHandle"], None]) -> None:
-        """Run ``callback(self)`` at settlement (now, if already done)."""
+        """Run ``callback(self)`` at settlement (now, if already done).
+
+        As with :meth:`~repro.chain.base.TxHandle.add_done_callback`,
+        the trace context at registration time is re-activated around
+        the callback so settlement continuations stay in their trace.
+        """
+        recorder = self.chain.recorder
+        if recorder.enabled:
+            context = recorder.current_context()
+            if context is not None:
+                inner = callback
+
+                def callback(handle: "OpHandle", _inner=inner, _ctx=context) -> None:
+                    with recorder.activate(_ctx):
+                        _inner(handle)
+
         if self.done:
             callback(self)
         else:

@@ -4,6 +4,15 @@ A minimal but complete priority-queue scheduler: events carry a fire
 time, a callback, and a stable sequence number so simultaneous events
 fire in scheduling order (determinism).  Events can be cancelled, which
 the chain simulators use for re-orged proposals and expired timeouts.
+
+Causal tracing rides through here: when a live recorder has an ambient
+:class:`~repro.obs.context.TraceContext`, :meth:`EventQueue.schedule`
+captures it onto the event and :meth:`EventQueue.step` re-activates it
+around the callback, so a continuation scheduled inside one proof's
+trace keeps reporting into that trace.  Infrastructure cadences (block
+production) schedule with ``inherit_context=False`` -- a block is not
+caused by any single journey.  With the null recorder the captured
+context is always ``None`` and the path is untouched.
 """
 
 from __future__ import annotations
@@ -29,6 +38,9 @@ class ScheduledEvent:
     #: back-reference kept while the event is pending so cancel() can
     #: maintain the queue's live counter; cleared when the event fires.
     queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
+    #: trace context captured at scheduling time; re-activated around
+    #: the callback so asynchronous continuations inherit their parent.
+    context: Any = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when it comes due."""
@@ -68,20 +80,34 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], label: str = "",
+        inherit_context: bool = True,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``inherit_context=False`` detaches the event from the ambient
+        trace context (infrastructure cadences like block production).
+        """
         if delay < 0:
             raise ValueError("cannot schedule an event in the past")
         if self.fault_delay is not None:
             delay += self.fault_delay(label, self.clock.now + delay)
-        return self.schedule_at(self.clock.now + delay, callback, label)
+        return self.schedule_at(self.clock.now + delay, callback, label, inherit_context)
 
-    def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
+    def schedule_at(
+        self, timestamp: float, callback: Callable[[], Any], label: str = "",
+        inherit_context: bool = True,
+    ) -> ScheduledEvent:
         """Schedule ``callback`` at an absolute simulated ``timestamp``."""
         if timestamp < self.clock.now:
             raise ValueError("cannot schedule an event in the past")
+        context = None
+        if inherit_context and self.recorder.enabled:
+            context = self.recorder.current_context()
         event = ScheduledEvent(
-            time=timestamp, sequence=next(self._sequence), callback=callback, label=label, queue=self
+            time=timestamp, sequence=next(self._sequence), callback=callback, label=label,
+            queue=self, context=context,
         )
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -127,7 +153,11 @@ class EventQueue:
             if recorder.enabled:
                 recorder.counter("sim_events_fired_total", label=event.label or "<unlabelled>")
                 recorder.gauge("sim_queue_depth", self._live)
-            event.callback()
+            if event.context is not None:
+                with recorder.activate(event.context):
+                    event.callback()
+            else:
+                event.callback()
             return event
         return None
 

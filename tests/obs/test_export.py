@@ -70,6 +70,43 @@ class TestChromeTrace:
         assert (0, 2) in values
         assert (12_000_000, 0) in values
 
+    def test_open_span_event_is_valid_and_carries_trace_args(self):
+        trace = to_chrome_trace(build_recorder())
+        (begin,) = [e for e in trace["traceEvents"] if e["ph"] == "B"]
+        # A well-formed begin event: position, identity, no duration.
+        assert begin["ts"] == 42_000_000
+        assert begin["pid"] and isinstance(begin["tid"], int)
+        assert "dur" not in begin
+        assert begin["args"]["trace_id"].startswith("t")
+        assert begin["args"]["span_id"] > 0
+        assert "parent_id" not in begin["args"]  # a root span
+
+    def test_flow_events_link_child_to_parent_track(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        with recorder.span("deploy:pol", track="user:0xaaaa", cat="op") as parent:
+            clock.advance(5.0)
+            with recorder.span("tx:create", track="user:0xaaaa", cat="tx",
+                               parent=parent.context):
+                clock.advance(10.0)
+            clock.advance(5.0)
+        trace = to_chrome_trace(recorder)
+        events = trace["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        child = next(e for e in events if e.get("name") == "tx:create")
+        # The arrow is keyed by the child's span id and lands at its start.
+        assert starts[0]["id"] == finishes[0]["id"] == int(child["args"]["span_id"])
+        assert finishes[0]["bp"] == "e"
+        assert finishes[0]["ts"] == child["ts"] == 5_000_000
+        # Binding point "s" sits inside the parent's interval.
+        assert starts[0]["ts"] == 5_000_000
+
+    def test_root_spans_emit_no_flow_events(self):
+        trace = to_chrome_trace(build_recorder())
+        assert not [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+
     def test_write_to_disk(self, tmp_path):
         path = tmp_path / "out.trace.json"
         write_chrome_trace(build_recorder(), str(path))
@@ -107,6 +144,14 @@ class TestPrometheus:
         text = to_prometheus(recorder)
         assert 'weird_total{label="a\\"b\\\\c"} 1' in text
 
+    def test_label_newlines_escaped_keep_lines_parseable(self):
+        recorder = Recorder()
+        recorder.counter("weird_total", label="two\nlines")
+        text = to_prometheus(recorder)
+        assert 'weird_total{label="two\\nlines"} 1' in text
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or SAMPLE_RE.match(line), line
+
     def test_write_to_disk(self, tmp_path):
         path = tmp_path / "out.prom"
         write_prometheus(build_recorder(), str(path))
@@ -117,5 +162,5 @@ class TestSnapshotJson:
     def test_round_trips(self):
         snapshot = json.loads(to_snapshot_json(build_recorder()))
         assert snapshot["counters"]['tx_total{chain="goerli",kind="call"}'] == 1
-        assert snapshot["spans"] == {"total": 2, "open": 1}
+        assert snapshot["spans"] == {"total": 2, "open": 1, "dropped": 0}
         assert snapshot["sim_time"] == 42.0

@@ -51,10 +51,13 @@ class TestConcurrentSimulationTelemetry:
         recorder, _ = run
         trace = json.loads(json.dumps(to_chrome_trace(recorder)))
         events = trace["traceEvents"]
-        assert all(e["ph"] in ("M", "X", "B", "C") for e in events)
+        assert all(e["ph"] in ("M", "X", "B", "C", "s", "f") for e in events)
         complete = [e for e in events if e["ph"] == "X"]
         # 16 op spans + (4 deploys x 2 txs + 12 attaches x 2 txs) tx spans
         assert len(complete) == 16 + 32
+        # Causality arrows: every tx span is a child of its op span.
+        flows = [e for e in events if e["ph"] in ("s", "f")]
+        assert len(flows) == 2 * 32
 
     def test_prometheus_contains_required_series(self, run):
         recorder, _ = run

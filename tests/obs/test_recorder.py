@@ -50,6 +50,83 @@ class TestGauges:
         assert recorder.snapshot()["gauges"]['depth{chain="goerli"}'] == 1
 
 
+class TestGaugeDownsampling:
+    """Bounded gauge series: stride doubling past MAX_GAUGE_SAMPLES."""
+
+    def test_series_is_halved_at_the_cap_and_drops_counted(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.recorder.MAX_GAUGE_SAMPLES", 8)
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        for value in range(8):
+            recorder.gauge("depth", value)
+            clock.advance(1.0)
+        series = recorder.gauge_series("depth")
+        # The 8th append hits the cap: every other sample is shed.
+        assert series == [(0.0, 0), (2.0, 2), (4.0, 4), (6.0, 6)]
+        assert recorder.counter_value("gauge_samples_dropped_total", gauge="depth") == 4.0
+
+    def test_stride_skips_samples_but_keeps_last_value_exact(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.recorder.MAX_GAUGE_SAMPLES", 8)
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        for value in range(11):  # 8 trigger the halving, 3 more under stride 2
+            recorder.gauge("depth", value)
+            clock.advance(1.0)
+        series = recorder.gauge_series("depth")
+        assert len(series) <= 8
+        # Post-cap, odd ticks are dropped and even ticks retained.
+        assert series[-1] == (9.0, 9)
+        # The snapshot's last-seen value is never downsampled away.
+        assert recorder.snapshot()["gauges"]["depth"] == 10
+        # 4 shed at the halving + 2 skipped by the stride (values 8, 10).
+        assert recorder.counter_value("gauge_samples_dropped_total", gauge="depth") == 6.0
+
+    def test_series_stays_bounded_under_sustained_load(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.recorder.MAX_GAUGE_SAMPLES", 8)
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        for value in range(200):
+            recorder.gauge("depth", value)
+            clock.advance(1.0)
+        series = recorder.gauge_series("depth")
+        assert len(series) <= 8
+        times = [t for t, _ in series]
+        assert times == sorted(times)  # shape survives: still chronological
+        dropped = recorder.counter_value("gauge_samples_dropped_total", gauge="depth")
+        assert dropped == 200 - len(series)
+
+    def test_gauges_downsample_independently(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.recorder.MAX_GAUGE_SAMPLES", 8)
+        recorder = Recorder()
+        for value in range(20):
+            recorder.gauge("hot", value)
+        recorder.gauge("cold", 1)
+        assert len(recorder.gauge_series("cold")) == 1
+        assert recorder.counter_value("gauge_samples_dropped_total", gauge="cold") == 0.0
+
+
+class TestSpanCap:
+    def test_spans_past_the_cap_are_dropped_but_usable(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.recorder.MAX_SPANS", 2)
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        kept = [recorder.span("kept") for _ in range(2)]
+        dropped = recorder.span("dropped")
+        clock.advance(1.0)
+        dropped.end(status="ok")  # call sites never branch on the cap
+        assert dropped.duration == 1.0
+        assert recorder.spans == kept
+        assert recorder.spans_dropped == 1
+        assert recorder.counter_value("obs_spans_dropped_total") == 1.0
+        assert recorder.snapshot()["spans"] == {"total": 2, "open": 2, "dropped": 1}
+
+    def test_no_drops_reported_below_the_cap(self):
+        recorder = Recorder()
+        recorder.span("a").end()
+        assert recorder.spans_dropped == 0
+        assert recorder.snapshot()["spans"]["dropped"] == 0
+
+
 class TestHistograms:
     def test_bucket_counts_sum_and_count(self):
         recorder = Recorder()

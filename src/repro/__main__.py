@@ -8,6 +8,7 @@ A scriptable counterpart of the thesis's console frontend (section
     python -m repro analyze              # traced journeys + BENCH_pol.json
     python -m repro compare              # tables across the three networks
     python -m repro verify-contract      # compile + theorem report + analysis
+    python -m repro lint contracts/      # static-analysis findings gate
     python -m repro attacks              # run the attack gauntlet
 """
 
@@ -191,6 +192,109 @@ def _cmd_verify_contract(args) -> int:
     return 0 if compiled.verification.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    """Static-analysis gate: abstract interpretation + equivalence + verifier.
+
+    Exit codes: 0 clean (info-only findings allowed), 1 any error- or
+    warning-severity finding, 2 internal failure (bad path, analyzer
+    crash).  Parse and verification failures are *findings*, not
+    crashes, so a broken contract exits 1 with a readable report.
+    """
+    import json as json_mod
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.reach.absint import drop_teal_store, lint_compiled, neutralize_evm_sstore
+    from repro.reach.absint.lint import Finding, LintReport
+    from repro.reach.compiler import CompileError, compile_program
+    from repro.reach.parser import ParseError, parse_contract_file
+
+    sources: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            sources.extend(sorted(path.glob("*.rsh")))
+        elif path.is_file():
+            sources.append(path)
+        else:
+            print(f"lint: no such file or directory: {raw}", file=sys.stderr)
+            return 2
+    if not sources:
+        print("lint: no .rsh contracts found", file=sys.stderr)
+        return 2
+
+    reports: list[LintReport] = []
+    worst = 0
+    for path in sources:
+        name = str(path)
+        try:
+            try:
+                program = parse_contract_file(name)
+            except ParseError as exc:
+                span = getattr(exc, "span", None)
+                report = LintReport(
+                    contract=path.stem,
+                    source=name,
+                    findings=[
+                        Finding("error", "PARSE-ERROR", str(exc), source=name, span=span)
+                    ],
+                )
+                reports.append(report)
+                worst = max(worst, 1)
+                continue
+            # check=False: verification/equivalence failures must surface
+            # as findings with exit 1, not abort the whole lint run.
+            compiled = compile_program(program, check=False)
+            if args.mutate_teal_drop is not None:
+                mutated = drop_teal_store(compiled.teal_source, args.mutate_teal_drop)
+                compiled = replace(compiled, teal_source=mutated, _lint=None)
+            if args.mutate_evm_sstore is not None:
+                mutated = neutralize_evm_sstore(compiled.evm_code, args.mutate_evm_sstore)
+                compiled = replace(compiled, evm_code=mutated, _lint=None)
+            report = lint_compiled(compiled, source=name)
+        except (CompileError, ValueError) as exc:
+            report = LintReport(
+                contract=path.stem,
+                source=name,
+                findings=[Finding("error", "LINT-INTERNAL", str(exc), source=name)],
+            )
+        reports.append(report)
+        worst = max(worst, report.exit_code)
+
+    if args.json:
+        payload = [
+            {
+                "contract": report.contract,
+                "source": report.source,
+                "exit_code": report.exit_code,
+                "findings": [
+                    {
+                        "severity": f.severity,
+                        "theorem": f.theorem,
+                        "message": f.message,
+                        "span": list(f.span) if f.span else None,
+                    }
+                    for f in report.findings
+                ],
+                "costs": None
+                if report.costs is None
+                else {
+                    name: {
+                        "evm_gas": [entry.evm_gas.lo, entry.evm_gas.hi],
+                        "teal_ops": [entry.teal_ops.lo, entry.teal_ops.hi],
+                        "avm_pool": [entry.avm_pool.lo, entry.avm_pool.hi],
+                    }
+                    for name, entry in report.costs.entries.items()
+                },
+            }
+            for report in reports
+        ]
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(report.render() for report in reports))
+    return worst
+
+
 def _cmd_report(args) -> int:
     """A full chapter-5-style measurement report to stdout."""
     networks = ("goerli", "polygon-mumbai", "algorand-testnet")
@@ -289,6 +393,23 @@ def main(argv: list[str] | None = None) -> int:
         "verify-contract", help="compile + verify a contract (the PoL contract by default)"
     )
     verify.add_argument("source", nargs="?", help="a .rsh contract file to compile instead")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis gate: balance safety, gas/budget bounds, "
+        "cross-backend equivalence (exit 0 clean, 1 findings, 2 internal)",
+    )
+    lint.add_argument("paths", nargs="+", help=".rsh files or directories of contracts")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--mutate-teal-drop", type=int, default=None, metavar="N",
+        help="drop the Nth TEAL store before linting (equivalence self-test)",
+    )
+    lint.add_argument(
+        "--mutate-evm-sstore", type=int, default=None, metavar="N",
+        help="neutralize the Nth EVM SSTORE before linting (equivalence self-test)",
+    )
+
     subparsers.add_parser("attacks", help="run the attack gauntlet")
 
     report = subparsers.add_parser("report", help="full deploy/attach report, 16 and 32 users")
@@ -301,6 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "verify-contract": _cmd_verify_contract,
+        "lint": _cmd_lint,
         "attacks": _cmd_attacks,
         "report": _cmd_report,
     }

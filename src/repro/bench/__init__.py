@@ -7,8 +7,11 @@ tables and figures against the chain simulators.
 from repro.bench.workload import THESIS_LOCATIONS, ProverSpec, generate_workload
 from repro.bench.simulation import SimulationResult, UserTiming, run_simulation
 from repro.bench.metrics import OperationStats, summarize
+from repro.bench.bounds import BoundsReport, check_simulation_against_bounds
 
 __all__ = [
+    "BoundsReport",
+    "check_simulation_against_bounds",
     "THESIS_LOCATIONS",
     "ProverSpec",
     "generate_workload",

@@ -139,6 +139,12 @@ class ProofOfLocationSystem:
                     witness_reward=self.witness_reward,
                 )
             )
+        lint = self.compiled.lint_report()
+        if lint.has_errors:
+            failures = "; ".join(
+                f.render() for f in lint.findings if f.severity == "error"
+            )
+            raise PolSystemError(f"contract fails lint: {failures}")
         self.client = ReachClient(self.chain)
         self.factory = ContractFactory(chain=self.chain, template=self.compiled, client=self.client)
         # Two neighbour replicas per record: losing a DHT node must not

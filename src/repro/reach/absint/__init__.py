@@ -1,0 +1,41 @@
+"""Abstract interpretation over the compiled contract IR.
+
+The static verifier's semantic layer: a worklist fixpoint engine over
+basic-block CFGs (:mod:`engine`, :mod:`cfg`) with constant-propagation
+and interval domains (:mod:`domains`), and three analyses on top:
+
+- :mod:`cost` -- path-sensitive per-entry-point cost bounds: EVM gas
+  intervals from the Yellow-Paper schedule and AVM opcode-budget
+  intervals, tight enough for the bench layer to assert measured
+  receipts against;
+- :mod:`balance` -- interval tracking of the contract balance proving
+  every ``transfer`` is funded by a dominating guard (the semantic
+  upgrade of the verifier's syntactic ``_guards_cover_amount``);
+- :mod:`equiv` -- differential execution of the emitted EVM code and
+  TEAL over shared IR-derived vectors, diffing observable effects.
+
+:mod:`lint` aggregates everything into the findings report behind the
+``repro lint`` CLI and the runtime's deploy gate.
+"""
+
+from repro.reach.absint.balance import BalanceReport, analyze_balance
+from repro.reach.absint.cost import CostReport, EntryCost, analyze_costs
+from repro.reach.absint.domains import AbsVal, Interval
+from repro.reach.absint.equiv import check_equivalence, drop_teal_store, neutralize_evm_sstore
+from repro.reach.absint.lint import Finding, LintReport, lint_compiled
+
+__all__ = [
+    "AbsVal",
+    "BalanceReport",
+    "CostReport",
+    "EntryCost",
+    "Finding",
+    "Interval",
+    "LintReport",
+    "analyze_balance",
+    "analyze_costs",
+    "check_equivalence",
+    "drop_teal_store",
+    "lint_compiled",
+    "neutralize_evm_sstore",
+]

@@ -1,0 +1,473 @@
+"""Balance-safety: interval tracking of the contract balance.
+
+The semantic upgrade of the verifier's syntactic guard matching: an
+abstract interpretation of each entry point's IR proves that every
+``TRANSFER`` is funded.  The state tracks, per program point,
+
+- an interval for the contract balance plus a *version* so a re-read
+  ``balance()`` only matches the balance the guard actually tested;
+- a symbolic *budget*: the summands a dominating ``balance() >= X``
+  guard proved are covered by the balance (path-sensitively -- the
+  budget exists only on the guard's true edge);
+- intervals for the uint globals, refined by equality guards (the
+  phase guard pins ``_phase``, killing wrong-phase paths).
+
+A transfer is safe when it drains the *current* balance, when its
+symbolic amount is covered by the budget, or when its interval upper
+bound sits under the proven balance floor.  Anything else is a
+finding, anchored to the source span the compiler threaded onto the
+IR op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reach.absint.cfg import build_ir_cfg
+from repro.reach.absint.domains import (
+    AbsVal,
+    Interval,
+    Sym,
+    summands,
+    sym_add,
+    sym_mentions_global,
+)
+from repro.reach.absint.engine import run_fixpoint
+from repro.reach.ir import IRContract, IRFunction
+
+
+@dataclass(frozen=True)
+class TransferCheck:
+    """The verdict for one TRANSFER instruction."""
+
+    owner: str  # entry-point name
+    index: int  # instruction index within the entry point
+    ok: bool
+    detail: str
+    span: tuple | None
+
+
+@dataclass(frozen=True)
+class BalanceFinding:
+    """A balance-safety problem (or caveat) worth reporting."""
+
+    severity: str  # "error" | "warning"
+    owner: str
+    message: str
+    span: tuple | None
+
+
+@dataclass
+class BalanceReport:
+    """All balance-safety results for one contract."""
+
+    contract: str
+    checks: list[TransferCheck]
+    findings: list[BalanceFinding]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every transfer was proven fundable."""
+        return all(check.ok for check in self.checks)
+
+
+# -- the abstract state --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _State:
+    """Immutable per-block-entry state (hashable for fixpoint equality)."""
+
+    stack: tuple  # of AbsVal
+    globals: tuple  # sorted ((name, Interval), ...)
+    balance: Interval
+    version: int
+    budget: tuple  # of Sym, canonically sorted
+
+
+class _M:
+    """The mutable working copy a block transfer function edits."""
+
+    def __init__(self, state: _State):
+        self.stack = list(state.stack)
+        self.globals = dict(state.globals)
+        self.balance = state.balance
+        self.version = state.version
+        self.budget = list(state.budget)
+
+    def freeze(self) -> _State:
+        return _State(
+            stack=tuple(self.stack),
+            globals=tuple(sorted(self.globals.items())),
+            balance=self.balance,
+            version=self.version,
+            budget=tuple(sorted(self.budget, key=repr)),
+        )
+
+    def copy(self) -> "_M":
+        return _M(self.freeze())
+
+    def global_interval(self, name: str) -> Interval:
+        return self.globals.get(name, Interval.top())
+
+    def bump_balance(self, new: Interval) -> None:
+        self.balance = new
+        self.version += 1
+
+
+def _join_val(a: AbsVal, b: AbsVal) -> AbsVal:
+    return AbsVal(
+        a.interval.join(b.interval),
+        sym=a.sym if a.sym == b.sym else None,
+        pred=a.pred if a.pred == b.pred else None,
+    )
+
+
+def _intersect_budget(a: tuple, b: tuple) -> tuple:
+    remaining = list(b)
+    kept = []
+    for sym in a:
+        if sym in remaining:
+            remaining.remove(sym)
+            kept.append(sym)
+    return tuple(sorted(kept, key=repr))
+
+
+def _join(a: _State, b: _State) -> _State:
+    # Structured lowering keeps stack depth equal at joins; tolerate a
+    # mismatch by keeping the common top suffix rather than crashing.
+    depth = min(len(a.stack), len(b.stack))
+    stack_a = a.stack[len(a.stack) - depth :]
+    stack_b = b.stack[len(b.stack) - depth :]
+    stack = tuple(_join_val(x, y) for x, y in zip(stack_a, stack_b))
+    names = {name for name, _ in a.globals} & {name for name, _ in b.globals}
+    globals_a, globals_b = dict(a.globals), dict(b.globals)
+    merged = {name: globals_a[name].join(globals_b[name]) for name in names}
+    version = a.version if a.version == b.version else max(a.version, b.version) + 1
+    return _State(
+        stack=stack,
+        globals=tuple(sorted(merged.items())),
+        balance=a.balance.join(b.balance),
+        version=version,
+        budget=_intersect_budget(a.budget, b.budget),
+    )
+
+
+def _widen(old: _State, new: _State) -> _State:
+    depth = min(len(old.stack), len(new.stack))
+    stack = tuple(
+        AbsVal(x.interval.widen(y.interval))
+        for x, y in zip(old.stack[len(old.stack) - depth :], new.stack[len(new.stack) - depth :])
+    )
+    old_globals, new_globals = dict(old.globals), dict(new.globals)
+    names = set(old_globals) & set(new_globals)
+    merged = {name: old_globals[name].widen(new_globals[name]) for name in names}
+    return _State(
+        stack=stack,
+        globals=tuple(sorted(merged.items())),
+        balance=old.balance.widen(new.balance),
+        version=new.version,
+        budget=_intersect_budget(old.budget, new.budget),
+    )
+
+
+# -- predicate refinement ------------------------------------------------------
+
+_NEGATE = {"lt": "ge", "ge": "lt", "gt": "le", "le": "gt", "eq": "ne", "ne": "eq"}
+
+
+def _bound_from(op: str, other: Interval) -> Interval | None:
+    """The interval ``left`` must lie in when ``left OP other`` holds."""
+    if op == "lt":
+        return Interval(0, None if other.hi is None else other.hi - 1)
+    if op == "le":
+        return Interval(0, other.hi)
+    if op == "gt":
+        return Interval(other.lo + 1, None)
+    if op == "ge":
+        return Interval(other.lo, None)
+    if op == "eq":
+        return other
+    return None  # "ne" refines nothing interval-wise
+
+
+_FLIP = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+def _assign(m: _M, value: AbsVal, refined: Interval) -> bool:
+    """Write a refined interval back to the value's location, if named."""
+    if value.sym is not None:
+        if value.sym[0] == "global":
+            m.globals[value.sym[1]] = refined
+        elif value.sym[0] == "balance" and value.sym[1] == m.version:
+            m.balance = refined
+    return True
+
+
+def _refine(m: _M, cond: AbsVal, truth: bool) -> bool:
+    """Assume ``cond`` is ``truth``; False means the path is dead."""
+    if cond.pred is None:
+        # No predicate: only constant conditions can contradict.
+        if truth and cond.interval == Interval.const(0):
+            return False
+        if not truth and cond.interval.lo > 0:
+            return False
+        return True
+    op = cond.pred[0]
+    if op == "not":
+        return _refine(m, cond.pred[1], not truth)
+    if op == "and":
+        if truth:
+            return _refine(m, cond.pred[1], True) and _refine(m, cond.pred[2], True)
+        return True  # don't know which conjunct failed
+    if op == "or":
+        if not truth:
+            return _refine(m, cond.pred[1], False) and _refine(m, cond.pred[2], False)
+        return True
+    left, right = cond.pred[1], cond.pred[2]
+    if not truth:
+        op = _NEGATE[op]
+    # The budget: balance() >= X (or X <= balance()) proves X covered.
+    if op in ("ge", "gt") and left.sym == ("balance", m.version) and right.sym is not None:
+        m.budget = list(summands(right.sym))
+    if op in ("le", "lt") and right.sym == ("balance", m.version) and left.sym is not None:
+        m.budget = list(summands(left.sym))
+    # Interval refinement, both directions.
+    left_bound = _bound_from(op, right.interval)
+    if left_bound is not None:
+        refined = left.interval.meet(left_bound)
+        if refined is None:
+            return False
+        _assign(m, left, refined)
+    right_bound = _bound_from(_FLIP[op], left.interval)
+    if right_bound is not None:
+        refined = right.interval.meet(right_bound)
+        if refined is None:
+            return False
+        _assign(m, right, refined)
+    if op == "ne" and left.interval.is_const and left.interval == right.interval:
+        return False
+    return True
+
+
+# -- transfer rules ------------------------------------------------------------
+
+
+def _remove_all(have: list, need: list) -> list | None:
+    """The multiset ``have - need``, or None when ``need`` is not covered."""
+    remaining = list(have)
+    for item in need:
+        if item not in remaining:
+            return None
+        remaining.remove(item)
+    return remaining
+
+
+def _check_transfer(m: _M, amount: AbsVal) -> tuple[bool, str]:
+    """Decide one transfer and update the state for the payout."""
+    if amount.sym == ("balance", m.version):
+        m.bump_balance(Interval.const(0))
+        m.budget = []
+        return True, "drains the tracked balance"
+    if amount.sym is not None:
+        remaining = _remove_all(m.budget, summands(amount.sym))
+        if remaining is not None:
+            m.budget = remaining
+            m.bump_balance(m.balance.sub(amount.interval))
+            return True, "covered by a dominating balance() guard"
+    if amount.interval.hi is not None and amount.interval.hi <= m.balance.lo:
+        m.bump_balance(m.balance.sub(amount.interval))
+        m.budget = []
+        return True, "amount upper bound within the proven balance floor"
+    m.bump_balance(m.balance.sub(amount.interval))
+    m.budget = []
+    return False, (
+        f"cannot prove the balance covers this transfer "
+        f"(amount {amount.interval}, balance {m.balance})"
+    )
+
+
+# -- the per-function interpreter ----------------------------------------------
+
+_CMP_OPS = {"LT": "lt", "GT": "gt", "LE": "le", "GE": "ge", "EQ": "eq"}
+
+
+def _eval_cmp(op: str, left: AbsVal, right: AbsVal) -> AbsVal:
+    interval = Interval(0, 1)
+    if left.interval.is_const and right.interval.is_const:
+        lhs, rhs = left.interval.lo, right.interval.lo
+        outcome = {
+            "lt": lhs < rhs,
+            "gt": lhs > rhs,
+            "le": lhs <= rhs,
+            "ge": lhs >= rhs,
+            "eq": lhs == rhs,
+        }[op]
+        interval = Interval.const(1 if outcome else 0)
+    return AbsVal(interval, pred=(op, left, right))
+
+
+class _FunctionAnalysis:
+    """Runs the fixpoint over one entry point and records verdicts."""
+
+    def __init__(self, function: IRFunction, phase_count: int, accepts_pay: bool):
+        self.function = function
+        self.phase_count = phase_count
+        self.accepts_pay = accepts_pay
+        self.transfer_verdicts: dict[int, tuple[bool, str, tuple | None]] = {}
+        self.halt_leak: tuple | None = None  # span of a leaky halt, if seen
+
+    def run(self) -> None:
+        cfg = build_ir_cfg(self.function)
+        initial = _M.__new__(_M)
+        initial.stack = []
+        initial.globals = {}
+        initial.balance = Interval.top()
+        initial.version = 0
+        initial.budget = []
+        run_fixpoint(cfg, initial.freeze(), self._transfer_block, _join, _widen)
+
+    def _transfer_block(self, block, state: _State):
+        m = _M(state)
+        instrs = self.function.instrs
+        dead = False
+        for index in range(block.start, block.end):
+            op = instrs[index]
+            if dead:
+                break
+            if op.op == "JUMPF":
+                # Block terminator with two refined out-states.
+                cond = m.stack.pop() if m.stack else AbsVal.top()
+                true_m, false_m = m, m.copy()
+                outs = []
+                for branch, truth in ((true_m, True), (false_m, False)):
+                    outs.append(branch.freeze() if _refine(branch, cond, truth) else None)
+                return outs
+            dead = not self._step(m, op, index)
+        if dead:
+            return [None] * len(block.edges)
+        out = m.freeze()
+        return [out] * len(block.edges)
+
+    def _step(self, m: _M, op, index: int) -> bool:
+        """Interpret one non-branching op; False kills the path."""
+        name, arg = op.op, op.arg
+        push = m.stack.append
+        pop = lambda: m.stack.pop() if m.stack else AbsVal.top()
+        if name == "PUSH":
+            push(AbsVal.const(arg) if isinstance(arg, int) else AbsVal.top())
+        elif name == "ARG":
+            push(AbsVal.top(("arg", arg)))
+        elif name == "CALLER":
+            push(AbsVal.top(("caller",)))
+        elif name == "VALUE":
+            push(AbsVal.top(("value",)))
+        elif name == "NOW":
+            push(AbsVal.top(("now",)))
+        elif name == "BALANCE":
+            push(AbsVal(m.balance, sym=("balance", m.version)))
+        elif name == "GLOAD":
+            push(AbsVal(m.global_interval(arg), sym=("global", arg)))
+        elif name == "GSTORE":
+            value = pop()
+            m.globals[arg] = value.interval
+            m.budget = [sym for sym in m.budget if not sym_mentions_global(sym, arg)]
+        elif name == "MGETOR":
+            pop(), pop()
+            push(AbsVal.top())
+        elif name == "MHAS":
+            pop()
+            push(AbsVal(Interval(0, 1)))
+        elif name == "MSET":
+            pop(), pop()
+        elif name == "MDEL":
+            pop()
+        elif name == "ADD":
+            right, left = pop(), pop()
+            push(AbsVal(left.interval.add(right.interval), sym=sym_add(left.sym, right.sym)))
+        elif name == "SUB":
+            right, left = pop(), pop()
+            push(AbsVal(left.interval.sub(right.interval)))
+        elif name == "MUL":
+            right, left = pop(), pop()
+            push(AbsVal(left.interval.mul(right.interval)))
+        elif name == "DIV":
+            right, left = pop(), pop()
+            push(AbsVal(Interval(0, left.interval.hi)))
+        elif name == "MOD":
+            right, left = pop(), pop()
+            hi = None if right.interval.hi is None else max(right.interval.hi - 1, 0)
+            push(AbsVal(Interval(0, hi)))
+        elif name in _CMP_OPS:
+            right, left = pop(), pop()
+            push(_eval_cmp(_CMP_OPS[name], left, right))
+        elif name == "AND":
+            right, left = pop(), pop()
+            push(AbsVal(Interval(0, 1), pred=("and", left, right)))
+        elif name == "OR":
+            right, left = pop(), pop()
+            push(AbsVal(Interval(0, 1), pred=("or", left, right)))
+        elif name == "NOT":
+            value = pop()
+            push(AbsVal(Interval(0, 1), pred=("not", value)))
+        elif name == "POP":
+            pop()
+        elif name in ("JUMP", "LABEL"):
+            pass
+        elif name == "REQUIRE":
+            cond = pop()
+            return _refine(m, cond, True)
+        elif name == "TRANSFER":
+            amount = pop()
+            pop()  # target address
+            ok, detail = _check_transfer(m, amount)
+            self.transfer_verdicts[index] = (ok, detail, op.span)
+        elif name == "LOG":
+            _event, kinds = arg
+            for _ in kinds:
+                pop()
+        elif name == "RET":
+            count, _kind = arg
+            for _ in range(count):
+                pop()
+            self._check_halt(m, op)
+        return True
+
+    def _check_halt(self, m: _M, op) -> None:
+        """At a provable halt, the balance should be provably empty."""
+        phase = m.global_interval("_phase")
+        if not (phase.is_const and phase.lo == self.phase_count + 1):
+            return
+        if self.accepts_pay and (m.balance.hi is None or m.balance.hi > 0):
+            self.halt_leak = op.span
+
+
+def analyze_ir_balance(ir: IRContract) -> BalanceReport:
+    """Run the balance-safety analysis over every entry point."""
+    accepts_pay = any(fn.pay_index is not None for fn in ir.functions.values())
+    checks: list[TransferCheck] = []
+    findings: list[BalanceFinding] = []
+    for name, function in ir.functions.items():
+        analysis = _FunctionAnalysis(function, ir.phase_count, accepts_pay)
+        analysis.run()
+        for index, (ok, detail, span) in sorted(analysis.transfer_verdicts.items()):
+            checks.append(TransferCheck(owner=name, index=index, ok=ok, detail=detail, span=span))
+            if not ok:
+                findings.append(
+                    BalanceFinding(severity="error", owner=name, message=detail, span=span)
+                )
+        if analysis.halt_leak is not None:
+            findings.append(
+                BalanceFinding(
+                    severity="warning",
+                    owner=name,
+                    message="the contract can halt here with a possibly non-empty balance",
+                    span=analysis.halt_leak,
+                )
+            )
+    return BalanceReport(contract=ir.name, checks=checks, findings=findings)
+
+
+def analyze_balance(compiled) -> BalanceReport:
+    """Entry point taking a :class:`CompiledContract`."""
+    return analyze_ir_balance(compiled.ir)

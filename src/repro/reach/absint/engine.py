@@ -1,0 +1,86 @@
+"""The worklist fixpoint engine.
+
+Generic over the abstract domain: an analysis supplies a *transfer
+function* (interpret one basic block, produce one out-state per
+outgoing edge -- which is where path-sensitive refinement happens) and
+a *join*; the engine iterates block in-states to a fixpoint in reverse
+postorder, applying the analysis's widening after a bounded number of
+revisits so termination never depends on the domain having finite
+ascending chains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.reach.absint.cfg import CFG, BasicBlock
+
+State = TypeVar("State")
+
+#: interpret a block: (block, in-state) -> one out-state per block edge
+TransferFn = Callable[[BasicBlock, State], "list[State]"]
+JoinFn = Callable[[State, State], State]
+WidenFn = Callable[[State, State], State]
+
+#: revisits of one block before widening kicks in
+WIDEN_AFTER = 3
+#: hard iteration ceiling (defense in depth; analyses on this IR
+#: converge in one RPO sweep because the DSL has no intra-method loops)
+MAX_STEPS = 10_000
+
+
+class FixpointDiverged(Exception):
+    """The engine hit the iteration ceiling without stabilizing."""
+
+
+class Fixpoint(Generic[State]):
+    """The computed fixpoint: the in-state of every reachable block."""
+
+    def __init__(self, in_states: dict[int, State]):
+        self.in_states = in_states
+
+
+def run_fixpoint(
+    cfg: CFG,
+    initial: State,
+    transfer: TransferFn,
+    join: JoinFn,
+    widen: WidenFn | None = None,
+) -> Fixpoint:
+    """Iterate ``transfer`` over ``cfg`` until block in-states stabilize."""
+    order = cfg.reverse_postorder()
+    priority = {start: rank for rank, start in enumerate(order)}
+    in_states: dict[int, State] = {cfg.entry: initial}
+    visits: dict[int, int] = {}
+    worklist = [cfg.entry]
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > MAX_STEPS:
+            raise FixpointDiverged(f"no fixpoint after {MAX_STEPS} steps")
+        # pop the earliest block in reverse postorder: on the loop-free
+        # CFGs this IR produces, that makes the sweep single-pass
+        worklist.sort(key=lambda start: priority.get(start, 0))
+        start = worklist.pop(0)
+        block = cfg.blocks[start]
+        visits[start] = visits.get(start, 0) + 1
+        out_states = transfer(block, in_states[start])
+        if len(out_states) != len(block.edges):
+            raise ValueError(
+                f"transfer returned {len(out_states)} states for {len(block.edges)} edges"
+            )
+        for (target, _label), out_state in zip(block.edges, out_states):
+            if out_state is None:  # the analysis proved the edge dead
+                continue
+            old = in_states.get(target)
+            if old is None:
+                in_states[target] = out_state
+                worklist.append(target)
+                continue
+            merged = join(old, out_state)
+            if visits.get(target, 0) >= WIDEN_AFTER and widen is not None:
+                merged = widen(old, merged)
+            if merged != old:
+                in_states[target] = merged
+                worklist.append(target)
+    return Fixpoint(in_states)

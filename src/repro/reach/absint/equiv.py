@@ -1,0 +1,415 @@
+"""Cross-backend equivalence: differential execution of both artifacts.
+
+For every entry point, the emitted EVM code and the assembled TEAL run
+over a shared family of IR-derived vectors -- fresh state, active
+phase, seeded Map entries, wrong phase, pay mismatch, zero balance,
+extreme uints -- and their *observable* outcomes are diffed: accept or
+reject, scalar state, Map entries, outgoing value transfers, emitted
+events, and the return value, all canonically encoded so connector
+representation differences (ints vs. ``itob`` bytes, boxes vs. hashed
+storage slots) never count as divergence.
+
+Any disagreement is a compile error (:class:`BackendDivergence`): the
+two backends would put real users in different states for the same
+call.  Results are cached by artifact content, so recompiling the same
+contract costs one dictionary lookup.
+
+:func:`drop_teal_store` and :func:`neutralize_evm_sstore` build
+seeded-fault artifacts for testing that the check actually catches
+lost writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import sha256
+from repro.chain.algorand.avm import AVM, Application, AvmError, AvmPanic, CallContext
+from repro.chain.algorand.teal import TealSyntaxError, assemble
+from repro.chain.ethereum.evm import (
+    EVM,
+    EvmCode,
+    EvmContract,
+    Instr,
+    VMError,
+    VMRevert,
+    serialize_code,
+)
+from repro.reach.absint.domains import U64_MAX
+from repro.reach.ir import IRFunction
+
+_CREATOR = "0x" + "ca" * 20
+_OTHER = "0x" + "0b" * 20
+_APP_ADDRESS = "0x" + "aa" * 20
+_GAS_LIMIT = 1_000_000_000
+_BALANCE = 1_000_000
+_SEEDED_KEYS = (1, 2)
+_SEEDED_VALUE = b"OLC9FX"
+
+#: artifact-content hash -> divergence list
+_CACHE: dict[bytes, list[str]] = {}
+
+
+@dataclass(frozen=True)
+class _Vector:
+    """One execution vector for one entry point."""
+
+    label: str
+    caller: str
+    value: int
+    args: tuple
+    globals: tuple  # ((name, value), ...) scalar state before the call
+    seed_maps: bool
+    timestamp: int
+    balance: int
+
+
+@dataclass
+class _Outcome:
+    """Canonically-encoded observable effects of one run."""
+
+    status: str  # "ok" | "rejected" | "machine-error"
+    globals: dict[str, bytes]
+    maps: dict[tuple[int, int], bytes | None]
+    transfers: tuple
+    events: tuple
+    ret: bytes | None
+
+
+def _canon(value: Any) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode()
+    if isinstance(value, int):
+        return value.to_bytes(8 if value <= U64_MAX else 32, "big")
+    return repr(value).encode()
+
+
+def _is_absent(value: Any) -> bool:
+    """Zero/empty encodes Map absence on the EVM side."""
+    if isinstance(value, int):
+        return value == 0
+    return not value
+
+
+# -- vector construction -------------------------------------------------------
+
+
+def _sample_arg(kind: str, extreme: bool) -> Any:
+    if kind == "uint":
+        return U64_MAX if extreme else 5
+    if kind == "address":
+        return _OTHER
+    return b"did:sample:42"
+
+
+def _make_args(function: IRFunction, extreme: bool = False) -> tuple:
+    return tuple(_sample_arg(kind, extreme) for kind in function.params)
+
+
+def _vectors_for(function: IRFunction, ir) -> list[_Vector]:
+    if function.name == "constructor":
+        return [
+            _Vector(
+                label="create",
+                caller=_CREATOR,
+                value=0,
+                args=(),
+                globals=(),
+                seed_maps=False,
+                timestamp=1_000,
+                balance=0,
+            )
+        ]
+
+    base_globals = [("_creator", _CREATOR), ("_deadline", 100)]
+    for gname, initial in ir.globals_init.items():
+        base_globals.append((gname, initial))
+    active_globals = [("_creator", _CREATOR), ("_deadline", 100)]
+    for gname, initial in ir.globals_init.items():
+        active_globals.append((gname, 3 if isinstance(initial, int) else initial))
+
+    phase = function.phase if function.phase is not None else 0
+    args = _make_args(function)
+    pay = function.pay_index
+    value = args[pay] if pay is not None else 0
+    # Timeouts require NOW >= _deadline; APIs don't care, so one late
+    # timestamp serves every entry point.
+    timestamp = 5_000
+
+    def vec(label, *, caller=_OTHER, value=value, args=args, phase=phase, seed_maps=False, balance=_BALANCE, timestamp=timestamp, globals_base=None):
+        scalars = list(globals_base if globals_base is not None else base_globals)
+        scalars.append(("_phase", phase))
+        return _Vector(
+            label=label,
+            caller=caller,
+            value=value,
+            args=args,
+            globals=tuple(scalars),
+            seed_maps=seed_maps,
+            timestamp=timestamp,
+            balance=balance,
+        )
+
+    caller = _CREATOR if function.name == "publish0" else _OTHER
+    vectors = [
+        vec("fresh", caller=caller),
+        vec("active", caller=caller, globals_base=active_globals),
+        vec("seeded-map", caller=caller, seed_maps=True),
+        vec("wrong-phase", caller=caller, phase=phase + 1),
+        vec("zero-balance", caller=caller, balance=0),
+    ]
+    if function.name == "publish0":
+        vectors.append(vec("not-creator", caller=_OTHER))
+    if pay is not None:
+        vectors.append(vec("pay-mismatch", caller=caller, value=value + 1))
+    if any(kind == "uint" for kind in function.params):
+        extreme = _make_args(function, extreme=True)
+        extreme_value = extreme[pay] if pay is not None else 0
+        vectors.append(vec("extreme-uint", caller=caller, args=extreme, value=extreme_value))
+    if function.name.startswith("timeout_"):
+        vectors.append(vec("before-deadline", caller=caller, timestamp=50))
+    return vectors
+
+
+def _candidate_keys(vector: _Vector) -> list[int]:
+    keys = [key for key in vector.args if isinstance(key, int)]
+    keys.extend(_SEEDED_KEYS)
+    return sorted(set(keys))
+
+
+# -- the EVM side --------------------------------------------------------------
+
+
+def _evm_map_key(slot: int, key: int) -> bytes:
+    return sha256(int(slot).to_bytes(32, "big") + key.to_bytes(32, "big"))
+
+
+def _run_evm(code: EvmCode, function: IRFunction, ir, vector: _Vector) -> _Outcome:
+    contract = EvmContract(address=_APP_ADDRESS, code=code, creator=_CREATOR)
+    for gname, value in vector.globals:
+        contract.storage[b"g:" + gname.encode()] = value
+    if vector.seed_maps:
+        for slot in ir.map_slots.values():
+            for key in _SEEDED_KEYS:
+                contract.storage[_evm_map_key(slot, key)] = _SEEDED_VALUE
+    entry = code.init_entry if function.name == "constructor" else code.methods[function.name]
+    try:
+        result = EVM().execute(
+            contract,
+            entry=entry,
+            args=list(vector.args),
+            caller=vector.caller,
+            value=vector.value,
+            gas_limit=_GAS_LIMIT,
+            block_number=1,
+            timestamp=float(vector.timestamp),
+            self_balance=vector.balance,
+            intrinsic=0,
+        )
+    except VMRevert:
+        return _Outcome("rejected", {}, {}, (), (), None)
+    except VMError as error:
+        return _Outcome(f"machine-error: {error}", {}, {}, (), (), None)
+    overlay = dict(contract.storage)
+    overlay.update(result.storage_writes)
+    scalars = {
+        gname: _canon(overlay.get(b"g:" + gname.encode(), 0))
+        for gname in _scalar_names(ir)
+    }
+    maps: dict[tuple[int, int], bytes | None] = {}
+    for slot in ir.map_slots.values():
+        for key in _candidate_keys(vector):
+            value = overlay.get(_evm_map_key(slot, key), 0)
+            maps[(slot, key)] = None if _is_absent(value) else _canon(value)
+    events = tuple(
+        (event, tuple(_canon(item) for item in payload)) for event, payload in result.logs
+    )
+    ret = None
+    if function.ret_kind is not None and result.return_value is not None:
+        ret = _canon(result.return_value)
+    return _Outcome("ok", scalars, maps, tuple(result.transfers), events, ret)
+
+
+# -- the AVM side --------------------------------------------------------------
+
+
+def _avm_box_key(slot: int, key: int) -> bytes:
+    return f"m{slot}:".encode() + key.to_bytes(8, "big")
+
+
+def _run_avm(teal_source: str, function: IRFunction, ir, vector: _Vector) -> _Outcome:
+    try:
+        program = assemble(teal_source)
+    except TealSyntaxError as error:
+        return _Outcome(f"machine-error: {error}", {}, {}, (), (), None)
+    creating = function.name == "constructor"
+    app = Application(
+        app_id=0 if creating else 1,
+        approval=program,
+        creator=_CREATOR,
+        address=_APP_ADDRESS,
+    )
+    for gname, value in vector.globals:
+        app.global_state[b"g:" + gname.encode()] = value
+    if vector.seed_maps:
+        for slot in ir.map_slots.values():
+            for key in _SEEDED_KEYS:
+                app.boxes[_avm_box_key(slot, key)] = _SEEDED_VALUE
+    ctx = CallContext(
+        sender=vector.caller,
+        application_id=0 if creating else 1,
+        app_args=[] if creating else [function.name, *vector.args],
+        amount=vector.value,
+        round=1,
+        timestamp=float(vector.timestamp),
+        app_address=_APP_ADDRESS,
+        app_balance=vector.balance,
+        budget_pool=16,
+    )
+    try:
+        result = AVM().execute(app, ctx)
+    except AvmPanic:
+        return _Outcome("rejected", {}, {}, (), (), None)
+    except AvmError as error:
+        return _Outcome(f"machine-error: {error}", {}, {}, (), (), None)
+    overlay = dict(app.global_state)
+    overlay.update(result.global_writes)
+    for key in result.global_deletes:
+        overlay.pop(key, None)
+    scalars = {
+        gname: _canon(overlay.get(b"g:" + gname.encode(), 0))
+        for gname in _scalar_names(ir)
+    }
+    boxes = dict(app.boxes)
+    boxes.update(result.box_writes)
+    for key in result.box_deletes:
+        boxes.pop(key, None)
+    maps: dict[tuple[int, int], bytes | None] = {}
+    for slot in ir.map_slots.values():
+        for key in _candidate_keys(vector):
+            raw = boxes.get(_avm_box_key(slot, key))
+            maps[(slot, key)] = None if raw is None or _is_absent(raw) else raw
+    events, ret_log = _parse_avm_logs(result.logs)
+    ret = None
+    if function.ret_kind is not None and ret_log is not None:
+        if function.ret_kind == "uint":
+            ret = _canon(int.from_bytes(ret_log, "big"))
+        else:
+            ret = ret_log
+    return _Outcome("ok", scalars, maps, tuple(result.inner_payments), events, ret)
+
+
+def _parse_avm_logs(logs: list[bytes]) -> tuple[tuple, bytes | None]:
+    """Split app logs into decoded events and the trailing return log."""
+    events = []
+    ret_log = None
+    index = 0
+    while index < len(logs):
+        entry = logs[index]
+        if entry.startswith(b"evt:"):
+            name, _, argc_text = entry[4:].decode().rpartition("/")
+            argc = int(argc_text)
+            # The TEAL lowering logs values top-of-stack first, i.e. in
+            # reverse source order.
+            payload = tuple(reversed(logs[index + 1 : index + 1 + argc]))
+            events.append((name, payload))
+            index += 1 + argc
+        else:
+            ret_log = entry
+            index += 1
+    return tuple(events), ret_log
+
+
+def _scalar_names(ir) -> list[str]:
+    return [*ir.globals_init.keys(), "_phase", "_deadline", "_creator"]
+
+
+# -- the check -----------------------------------------------------------------
+
+
+def _diff(function: IRFunction, vector: _Vector, evm: _Outcome, avm: _Outcome) -> list[str]:
+    where = f"{function.name} [{vector.label}]"
+    if evm.status != avm.status:
+        return [f"{where}: EVM {evm.status} but AVM {avm.status}"]
+    if evm.status != "ok":
+        return []
+    problems = []
+    for gname in evm.globals:
+        if evm.globals[gname] != avm.globals[gname]:
+            problems.append(
+                f"{where}: global {gname!r} differs "
+                f"(EVM {evm.globals[gname]!r}, AVM {avm.globals[gname]!r})"
+            )
+    for entry_key in evm.maps:
+        if evm.maps[entry_key] != avm.maps[entry_key]:
+            problems.append(
+                f"{where}: map entry {entry_key} differs "
+                f"(EVM {evm.maps[entry_key]!r}, AVM {avm.maps[entry_key]!r})"
+            )
+    if evm.transfers != avm.transfers:
+        problems.append(
+            f"{where}: transfers differ (EVM {evm.transfers}, AVM {avm.transfers})"
+        )
+    if evm.events != avm.events:
+        problems.append(f"{where}: events differ (EVM {evm.events}, AVM {avm.events})")
+    if evm.ret != avm.ret:
+        problems.append(f"{where}: return value differs (EVM {evm.ret!r}, AVM {avm.ret!r})")
+    return problems
+
+
+def check_equivalence(compiled) -> list[str]:
+    """Diff both backends over shared vectors; return divergence messages."""
+    cache_key = sha256(
+        serialize_code(compiled.evm_code)
+        + compiled.teal_source.encode()
+        + repr(sorted(compiled.evm_code.methods.items())).encode()
+    )
+    if cache_key in _CACHE:
+        return _CACHE[cache_key]
+    divergences: list[str] = []
+    ir = compiled.ir
+    for function in ir.functions.values():
+        for vector in _vectors_for(function, ir):
+            evm_outcome = _run_evm(compiled.evm_code, function, ir, vector)
+            avm_outcome = _run_avm(compiled.teal_source, function, ir, vector)
+            divergences.extend(_diff(function, vector, evm_outcome, avm_outcome))
+    _CACHE[cache_key] = divergences
+    return divergences
+
+
+# -- seeded-fault helpers (for tests and the lint CLI) -------------------------
+
+
+def drop_teal_store(teal_source: str, n: int = 0) -> str:
+    """Remove the ``n``-th store instruction from a TEAL artifact.
+
+    Models a miscompiled backend losing a state write; the equivalence
+    check must flag the result.
+    """
+    lines = teal_source.splitlines()
+    seen = 0
+    for index, line in enumerate(lines):
+        if line.strip() in ("app_global_put", "box_put"):
+            if seen == n:
+                del lines[index]
+                return "\n".join(lines) + "\n"
+            seen += 1
+    raise ValueError(f"artifact has no store instruction #{n}")
+
+
+def neutralize_evm_sstore(code: EvmCode, n: int = 0) -> EvmCode:
+    """Replace the ``n``-th SSTORE with a JUMPDEST (indices preserved)."""
+    instrs = list(code.instrs)
+    seen = 0
+    for index, instr in enumerate(instrs):
+        if instr.op == "SSTORE":
+            if seen == n:
+                instrs[index] = Instr("JUMPDEST")
+                return EvmCode(
+                    instrs=instrs, methods=dict(code.methods), init_entry=code.init_entry
+                )
+            seen += 1
+    raise ValueError(f"artifact has no SSTORE #{n}")

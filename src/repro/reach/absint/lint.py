@@ -1,0 +1,166 @@
+"""The findings report behind ``repro lint`` and the deploy gate.
+
+Aggregates every static-analysis layer over one compiled contract:
+
+- failed verifier theorems (``VER-*``, errors);
+- unprovable transfers and leaky halts from the balance analysis
+  (``ABSINT-BAL-*``);
+- AVM budget problems from the cost analysis (``COST-*``);
+- cross-backend divergences (``EQ-DIVERGE``, errors).
+
+Exit-code contract (pinned by tests and CI):
+
+====  =====================================================
+code  meaning
+====  =====================================================
+0     clean, or informational findings only
+1     at least one error- or warning-severity finding
+2     internal failure (parse error handled, analyzer crash)
+====  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: ordered by decreasing severity for sorting/rendering
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reportable fact about a contract."""
+
+    severity: str  # "error" | "warning" | "info"
+    theorem: str  # stable id, e.g. "EQ-DIVERGE", "ABSINT-BAL-TRANSFER"
+    message: str
+    source: str = ""  # file path or contract name
+    span: tuple | None = None  # (line, col) in the source, when known
+
+    def render(self) -> str:
+        location = self.source
+        if self.span is not None:
+            location = f"{location}:{self.span[0]}:{self.span[1]}"
+        return f"[{self.severity}] {self.theorem} {location}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Findings plus the cost bounds for one contract."""
+
+    contract: str
+    source: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    costs: object = None  # CostReport | None
+
+    @property
+    def has_errors(self) -> bool:
+        """True iff any finding is error severity."""
+        return any(finding.severity == "error" for finding in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean/info-only, 1 errors or warnings (2 is the CLI's)."""
+        severe = any(f.severity in ("error", "warning") for f in self.findings)
+        return 1 if severe else 0
+
+    def render(self) -> str:
+        """Human-readable report: findings, then the cost table."""
+        header = f"Lint report for contract {self.contract!r}"
+        if self.source:
+            header += f" ({self.source})"
+        lines = [header]
+        if self.findings:
+            ranked = sorted(self.findings, key=lambda f: SEVERITIES.index(f.severity))
+            lines.extend(f"  {finding.render()}" for finding in ranked)
+        else:
+            lines.append("  no findings")
+        if self.costs is not None:
+            lines.append("")
+            lines.extend("  " + line for line in self.costs.render().splitlines())
+        return "\n".join(lines)
+
+
+def lint_compiled(compiled, source: str = "") -> LintReport:
+    """Run every analysis layer and collect the findings."""
+    from repro.reach.absint.balance import analyze_balance
+    from repro.reach.absint.cost import analyze_costs
+    from repro.reach.absint.equiv import check_equivalence
+    from repro.reach.analysis import AVM_MAX_POOL
+    from repro.reach.runtime import ALGO_BUDGET_TXNS
+
+    source = source or compiled.name
+    findings: list[Finding] = []
+
+    # 1. verifier theorems (deduplicated across the three modes)
+    seen: set[tuple[str, str]] = set()
+    for theorem in compiled.verification.failures:
+        key = (theorem.name, theorem.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Finding(
+                severity="error",
+                theorem=getattr(theorem, "tid", "") or "VER-THEOREM",
+                message=f"{theorem.name} [{theorem.mode}]: {theorem.detail}",
+                source=source,
+                span=getattr(theorem, "span", None),
+            )
+        )
+
+    # 2. balance safety
+    balance = analyze_balance(compiled)
+    for item in balance.findings:
+        theorem = "ABSINT-BAL-TRANSFER" if item.severity == "error" else "ABSINT-BAL-HALT"
+        findings.append(
+            Finding(
+                severity=item.severity,
+                theorem=theorem,
+                message=f"{item.owner}: {item.message}",
+                source=source,
+                span=item.span,
+            )
+        )
+
+    # 3. cost bounds
+    costs = analyze_costs(compiled)
+    runtime_pool = 1 + ALGO_BUDGET_TXNS  # the call itself plus grouped budget txns
+    for entry in costs.entries.values():
+        if not entry.within_avm_budget:
+            findings.append(
+                Finding(
+                    severity="error",
+                    theorem="COST-BUDGET",
+                    message=(
+                        f"{entry.name}: worst case needs {entry.avm_pool} pooled budget "
+                        f"transactions; the AVM caps pooling at {AVM_MAX_POOL}"
+                    ),
+                    source=source,
+                )
+            )
+        elif entry.avm_pool.hi is not None and entry.avm_pool.hi > runtime_pool:
+            findings.append(
+                Finding(
+                    severity="warning",
+                    theorem="COST-POOL",
+                    message=(
+                        f"{entry.name}: worst case needs {entry.avm_pool} pooled budget "
+                        f"transactions but the runtime groups only {runtime_pool}"
+                    ),
+                    source=source,
+                )
+            )
+
+    # 4. cross-backend equivalence
+    for divergence in check_equivalence(compiled):
+        findings.append(
+            Finding(
+                severity="error",
+                theorem="EQ-DIVERGE",
+                message=divergence,
+                source=source,
+            )
+        )
+
+    return LintReport(contract=compiled.name, source=source, findings=findings, costs=costs)

@@ -92,16 +92,19 @@ class ConservativeAnalysis:
         return "\n".join(lines)
 
 
-def _evm_gas_bound(code: EvmCode, entry: int, method_count: int) -> int:
+def _evm_gas_bound(code: EvmCode, entry: int, dispatch_index: int) -> int:
     """Worst-case gas of a straight-line walk from ``entry``.
 
     Conservative: every instruction until the function's terminator is
     charged at its worst-case price, loops are absent by construction
-    (the DSL has no intra-method loops).
+    (the DSL has no intra-method loops).  ``dispatch_index`` is the
+    method's position in the selector chain: the chain adapter charges
+    three verylow ops per candidate compared until the match, so the
+    surcharge is per-entry, not a flat method-count multiple.
     """
     from repro.chain.ethereum.evm import EVM
 
-    gas = DEFAULT_SCHEDULE.transaction + 3 * DEFAULT_SCHEDULE.verylow * method_count
+    gas = DEFAULT_SCHEDULE.transaction + 3 * DEFAULT_SCHEDULE.verylow * dispatch_index
     index = entry
     while index < len(code.instrs):
         instr = code.instrs[index]
@@ -123,14 +126,14 @@ def conservative_analysis(compiled: CompiledContract) -> ConservativeAnalysis:
     teal_labels = teal_program.labels
 
     rows: list[EntryPointCost] = []
-    method_count = len(code.methods)
+    method_order = list(code.methods)
     for name, function in compiled.ir.functions.items():
         ir_units = len(function.instrs)
         if name == "constructor":
             evm_bound = _evm_gas_bound(code, code.init_entry, 0) + code_deposit_gas(code.byte_size())
             teal_ops = teal_labels.get("dispatch", 0)
         else:
-            evm_bound = _evm_gas_bound(code, code.methods[name], method_count)
+            evm_bound = _evm_gas_bound(code, code.methods[name], method_order.index(name) + 1)
             label = "f_" + name.replace(".", "_")
             start = teal_labels.get(label, 0)
             next_starts = [i for i in teal_labels.values() if i > start]

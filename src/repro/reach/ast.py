@@ -18,6 +18,22 @@ from typing import Any
 
 from repro.reach.types import Address, Fun, ReachType, UInt
 
+#: a source location: (line, column), 1-based, from the ``.rsh`` frontend
+Span = tuple[int, int]
+
+
+def set_span(node: Any, span: Span | None) -> Any:
+    """Attach a source span to an AST node (parser bookkeeping).
+
+    Spans live outside the dataclass fields on purpose: two nodes that
+    denote the same expression must stay equal (the verifier matches
+    transfer amounts against guard summands structurally), so the span
+    must not participate in ``__eq__``/``__hash__``.
+    """
+    if span is not None:
+        object.__setattr__(node, "span", span)
+    return node
+
 
 # --------------------------------------------------------------------------
 # expressions
@@ -26,6 +42,10 @@ from repro.reach.types import Address, Fun, ReachType, UInt
 
 class Expr:
     """Base expression; supports arithmetic/comparison operator building."""
+
+    #: source location, attached by the parser (None for programs built
+    #: directly from Python, e.g. ``build_pol_program``)
+    span: Span | None = None
 
     def _wrap(self, other: Any) -> "Expr":
         return other if isinstance(other, Expr) else Const(other)
@@ -203,6 +223,9 @@ def pay_amount() -> PayAmountExpr:
 class Stmt:
     """Base statement."""
 
+    #: source location, attached by the parser (see :func:`set_span`)
+    span: Span | None = None
+
 
 @dataclass(frozen=True)
 class SetGlobal(Stmt):
@@ -335,6 +358,8 @@ class ApiMethod:
     body: tuple[Stmt, ...]
     pay: int | None = None
 
+    span = None  # class-level Span default; the parser attaches real ones
+
     def __init__(self, name: str, signature: Fun, body: list[Stmt], pay: int | None = None):
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "signature", signature)
@@ -370,6 +395,8 @@ class Phase:
     invariant: Expr | None = None
     timeout: tuple[float, tuple[Stmt, ...]] | None = None
 
+    span = None  # class-level Span default; the parser attaches real ones
+
     def __init__(
         self,
         name: str,
@@ -393,6 +420,8 @@ class View:
 
     name: str
     expr: Expr
+
+    span = None  # class-level Span default; the parser attaches real ones
 
 
 @dataclass

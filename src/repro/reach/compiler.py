@@ -23,12 +23,21 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.reach import ast as A
-from repro.reach.ir import IRContract, IRFunction, IROp
+from repro.reach.ir import IRContract, IRFunction, IROp, with_span
 from repro.reach.types import BytesN, Fun, ReachType, UInt, _Address, _UInt
 
 
 class CompileError(Exception):
     """The program cannot be lowered (type or structure problem)."""
+
+
+class BackendDivergence(CompileError):
+    """The EVM and TEAL artifacts disagree on observable effects."""
+
+    def __init__(self, divergences: list):
+        self.divergences = divergences
+        lines = "\n".join(f"  - {d}" for d in divergences)
+        super().__init__(f"cross-backend equivalence check failed:\n{lines}")
 
 
 @dataclass
@@ -40,11 +49,20 @@ class CompiledContract:
     evm_code: Any  # EvmCode
     teal_source: str
     verification: Any  # VerificationReport
+    _lint: Any = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         """The contract name."""
         return self.program.name
+
+    def lint_report(self):
+        """The static-analysis findings report (computed once, cached)."""
+        if self._lint is None:
+            from repro.reach.absint.lint import lint_compiled
+
+            self._lint = lint_compiled(self)
+        return self._lint
 
 
 def kind_of_type(reach_type: ReachType | None) -> str:
@@ -68,13 +86,14 @@ class _FunctionLowerer:
         self.fname = fname
         self.instrs: list[IROp] = []
         self._labels = 0
+        self.current_span: A.Span | None = None  # span of the statement being lowered
 
     def fresh_label(self, hint: str) -> str:
         self._labels += 1
         return f"{self.fname}__{hint}_{self._labels}"
 
     def emit(self, op: str, arg: Any = None) -> None:
-        self.instrs.append(IROp(op, arg))
+        self.instrs.append(with_span(IROp(op, arg), self.current_span))
 
     # -- expressions ---------------------------------------------------------
 
@@ -144,6 +163,8 @@ class _FunctionLowerer:
     # -- statements ------------------------------------------------------------
 
     def stmt(self, node: A.Stmt) -> None:
+        if node.span is not None:
+            self.current_span = node.span
         if isinstance(node, A.SetGlobal):
             kind = self.expr(node.value)
             declared = self.contract.global_kinds.get(node.name)
@@ -395,10 +416,20 @@ def compile_program(program: A.Program, check: bool = True) -> CompiledContract:
     ir = lower_to_ir(program)
     evm_code = generate_evm(ir)
     teal_source = generate_teal(ir)
-    return CompiledContract(
+    compiled = CompiledContract(
         program=program,
         ir=ir,
         evm_code=evm_code,
         teal_source=teal_source,
         verification=report,
     )
+    if check:
+        # Differential check: both artifacts must agree on observable
+        # effects for the shared IR-derived vectors (cached per artifact
+        # pair, so recompiling the same contract costs one dict lookup).
+        from repro.reach.absint.equiv import check_equivalence
+
+        divergences = check_equivalence(compiled)
+        if divergences:
+            raise BackendDivergence(divergences)
+    return compiled

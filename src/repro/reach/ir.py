@@ -59,9 +59,20 @@ class IROp:
     op: str
     arg: Any = None
 
+    #: source span (line, col) of the AST node this op was lowered from;
+    #: a class attribute (not a field) so op equality stays structural
+    span = None
+
     def __post_init__(self) -> None:
         if self.op not in OPCODES:
             raise ValueError(f"unknown IR opcode {self.op}")
+
+
+def with_span(op: IROp, span: tuple[int, int] | None) -> IROp:
+    """Attach a source span to an op (compiler bookkeeping)."""
+    if span is not None:
+        object.__setattr__(op, "span", span)
+    return op
 
 
 @dataclass

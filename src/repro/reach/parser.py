@@ -60,6 +60,12 @@ class _Token:
     kind: str  # "ident" | "int" | "string" | "punct"
     value: str
     line: int
+    col: int = 0  # 1-based column of the token's first character
+
+    @property
+    def span(self) -> A.Span:
+        """The (line, col) location this token starts at."""
+        return (self.line, self.col)
 
 
 _TOKEN_RE = re.compile(
@@ -78,20 +84,24 @@ _TOKEN_RE = re.compile(
 def _tokenize(source: str) -> list[_Token]:
     tokens: list[_Token] = []
     line = 1
+    line_start = 0  # offset of the current line's first character
     position = 0
     while position < len(source):
         match = _TOKEN_RE.match(source, position)
         if match is None:
             raise ParseError(f"line {line}: unexpected character {source[position]!r}")
-        line += source[position : match.end()].count("\n")
-        position = match.end()
-        if match.lastgroup in ("ws", "comment"):
-            continue
         kind = match.lastgroup
-        value = match.group()
-        if kind == "string":
-            value = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
-        tokens.append(_Token(kind=kind, value=value, line=line))
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            value = text
+            if kind == "string":
+                value = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            tokens.append(_Token(kind=kind, value=value, line=line, col=position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
     return tokens
 
 
@@ -231,7 +241,7 @@ class _Parser:
         self.program.publish(params=params, body=body)
 
     def _phase(self) -> None:
-        self._expect("phase")
+        keyword = self._expect("phase")
         name = self._ident()
         self._expect("while")
         self._expect("(")
@@ -255,9 +265,11 @@ class _Parser:
             while not self._accept("}"):
                 methods.append(self._method())
             groups.append(A.ApiGroup(group_name, methods))
-        self.program.phase(name=name, while_cond=condition, apis=groups, timeout=timeout)
+        declared = self.program.phase(name=name, while_cond=condition, apis=groups, timeout=timeout)
+        A.set_span(declared, keyword.span)
 
     def _method(self) -> A.ApiMethod:
+        name_token = self._peek()
         name = self._ident()
         params = self._param_list()
         returns: ReachType | None = None
@@ -276,20 +288,21 @@ class _Parser:
         self.params = {param_name: index for index, (param_name, _) in enumerate(params)}
         body = self._block()
         self.params = {}
-        return A.ApiMethod(
+        method = A.ApiMethod(
             name=name,
             signature=Fun([t for _, t in params], returns),
             body=body,
             pay=pay_index,
         )
+        return A.set_span(method, name_token.span)
 
     def _view(self) -> None:
-        self._expect("view")
+        keyword = self._expect("view")
         name = self._ident()
         self._expect("=")
         expr = self._expr()
         self._expect(";")
-        self.program.view(name, expr)
+        A.set_span(self.program.view(name, expr), keyword.span)
 
     # -- statements -------------------------------------------------------------------
 
@@ -304,6 +317,9 @@ class _Parser:
         token = self._peek()
         if token is None:
             raise ParseError("unterminated block")
+        return A.set_span(self._stmt_inner(token), token.span)
+
+    def _stmt_inner(self, token: _Token) -> A.Stmt:
         if token.value == "if":
             return self._if_stmt()
         if token.value == "require":
@@ -433,16 +449,18 @@ class _Parser:
             operator = self._next().value
             right = self._add()
             if operator == "==":
-                return left.eq(right)
-            if operator == "!=":
-                return left.eq(right).not_()
-            if operator == "<":
-                return left < right
-            if operator == ">":
-                return left > right
-            if operator == "<=":
-                return left <= right
-            return left >= right
+                result = left.eq(right)
+            elif operator == "!=":
+                result = left.eq(right).not_()
+            elif operator == "<":
+                result = left < right
+            elif operator == ">":
+                result = left > right
+            elif operator == "<=":
+                result = left <= right
+            else:
+                result = left >= right
+            return A.set_span(result, token.span)
         return left
 
     def _add(self) -> A.Expr:
@@ -474,6 +492,9 @@ class _Parser:
 
     def _primary(self) -> A.Expr:
         token = self._next()
+        return A.set_span(self._primary_inner(token), token.span)
+
+    def _primary_inner(self, token: _Token) -> A.Expr:
         if token.kind == "int":
             return A.const(int(token.value.replace("_", "")))
         if token.kind == "string":

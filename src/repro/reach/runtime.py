@@ -344,6 +344,12 @@ class ReachClient:
         expected = len(compiled.program.publish_params)
         if len(publish_args) != expected:
             raise ReachRuntimeError(f"publish0 expects {expected} values, got {len(publish_args)}")
+        lint = compiled.lint_report()
+        if lint.has_errors:
+            failures = "; ".join(
+                f.render() for f in lint.findings if f.severity == "error"
+            )
+            raise ReachRuntimeError(f"refusing to deploy: lint errors: {failures}")
         if self.family == "evm":
             plan = self._deploy_evm_plan(compiled, creator, publish_args)
         else:

@@ -30,6 +30,8 @@ class Theorem:
     mode: str
     ok: bool
     detail: str = ""
+    tid: str = ""  # stable lint id, e.g. "ABSINT-BAL-TRANSFER"
+    span: tuple | None = None  # (line, col) of the responsible source
 
 
 @dataclass
@@ -180,7 +182,40 @@ def _guards_cover_amount(guards: tuple[A.Expr, ...], amount: A.Expr) -> bool:
     return False
 
 
+def _semantic_transfer_checks(program: A.Program):
+    """Balance-analysis verdicts over the lowered IR, or None.
+
+    The abstract interpretation is strictly stronger than the syntactic
+    guard matching below: it is path-sensitive (the budget exists only
+    on a guard's true edge), tracks the balance across sequential
+    payouts, and anchors failures to source spans.  When the program
+    cannot be lowered yet (structural problems other theorems report),
+    fall back to the syntactic check.
+    """
+    try:
+        from repro.reach.absint.balance import analyze_ir_balance
+        from repro.reach.compiler import lower_to_ir
+
+        return analyze_ir_balance(lower_to_ir(program)).checks
+    except Exception:
+        return None
+
+
 def _check_transfers_guarded(program: A.Program, mode: str, report: VerificationReport) -> None:
+    checks = _semantic_transfer_checks(program)
+    if checks is not None:
+        for check in checks:
+            report.theorems.append(
+                Theorem(
+                    name=f"{check.owner}: transfer is fundable",
+                    mode=mode,
+                    ok=check.ok,
+                    detail="" if check.ok else check.detail,
+                    tid="ABSINT-BAL-TRANSFER",
+                    span=check.span,
+                )
+            )
+        return
     for owner, body in _all_bodies(program):
         for statement, guards in _walk(body):
             if not isinstance(statement, A.Transfer):

@@ -1,0 +1,51 @@
+"""Acceptance: 16-user bench receipts fit the static cost bounds.
+
+The ISSUE's closing criterion for the abstract interpretation: the
+per-entry-point upper bounds must dominate every gas total (EVM) and
+fee total (AVM) observed in real 16-user simulation runs, on both
+chain families, via :func:`check_simulation_against_bounds`.
+"""
+
+import pytest
+
+from repro.bench.bounds import BoundViolation, BoundsReport, check_simulation_against_bounds
+from repro.bench.simulation import run_simulation
+from repro.chain.params import PROFILES
+from repro.core.contract import build_pol_program
+from repro.reach.compiler import compile_program
+
+USERS = 16
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(build_pol_program())
+
+
+@pytest.mark.parametrize("network", ["goerli", "algorand-testnet"])
+def test_sixteen_user_run_fits_the_bounds(network, compiled):
+    result = run_simulation(network, USERS, seed=1, compiled=compiled)
+    report = check_simulation_against_bounds(result, compiled, PROFILES[network])
+    assert report.checked == USERS
+    assert report.ok, report.render()
+
+
+def test_violations_are_reported_not_swallowed(compiled):
+    # shrink the measured data artificially to prove the checker can fail
+    result = run_simulation("goerli", 4, seed=2, compiled=compiled)
+    report = check_simulation_against_bounds(result, compiled, PROFILES["goerli"])
+    assert report.ok
+    # forge one timing that busts the deploy bound
+    from dataclasses import replace as dc_replace
+
+    forged = dc_replace(result.timings[0], gas_used=10**12)
+    result.timings[0] = forged
+    bad = check_simulation_against_bounds(result, compiled, PROFILES["goerli"])
+    assert not bad.ok
+    assert isinstance(bad.violations[0], BoundViolation)
+    assert "exceeds the static bound" in bad.render()
+
+
+def test_report_renders_cleanly(compiled):
+    report = BoundsReport(network="goerli", contract="x", checked=3)
+    assert "within its static bound" in report.render()

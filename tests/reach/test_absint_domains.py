@@ -1,0 +1,177 @@
+"""Unit tests for the abstract-interpretation substrate.
+
+Covers the u64 interval lattice, the symbolic-sum helpers, generic CFG
+construction with labelled edges, the min/max path-cost DP, and the
+worklist fixpoint engine.
+"""
+
+import pytest
+
+from repro.reach.absint.cfg import build_cfg, build_ir_cfg, path_bounds
+from repro.reach.absint.domains import (
+    U64_MAX,
+    AbsVal,
+    Interval,
+    summands,
+    sym_add,
+    sym_mentions_global,
+)
+from repro.reach.absint.engine import run_fixpoint
+from repro.reach.compiler import lower_to_ir
+from repro.core.contract import build_pol_program
+
+
+class TestInterval:
+    def test_const_is_singleton(self):
+        five = Interval.const(5)
+        assert five.is_const and five.lo == five.hi == 5
+
+    def test_top_is_unbounded(self):
+        assert Interval.top() == Interval(0, None)
+        assert not Interval.top().is_const
+
+    def test_join_is_union_hull(self):
+        assert Interval(2, 5).join(Interval(7, 9)) == Interval(2, 9)
+        assert Interval(2, 5).join(Interval(0, None)) == Interval(0, None)
+
+    def test_meet_intersects(self):
+        assert Interval(2, 8).meet(Interval(5, None)) == Interval(5, 8)
+        assert Interval(2, 4).meet(Interval(5, 9)) is None  # empty
+
+    def test_widen_jumps_unstable_bounds(self):
+        old, new = Interval(3, 10), Interval(2, 12)
+        widened = old.widen(new)
+        assert widened == Interval(0, None)
+        # stable bounds survive widening
+        assert Interval(3, 10).widen(Interval(3, 10)) == Interval(3, 10)
+
+    def test_checked_add_clamps_at_u64(self):
+        near = Interval.const(U64_MAX - 1)
+        assert near.add(Interval.const(5)).hi == U64_MAX
+
+    def test_checked_sub_floors_at_zero(self):
+        assert Interval.const(3).sub(Interval.const(10)) == Interval(0, 0)
+        # an unbounded subtrahend can take the result all the way to 0
+        assert Interval(100, 100).sub(Interval.top()).lo == 0
+
+    def test_checked_mul_clamps(self):
+        big = Interval.const(2**40)
+        assert big.mul(big).hi == U64_MAX
+
+    def test_str_renders_infinity(self):
+        assert str(Interval(3, None)) == "[3, inf]"
+
+
+class TestSymbolicSums:
+    def test_sym_add_builds_a_tree(self):
+        total = sym_add(("global", "reward"), ("arg", 1))
+        assert summands(total) == [("global", "reward"), ("arg", 1)]
+
+    def test_opaque_side_poisons_the_sum(self):
+        assert sym_add(("global", "reward"), None) is None
+
+    def test_mentions_global_recurses(self):
+        total = sym_add(("arg", 0), sym_add(("global", "pot"), ("const", 3)))
+        assert sym_mentions_global(total, "pot")
+        assert not sym_mentions_global(total, "reward")
+
+
+def diamond_successors(index):
+    """0 branches to 1/2; both fall into 3; 3 terminates."""
+    if index == 0:
+        return [(1, "true"), (2, "false")]
+    if index in (1, 2):
+        return [(3, "jump")]
+    return []
+
+
+class TestCfg:
+    def test_diamond_blocks_and_edges(self):
+        cfg = build_cfg(4, 0, diamond_successors)
+        assert set(cfg.blocks) == {0, 1, 2, 3}
+        assert cfg.blocks[0].edges == [(1, "true"), (2, "false")]
+        assert cfg.blocks[3].edges == []
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg(4, 0, diamond_successors)
+        order = cfg.reverse_postorder()
+        assert order[0] == 0 and order[-1] == 3
+
+    def test_ir_cfg_covers_every_entry_point(self):
+        ir = lower_to_ir(build_pol_program())
+        for function in ir.functions.values():
+            cfg = build_ir_cfg(function)
+            covered = sorted(
+                index for block in cfg.blocks.values() for index in range(block.start, block.end)
+            )
+            # reachable instructions partition into disjoint blocks
+            assert len(covered) == len(set(covered))
+
+    def test_path_bounds_min_max(self):
+        costs = {0: (1, 1), 1: (10, 10), 2: (2, 2), 3: (5, 5)}
+        lo, hi = path_bounds(4, 0, diamond_successors, lambda i: costs[i])
+        assert (lo, hi) == (1 + 2 + 5, 1 + 10 + 5)
+
+    def test_terminal_filter_excludes_rejection_paths(self):
+        # 0 branches to terminals 1 (ok) and 2 (rejection)
+        def successors(index):
+            return [(1, "true"), (2, "false")] if index == 0 else []
+
+        lo, hi = path_bounds(
+            3, 0, successors, lambda i: (i * 10, i * 10), terminal_ok=lambda i: i == 1
+        )
+        assert (lo, hi) == (10, 10)
+
+    def test_cycle_degrades_hi_to_none(self):
+        def successors(index):
+            if index == 0:
+                return [(1, "fall")]
+            if index == 1:
+                return [(0, "jump"), (2, "false")]
+            return []
+
+        lo, hi = path_bounds(3, 0, successors, lambda i: (1, 1))
+        assert hi is None
+        assert lo >= 0
+
+
+class TestFixpointEngine:
+    def test_joins_at_the_merge_point(self):
+        cfg = build_cfg(4, 0, diamond_successors)
+
+        def transfer(block, state):
+            if block.start == 0:
+                return [Interval.const(1), Interval.const(9)]
+            return [state for _ in block.edges]
+
+        fix = run_fixpoint(cfg, Interval.const(5), transfer, Interval.join)
+        assert fix.in_states[3] == Interval(1, 9)
+
+    def test_none_out_state_kills_the_edge(self):
+        cfg = build_cfg(4, 0, diamond_successors)
+
+        def transfer(block, state):
+            if block.start == 0:
+                return [Interval.const(1), None]  # false edge proven dead
+            return [state for _ in block.edges]
+
+        fix = run_fixpoint(cfg, Interval.top(), transfer, Interval.join)
+        assert 2 not in fix.in_states
+        assert fix.in_states[3] == Interval.const(1)
+
+    def test_transfer_arity_is_checked(self):
+        cfg = build_cfg(4, 0, diamond_successors)
+        with pytest.raises(ValueError):
+            run_fixpoint(cfg, Interval.top(), lambda block, state: [state], Interval.join)
+
+
+class TestAbsVal:
+    def test_const_carries_identity(self):
+        value = AbsVal.const(7)
+        assert value.interval == Interval.const(7)
+        assert value.sym == ("const", 7)
+
+    def test_top_keeps_a_symbolic_name(self):
+        value = AbsVal.top(sym=("arg", 2))
+        assert value.interval == Interval.top()
+        assert value.sym == ("arg", 2)

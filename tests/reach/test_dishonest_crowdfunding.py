@@ -1,0 +1,100 @@
+"""Dishonest-mode verification of the crowdfunding contract.
+
+Reach verifies every theorem three times -- generic connector, ALL
+participants honest, NO participants honest (thesis figure 2.11).  The
+dishonest mode is where the crowdfunding contract earns its keep: a
+malicious backer or owner controls their frontend completely, so every
+safety property must hold from published, on-chain data alone.
+"""
+
+import pytest
+
+from repro.chain.ethereum import EthereumChain
+from repro.reach import ast as A
+from repro.reach.compiler import compile_program
+from repro.reach.parser import parse_contract_file
+from repro.reach.runtime import ReachCallError, ReachClient
+from repro.reach.verifier import verify_program
+
+FUNDING = 10**18
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_contract_file("contracts/crowdfunding.rsh")
+
+
+class TestDishonestTheorems:
+    def test_dishonest_mode_runs_and_passes(self, program):
+        report = verify_program(program)
+        assert report.ok
+        dishonest = [t for t in report.theorems if t.mode == "NO participants honest"]
+        assert dishonest, "the NO-participants-honest mode must be exercised"
+
+    def test_knowledge_assertions_hold_for_dishonest_frontends(self, program):
+        report = verify_program(program)
+        assert any(
+            theorem.name == "knowledge assertions hold for dishonest frontends"
+            and theorem.ok
+            for theorem in report.theorems
+        )
+
+    def test_transfers_stay_fundable_against_dishonest_backers(self, program):
+        # the refund path must be provably fundable even when amounts
+        # come from a hostile frontend -- the balance guard, not trust,
+        # is what the theorem certifies
+        report = verify_program(program)
+        fundable = [
+            t
+            for t in report.theorems
+            if t.mode == "NO participants honest" and "transfer is fundable" in t.name
+        ]
+        assert fundable and all(t.ok for t in fundable)
+
+    def test_requirement_trusting_interact_data_fails(self, program):
+        # inject a require() on frontend-supplied data into pledge:
+        # dishonest mode must flag it (a hostile frontend satisfies any
+        # local claim)
+        method = program.phases[0].apis[0].methods[0]
+        tainted = A.Require(
+            A.BinOp("lt", A.InteractRef("Owner", "claimed_total"), A.glob("goal")),
+            "trusts the frontend",
+        )
+        dishonest = A.ApiMethod(
+            method.name, method.signature, [tainted, *method.body], pay=method.pay
+        )
+        object.__setattr__(program.phases[0].apis[0], "methods", (dishonest,))
+        try:
+            report = verify_program(program)
+        finally:
+            object.__setattr__(program.phases[0].apis[0], "methods", (method,))
+        failed = [t for t in report.failures if t.mode == "NO participants honest"]
+        assert any("trusts interact data" in t.name for t in failed)
+
+
+class TestDishonestRuntime:
+    """On-chain enforcement: what the verifier promises, the VM delivers."""
+
+    @pytest.fixture(scope="class")
+    def deployed(self, program):
+        chain = EthereumChain(profile="eth-devnet", seed=23, validator_count=4)
+        client = ReachClient(chain)
+        compiled = compile_program(program)
+        owner = chain.create_account(seed=b"owner", funding=FUNDING)
+        deployed = client.deploy(compiled, owner, ["save the lighthouse"])
+        backer = chain.create_account(seed=b"backer", funding=FUNDING)
+        return {"deployed": deployed, "backer": backer, "owner": owner}
+
+    def test_underpaying_a_pledge_reverts(self, deployed):
+        # pledge declares `pays amount`: a dishonest frontend attaching
+        # less value than it claims is rejected by the generated check
+        with pytest.raises(ReachCallError):
+            deployed["deployed"].attach_and_call(
+                "backerAPI.pledge", 1, 500, sender=deployed["backer"], pay=100
+            )
+
+    def test_honest_pledge_is_accepted(self, deployed):
+        result = deployed["deployed"].attach_and_call(
+            "backerAPI.pledge", 2, 500, sender=deployed["backer"], pay=500
+        )
+        assert result.value == 500

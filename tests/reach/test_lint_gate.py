@@ -1,0 +1,119 @@
+"""The ``repro lint`` gate: exit codes, deploy refusal, determinism.
+
+Pins the CLI's exit-code contract (0 clean, 1 findings, 2 internal),
+the runtime's refusal to deploy a contract with lint errors, the
+system facade's fail-fast, and a Python mirror of CI's determinism
+grep so a wall-clock or unseeded-randomness regression fails locally
+before it flakes in CI.
+"""
+
+import re
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.chain.ethereum import EthereumChain
+from repro.core.contract import build_pol_program
+from repro.core.system import PolSystemError, ProofOfLocationSystem
+from repro.reach.absint.equiv import drop_teal_store
+from repro.reach.compiler import compile_program
+from repro.reach.runtime import ReachClient, ReachRuntimeError
+
+REPO = Path(__file__).resolve().parents[2]
+POL = str(REPO / "contracts" / "proof_of_location.rsh")
+CROWDFUNDING = str(REPO / "contracts" / "crowdfunding.rsh")
+
+
+def mutated_pol():
+    compiled = compile_program(build_pol_program())
+    return replace(compiled, teal_source=drop_teal_store(compiled.teal_source, 0), _lint=None)
+
+
+class TestExitCodes:
+    def test_clean_contract_exits_zero(self, capsys):
+        assert main(["lint", POL]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "EVM gas" in out  # the cost table is part of the report
+
+    def test_directory_expands_to_all_contracts(self, capsys):
+        assert main(["lint", str(REPO / "contracts")]) == 0
+        out = capsys.readouterr().out
+        assert "crowdfunding" in out and "proof-of-location" in out
+
+    def test_mutated_contract_exits_one(self, capsys):
+        assert main(["lint", POL, "--mutate-teal-drop", "0"]) == 1
+        assert "EQ-DIVERGE" in capsys.readouterr().out
+
+    def test_evm_mutation_exits_one(self, capsys):
+        assert main(["lint", POL, "--mutate-evm-sstore", "2"]) == 1
+        assert "EQ-DIVERGE" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", str(REPO / "no-such-place")]) == 2
+
+    def test_parse_error_is_a_finding_not_a_crash(self, tmp_path, capsys):
+        bad = tmp_path / "broken.rsh"
+        bad.write_text('contract "broken" { this is not the syntax }\n')
+        assert main(["lint", str(bad)]) == 1
+        assert "PARSE-ERROR" in capsys.readouterr().out
+
+    def test_empty_directory_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path)]) == 2
+
+    def test_json_output_carries_bounds(self, capsys):
+        import json
+
+        assert main(["lint", CROWDFUNDING, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = payload[0]["costs"]
+        assert "constructor" in entries
+        lo, hi = entries["constructor"]["evm_gas"]
+        assert 0 < lo <= hi
+
+
+class TestDeployGate:
+    def test_runtime_refuses_divergent_artifacts(self):
+        chain = EthereumChain(profile="eth-devnet", seed=7, validator_count=4)
+        client = ReachClient(chain)
+        creator = chain.create_account(seed=b"creator", funding=10**18)
+        compiled = mutated_pol()
+        args = ["7H369F4W+Q9", 9_999, "r" * 16]
+        with pytest.raises(ReachRuntimeError, match="refusing to deploy"):
+            client.deploy(compiled, creator, args)
+
+    def test_system_facade_fails_fast(self):
+        chain = EthereumChain(profile="eth-devnet", seed=7, validator_count=4)
+        with pytest.raises(PolSystemError, match="fails lint"):
+            ProofOfLocationSystem(chain=chain, compiled=mutated_pol())
+
+    def test_clean_contract_still_deploys(self):
+        chain = EthereumChain(profile="eth-devnet", seed=7, validator_count=4)
+        system = ProofOfLocationSystem(chain=chain, reward=5_000, max_users=2)
+        assert system.compiled.lint_report().exit_code == 0
+
+
+class TestDeterminismLint:
+    """A local mirror of CI's determinism grep over ``src/repro``.
+
+    The simulators derive all time and randomness from seeded sources;
+    wall-clock reads or unseeded randomness would make benchmark
+    numbers unreproducible.  Lines with backticks or ``#`` are prose
+    (docstrings mentioning ``time.time()``), not calls.
+    """
+
+    FORBIDDEN = re.compile(
+        r"time\.time\(|datetime\.now\(|random\.random\(\)|random\.randint\(|random\.choice\("
+    )
+
+    def test_no_wall_clock_or_unseeded_randomness(self):
+        offenders = []
+        for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+            for number, line in enumerate(path.read_text().splitlines(), start=1):
+                if "`" in line or "#" in line:
+                    continue
+                if self.FORBIDDEN.search(line):
+                    offenders.append(f"{path.relative_to(REPO)}:{number}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

@@ -103,22 +103,45 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+#: sweep-mode user counts; 100k only behind ``--allow-100k``
+SWEEP_POINTS = (16, 1000, 10000)
+
+
+def _auto_sample_every(users: int) -> int:
+    """Journey-sampling stride: trace all small runs, every Nth at scale."""
+    if users <= 2_000:
+        return 1
+    if users <= 20_000:
+        return 10
+    return 100
+
+
 def _cmd_analyze(args) -> int:
     """Traced proof-journey runs on both families + ``BENCH_pol.json``.
 
     Fails (exit 1) if any journey is incomplete: orphan spans, spans
     left open, a critical path that does not tile the end-to-end time,
     or a missing mempool/confirm stage.
+
+    ``--sweep`` replaces the single ``--users`` run with the scaling
+    trajectory {16, 1000, 10000} (plus 100000 with ``--allow-100k``);
+    every point records its kernel wall-clock seconds so BENCH_pol.json
+    carries the scaling curve per family.
     """
     import json
+    import time
 
     from repro.bench.simulation import run_traced_journeys
     from repro.obs import bench_summary, render_report, validate_journeys
 
+    if args.sweep:
+        user_counts = list(SWEEP_POINTS) + ([100_000] if args.allow_100k else [])
+    else:
+        user_counts = [args.users]
     sections: list[str] = []
     payload: dict = {
         "benchmark": "pol-proof-journeys",
-        "users": args.users,
+        "users": user_counts,
         "seed": args.seed,
         "families": {},
     }
@@ -127,18 +150,45 @@ def _cmd_analyze(args) -> int:
         if network not in PROFILES:
             print(f"unknown network {network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
             return 2
-        report, recorder = run_traced_journeys(network, args.users, seed=args.seed)
-        problems = validate_journeys(report)
-        rendered = render_report(report, title=f"{network} proof-journey critical path")
-        if problems:
-            failed = True
-            rendered += "\n  INCOMPLETE JOURNEYS:\n" + "\n".join(
-                f"    - {problem}" for problem in problems
-            )
-        sections.append(rendered)
         family = PROFILES[network].family
-        payload["families"][family] = {"network": network, **bench_summary(report, recorder)}
-        payload["families"][family]["validation_problems"] = problems
+        points: list[dict] = []
+        for users in user_counts:
+            sample_every = args.sample_every or _auto_sample_every(users)
+            started = time.perf_counter()
+            report, recorder = run_traced_journeys(
+                network,
+                users,
+                seed=args.seed,
+                sample_every=sample_every,
+                population=users > 2_000,
+            )
+            kernel_seconds = time.perf_counter() - started
+            problems = validate_journeys(report)
+            point = {
+                "users": users,
+                "kernel_seconds": round(kernel_seconds, 3),
+                "sample_every": sample_every,
+                **bench_summary(report, recorder),
+                "validation_problems": problems,
+            }
+            points.append(point)
+            print(
+                f"{network} users={users}: kernel {kernel_seconds:.2f}s, "
+                f"{point['journeys']} journeys traced (every {sample_every}), "
+                f"{len(problems)} problem(s)"
+            )
+            if problems:
+                failed = True
+            if users == user_counts[0]:
+                # The critical-path report for the base point; larger
+                # points are represented by their summary statistics.
+                rendered = render_report(report, title=f"{network} proof-journey critical path")
+                if problems:
+                    rendered += "\n  INCOMPLETE JOURNEYS:\n" + "\n".join(
+                        f"    - {problem}" for problem in problems
+                    )
+                sections.append(rendered)
+        payload["families"][family] = {"network": network, "points": points}
     text = "\n\n".join(sections)
     print(text)
     if args.report:
@@ -371,6 +421,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     analyze.add_argument("--users", type=int, default=16)
     analyze.add_argument("--seed", type=int, default=1)
+    analyze.add_argument(
+        "--sweep", action="store_true",
+        help="run the scaling trajectory {16, 1000, 10000} instead of one "
+        "--users point, recording kernel wall-clock seconds per point",
+    )
+    analyze.add_argument(
+        "--allow-100k", action="store_true",
+        help="extend --sweep with a 100000-user point (minutes of wall clock)",
+    )
+    analyze.add_argument(
+        "--sample-every", type=int, default=None, metavar="N",
+        help="trace every Nth user's journey and mute the rest (default: "
+        "auto -- 1 up to 2k users, 10 up to 20k, 100 beyond)",
+    )
     analyze.add_argument(
         "--networks", nargs="+", default=["goerli", "algorand-testnet"],
         help="network profiles to trace (default: goerli algorand-testnet)",

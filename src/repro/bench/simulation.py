@@ -173,10 +173,20 @@ def run_simulation_concurrent(
         for spec in attachers
     }
     if handles:
+        # O(1) completion predicate: each handle decrements a countdown
+        # when it settles instead of the drive polling every handle per
+        # event step (quadratic at 10k+ users).
+        remaining = [len(handles)]
+
+        def settled(_handle) -> None:
+            remaining[0] -= 1
+
+        for handle in handles.values():
+            handle.add_done_callback(settled)
         drive(
             chain.queue,
-            lambda: all(handle.done for handle in handles.values()),
-            max_steps=2_000_000,
+            lambda: remaining[0] <= 0,
+            max_steps=max(2_000_000, 100 * len(handles)),
             chain=chain,
         )
 
@@ -202,7 +212,15 @@ def run_simulation_concurrent(
     return result
 
 
-def run_traced_journeys(network: str, user_count: int, seed: int = 0, reward: int = 5_000):
+def run_traced_journeys(
+    network: str,
+    user_count: int,
+    seed: int = 0,
+    reward: int = 5_000,
+    sample_every: int = 1,
+    batch_settlement: bool | None = None,
+    population: bool = False,
+):
     """One fully-traced proof lifecycle run through the system facade.
 
     The bench runners measure at the Reach-client layer (proof
@@ -214,17 +232,35 @@ def run_traced_journeys(network: str, user_count: int, seed: int = 0, reward: in
     (``submit_many`` pipelines every ceremony on one event queue), and
     an accredited verifier checks and rewards each record.
 
+    Scale knobs:
+
+    - ``sample_every=N`` traces every N-th user's journey fully and
+      mutes the rest (their spans are counted, not recorded) -- all
+      users still run the full protocol, so counters, balances and
+      validation cover the whole population while the span store stays
+      bounded;
+    - ``batch_settlement`` overrides the chain's per-block receipt
+      batching (None keeps the chain default; the parity test passes
+      False to cross-check the seed path);
+    - ``population=True`` stores prover state in the array-backed
+      population store (:mod:`repro.core.population`).
+
     Returns ``(report, recorder)``: the reconstructed
     :class:`~repro.obs.analysis.JourneyReport` plus the recorder, whose
     spans/counters back the Chrome trace and ``BENCH_pol.json`` entry.
     """
     from repro.core.system import ProofOfLocationSystem
     from repro.obs.analysis import reconstruct_journeys
+    from repro.obs.context import MUTED_CONTEXT
     from repro.obs.recorder import Recorder
 
     recorder = Recorder()
     chain = make_chain(network, seed=seed, recorder=recorder)
+    if batch_settlement is not None:
+        chain.batch_settlement = batch_settlement
     system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=USERS_PER_CONTRACT)
+    if population:
+        system.use_population_store()
     funding = chain.profile.simulation_funding
     base_lat, base_lng = 44.4949, 11.3426
     group_count = (user_count + USERS_PER_CONTRACT - 1) // USERS_PER_CONTRACT
@@ -232,7 +268,10 @@ def run_traced_journeys(network: str, user_count: int, seed: int = 0, reward: in
         # ~1.1 km apart: distinct OLC cells, one contract per group; the
         # group's witness sits ~22 m away, inside Bluetooth range.
         system.register_witness(f"witness-{group}", base_lat + 0.01 * group, base_lng + 0.0002)
-    system.register_verifier("verifier", funding=funding)
+    # The verifier pays contract funding plus gas for one verify per
+    # user; scale its faucet with the population (a fixed stipend runs
+    # dry around a few thousand users).
+    system.register_verifier("verifier", funding=funding * max(1, user_count))
     names = [f"user-{index:03d}" for index in range(user_count)]
     for index, name in enumerate(names):
         group = index // USERS_PER_CONTRACT
@@ -241,19 +280,37 @@ def run_traced_journeys(network: str, user_count: int, seed: int = 0, reward: in
     submissions = []
     for index, name in enumerate(names):
         group = index // USERS_PER_CONTRACT
-        request, proof, _cid = system.request_location_proof(
-            name, f"witness-{group}", f"report by {name}".encode()
-        )
+        if sample_every > 1 and index % sample_every:
+            # Muted journey: the request span roots under MUTED_CONTEXT,
+            # and the mute rides the journey linkage through submit,
+            # every tx/op span and the verify span.
+            with recorder.activate(MUTED_CONTEXT):
+                request, proof, _cid = system.request_location_proof(
+                    name, f"witness-{group}", f"report by {name}".encode()
+                )
+        else:
+            request, proof, _cid = system.request_location_proof(
+                name, f"witness-{group}", f"report by {name}".encode()
+            )
         submissions.append((name, request, proof))
     outcomes = system.submit_many(submissions)
 
     per_location: dict[str, int] = {}
     for outcome in outcomes:
         per_location[outcome.olc] = per_location.get(outcome.olc, 0) + 1
-    for olc in sorted(per_location):
-        system.fund_contract("verifier", olc, reward * per_location[olc])
-    for (name, _request, _proof), outcome in zip(submissions, outcomes):
-        system.verify_and_reward("verifier", outcome.olc, system.provers[name].did_uint)
+    # Funding and verification are pipelined waves like the submission
+    # phase: serially, each call blocks for its own confirmation and the
+    # verify loop alone is user_count consensus round trips.
+    system.fund_contracts(
+        "verifier", {olc: reward * per_location[olc] for olc in sorted(per_location)}
+    )
+    system.verify_many(
+        "verifier",
+        [
+            (outcome.olc, system.provers[name].did_uint)
+            for (name, _request, _proof), outcome in zip(submissions, outcomes)
+        ],
+    )
     return reconstruct_journeys(recorder), recorder
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.crypto.group import hash_to_group
 from repro.crypto.hashing import tagged_hash
 from repro.crypto.vrf import VRFKeyPair, VRFProof, verify_vrf
 
@@ -138,16 +139,27 @@ class Sortition:
         leader_credentials: list[Credential] = []
         committee_credentials: list[Credential] = []
         online = [p for p in self.participants.values() if p.online]
+        # Both selection messages (and their group elements) depend only
+        # on the round, not the participant: hash once, share across the
+        # whole population.
+        round_tag = round_number.to_bytes(8, "big")
+        leader_msg = tagged_hash("repro/sortition-leader", seed, round_tag)
+        committee_msg = tagged_hash("repro/sortition-committee", seed, round_tag)
+        leader_base = hash_to_group(leader_msg)
+        committee_base = hash_to_group(committee_msg)
         for participant in sorted(online, key=lambda p: p.address):
-            leader_msg = tagged_hash("repro/sortition-leader", seed, round_number.to_bytes(8, "big"))
-            proof = participant.vrf.evaluate(leader_msg)
-            seats = sortition_seats(proof.output(), participant.stake, total, self.expected_leaders)
+            # The cheap gamma-only output decides selection; the full
+            # DLEQ credential is produced only for winners (the VRF
+            # nonce is deterministic, so the lazy proof is identical).
+            output = participant.vrf.output_for(leader_msg, base=leader_base)
+            seats = sortition_seats(output, participant.stake, total, self.expected_leaders)
             if seats > 0:
+                proof = participant.vrf.evaluate(leader_msg, base=leader_base)
                 leader_credentials.append(Credential(participant.address, proof, seats))
-            committee_msg = tagged_hash("repro/sortition-committee", seed, round_number.to_bytes(8, "big"))
-            vote_proof = participant.vrf.evaluate(committee_msg)
-            vote_seats = sortition_seats(vote_proof.output(), participant.stake, total, self.expected_committee)
+            vote_output = participant.vrf.output_for(committee_msg, base=committee_base)
+            vote_seats = sortition_seats(vote_output, participant.stake, total, self.expected_committee)
             if vote_seats > 0:
+                vote_proof = participant.vrf.evaluate(committee_msg, base=committee_base)
                 committee_credentials.append(Credential(participant.address, vote_proof, vote_seats))
 
         leader = min(leader_credentials, key=lambda c: c.priority) if leader_credentials else None

@@ -12,9 +12,11 @@ testnets.
 from __future__ import annotations
 
 import json
+import re
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.crypto.hashing import sha256, sha256_hex
 from repro.crypto.keys import KeyPair, PublicKey, Signature
@@ -127,22 +129,50 @@ class Transaction:
     priority_fee_per_gas: int = 0  # EVM
     flat_fee: int = 0  # AVM
     signature: Signature | None = None
+    #: lazy caches for the canonical body; invalidated by field writes
+    #: (below) so a transaction tampered after signing still fails.
+    _payload: bytes | None = field(default=None, init=False, repr=False, compare=False)
+    _data_size: int | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Invalidation only has to fire once a cache holds a value;
+        # during __init__ (13 field writes per transaction, the hottest
+        # dataclass in the kernel) both caches are still unset and the
+        # write collapses to one dict store.
+        d = self.__dict__
+        if (
+            name != "signature"
+            and name[0] != "_"
+            and (d.get("_payload") is not None or d.get("_data_size") is not None)
+        ):
+            d["_payload"] = None
+            d["_data_size"] = None
+        d[name] = value
 
     def signing_payload(self) -> bytes:
-        """Canonical bytes covered by the signature."""
-        body = {
-            "sender": self.sender,
-            "nonce": self.nonce,
-            "kind": self.kind,
-            "to": self.to,
-            "value": self.value,
-            "data": self.data,
-            "gas_limit": self.gas_limit,
-            "max_fee_per_gas": self.max_fee_per_gas,
-            "priority_fee_per_gas": self.priority_fee_per_gas,
-            "flat_fee": self.flat_fee,
-        }
-        return json.dumps(body, sort_keys=True, separators=(",", ":"), default=_json_default).encode()
+        """Canonical bytes covered by the signature.
+
+        Byte-for-byte the compact sorted-key JSON encoding of the body;
+        the fixed outer shell is assembled directly (the keys and their
+        order are known) and only ``data`` goes through the JSON
+        encoder -- the kernel signs and verifies hundreds of thousands
+        of payloads per large run.
+        """
+        payload = self._payload
+        if payload is not None:
+            return payload
+        data_json = json.dumps(self.data, sort_keys=True, separators=(",", ":"), default=_json_default)
+        to_json = "null" if self.to is None else _json_str(self.to)
+        payload = (
+            f'{{"data":{data_json},"flat_fee":{self.flat_fee}'
+            f',"gas_limit":{self.gas_limit},"kind":{_json_str(self.kind)}'
+            f',"max_fee_per_gas":{self.max_fee_per_gas},"nonce":{self.nonce}'
+            f',"priority_fee_per_gas":{self.priority_fee_per_gas}'
+            f',"sender":{_json_str(self.sender)},"to":{to_json}'
+            f',"value":{self.value}}}'
+        ).encode()
+        self._payload = payload
+        return payload
 
     @property
     def txid(self) -> str:
@@ -152,13 +182,30 @@ class Transaction:
 
     def data_size(self) -> int:
         """Approximate serialized payload size in bytes (for gas/fees)."""
-        return len(json.dumps(self.data, sort_keys=True, default=_json_default).encode())
+        size = self._data_size
+        if size is None:
+            size = self._data_size = len(
+                json.dumps(self.data, sort_keys=True, default=_json_default).encode()
+            )
+        return size
 
 
 def _json_default(value: Any) -> Any:
     if isinstance(value, bytes):
         return {"__bytes__": value.hex()}
     raise TypeError(f"unserializable transaction field {type(value).__name__}")
+
+
+#: printable ASCII minus ``"`` and ``\`` -- strings the JSON encoder
+#: emits verbatim between quotes (addresses, kinds, method names).
+_PLAIN_JSON_STR = re.compile(r'^[ !#-\[\]-~]*$').match
+
+
+def _json_str(value: str) -> str:
+    """``json.dumps(value)``, skipping the encoder for plain strings."""
+    if _PLAIN_JSON_STR(value):
+        return f'"{value}"'
+    return json.dumps(value)
 
 
 @dataclass
@@ -291,7 +338,94 @@ class TxHandle:
 class _MempoolEntry:
     transaction: Transaction
     arrived_at: float
-    blocks_to_skip: int  # congestion-induced inclusion delay
+    #: first certified round this entry may be included in (congestion
+    #: skip folded in at admission as an absolute round number, so block
+    #: production never walks the mempool decrementing counters).
+    eligible_round: int
+    #: cached ``transaction.txid`` -- computing it hashes the full signing
+    #: payload, so the mempool index stores it once at admission.
+    txid: str = ""
+
+
+class _BalanceView(MutableMapping):
+    """Dict-shaped view over the chain's struct-of-arrays account state.
+
+    The chain keeps balances as ``address -> slot`` plus a flat
+    ``list[int]`` indexed by slot (see :class:`BaseChain`); this view
+    preserves the historical ``chain.balances`` mapping API on top of
+    it.  Accounts cannot be deleted -- a slot, once assigned, is
+    permanent -- matching how real ledgers never forget an address.
+    """
+
+    __slots__ = ("_chain",)
+
+    def __init__(self, chain: "BaseChain"):
+        self._chain = chain
+
+    def __getitem__(self, address: str) -> int:
+        index = self._chain._acct_index.get(address)
+        if index is None:
+            raise KeyError(address)
+        return self._chain._acct_balances[index]
+
+    def __setitem__(self, address: str, value: int) -> None:
+        self._chain._acct_balances[self._chain._slot_for(address)] = value
+
+    def __delitem__(self, address: str) -> None:
+        raise TypeError("chain accounts cannot be deleted")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._chain._acct_index)
+
+    def __len__(self) -> int:
+        return len(self._chain._acct_index)
+
+
+class _ChainMetrics:
+    """Pre-keyed recorder handles for the chain's hot-path samples.
+
+    Built once per (chain, recorder) pair; every submit/produce/confirm
+    then costs a dict update per sample instead of rebuilding the sorted
+    label-tuple key on each call.
+    """
+
+    __slots__ = (
+        "recorder", "_chain_name", "mempool_depth", "submitted", "replaced",
+        "confirmed", "latency", "fee_paid", "blocks", "uncertified",
+        "included", "utilization",
+    )
+
+    def __init__(self, recorder: NullRecorder, chain_name: str):
+        self.recorder = recorder
+        self._chain_name = chain_name
+        self.mempool_depth = recorder.gauge_handle("chain_mempool_depth", chain=chain_name)
+        self.submitted: dict[str, Any] = {}  # tx kind -> counter handle
+        self.replaced = recorder.counter_handle("chain_tx_replaced_total", chain=chain_name)
+        self.confirmed: dict[str, Any] = {}  # status value -> counter handle
+        self.latency = recorder.histogram_handle("chain_tx_latency_seconds", chain=chain_name)
+        self.fee_paid = recorder.histogram_handle("chain_fee_paid_base_units", chain=chain_name)
+        self.blocks = recorder.counter_handle("chain_blocks_total", chain=chain_name)
+        self.uncertified = recorder.counter_handle("chain_uncertified_rounds_total", chain=chain_name)
+        self.included = recorder.counter_handle("chain_txs_included_total", chain=chain_name)
+        self.utilization = recorder.histogram_handle(
+            "chain_block_utilization_ratio", buckets=RATIO_BUCKETS, chain=chain_name
+        )
+
+    def submitted_for(self, kind: str) -> Any:
+        handle = self.submitted.get(kind)
+        if handle is None:
+            handle = self.submitted[kind] = self.recorder.counter_handle(
+                "chain_tx_submitted_total", chain=self._chain_name, kind=kind
+            )
+        return handle
+
+    def confirmed_for(self, status: str) -> Any:
+        handle = self.confirmed.get(status)
+        if handle is None:
+            handle = self.confirmed[status] = self.recorder.counter_handle(
+                "chain_tx_confirmed_total", chain=self._chain_name, status=status
+            )
+        return handle
 
 
 class BaseChain:
@@ -308,9 +442,35 @@ class BaseChain:
         self.seed = seed
         self.blocks: list[Block] = []
         self.receipts: dict[str, Receipt] = {}
-        self.balances: dict[str, int] = {}
+        # Struct-of-arrays account state: one stable slot per address, a
+        # flat balance array, and a mapping-shaped compatibility view.
+        self._acct_index: dict[str, int] = {}
+        self._acct_balances: list[int] = []
+        self.balances: MutableMapping[str, int] = _BalanceView(self)
         self.known_keys: dict[str, PublicKey] = {}
-        self._mempool: list[_MempoolEntry] = []
+        # Mempool as an insertion-ordered index: txid -> entry plus a
+        # (sender, nonce) -> txid map, so replace-by-nonce admission and
+        # block-inclusion eviction are O(1) instead of list scans.
+        self._mempool: dict[str, _MempoolEntry] = {}
+        self._mempool_nonce: dict[tuple[str, int], str] = {}
+        # Inclusion scheduling state: certified rounds seen so far, the
+        # not-yet-eligible entries bucketed by the round that frees them,
+        # and the persistent fee-ordered ready list.  Each ready pair is
+        # ((-priority_fee, arrived_at, admission_seq), entry); the seq
+        # makes keys unique, so ties keep submission order -- exactly the
+        # order the historical per-block stable sort produced -- while
+        # leftovers carry over still sorted instead of being re-keyed
+        # and re-sorted against the whole mempool every block.
+        self._round = 0
+        self._admission_seq = 0
+        self._eligible: dict[int, list[tuple[tuple[int, float, int], _MempoolEntry]]] = {}
+        self._ready: list[tuple[tuple[int, float, int], _MempoolEntry]] = []
+        #: settle every receipt of a block through one slot event instead
+        #: of one heap entry per receipt; firing order and per-receipt
+        #: confirmation timestamps are identical either way (see
+        #: EventQueue.schedule_slot), so this stays on by default -- the
+        #: parity test flips it off to cross-check.
+        self.batch_settlement = True
         self._receipt_watchers: dict[str, list[Callable[[Receipt], None]]] = {}
         self._observed_nonces: dict[str, int] = {}
         self.congestion = CongestionProcess(
@@ -327,12 +487,30 @@ class BaseChain:
         self._started = False
         self.faults: NullFaultInjector = NULL_FAULTS
         self._tx_spans: dict[str, Span] = {}  # open submitted->confirmed windows
+        self._block_label = f"{profile.name}-block"  # interned once, not per block
+        self._metrics: _ChainMetrics | None = None
         self._genesis()
 
     @property
     def recorder(self) -> NullRecorder:
         """The telemetry sink, shared with (and owned by) the event queue."""
         return self.queue.recorder
+
+    def _obs(self) -> _ChainMetrics:
+        """The pre-keyed handle set for the current recorder (rebuilt on swap)."""
+        metrics = self._metrics
+        recorder = self.queue.recorder
+        if metrics is None or metrics.recorder is not recorder:
+            metrics = self._metrics = _ChainMetrics(recorder, self.profile.name)
+        return metrics
+
+    def _slot_for(self, address: str) -> int:
+        """The address's balance-array slot, assigned on first touch."""
+        index = self._acct_index.get(address)
+        if index is None:
+            index = self._acct_index[address] = len(self._acct_balances)
+            self._acct_balances.append(0)
+        return index
 
     # -- hooks ---------------------------------------------------------------
 
@@ -392,7 +570,7 @@ class BaseChain:
         self._started = True
         self.queue.schedule(
             self.profile.block_time, self._produce_block,
-            label=f"{self.profile.name}-block", inherit_context=False,
+            label=self._block_label, inherit_context=False,
         )
 
     @property
@@ -433,11 +611,12 @@ class BaseChain:
         """Credit ``address`` out of thin air (testnet dispenser)."""
         if amount < 0:
             raise ValueError("faucet amount must be non-negative")
-        self.balances[address] = self.balances.get(address, 0) + amount
+        self._acct_balances[self._slot_for(address)] += amount
 
     def balance_of(self, address: str) -> int:
         """Current balance of ``address`` in base units."""
-        return self.balances.get(address, 0)
+        index = self._acct_index.get(address)
+        return self._acct_balances[index] if index is not None else 0
 
     # -- transactions --------------------------------------------------------
 
@@ -474,22 +653,32 @@ class BaseChain:
         if txid in self.receipts:
             raise InvalidTransaction("duplicate transaction")
         self._maybe_replace(tx)
+        skip = self.congestion.extra_inclusion_blocks() + self._inclusion_penalty(tx)
         entry = _MempoolEntry(
             transaction=tx,
             arrived_at=self.queue.clock.now,
-            blocks_to_skip=self.congestion.extra_inclusion_blocks() + self._inclusion_penalty(tx),
+            eligible_round=self._round + skip + 1,
+            txid=txid,
         )
-        self._mempool.append(entry)
+        self._mempool[txid] = entry
+        self._mempool_nonce[(tx.sender, tx.nonce)] = txid
+        self._admission_seq += 1
+        pair = (
+            (-tx.priority_fee_per_gas, entry.arrived_at, self._admission_seq),
+            entry,
+        )
+        self._eligible.setdefault(entry.eligible_round, []).append(pair)
         self.receipts[txid] = Receipt(txid=txid, submitted_at=self.queue.clock.now)
         observed = self._observed_nonces.get(tx.sender, 0)
         self._observed_nonces[tx.sender] = max(observed, tx.nonce + 1)
         recorder = self.recorder
         if recorder.enabled:
-            chain_name = self.profile.name
-            recorder.counter("chain_tx_submitted_total", chain=chain_name, kind=tx.kind)
-            recorder.gauge("chain_mempool_depth", len(self._mempool), chain=chain_name)
+            metrics = self._obs()
+            metrics.submitted_for(tx.kind).add()
+            metrics.mempool_depth.set(len(self._mempool))
             self._tx_spans[txid] = recorder.span(
-                f"tx:{tx.kind}", track=track_for(tx.sender), cat="tx", chain=chain_name, txid=txid[:12]
+                f"tx:{tx.kind}", track=track_for(tx.sender), cat="tx",
+                chain=self.profile.name, txid=txid[:12],
             )
         return txid
 
@@ -501,24 +690,26 @@ class BaseChain:
         alongside the copy it replaces -- at most one transaction per
         account nonce can ever execute.  The replacement must strictly
         outbid the pending copy, otherwise it is rejected as underpriced
-        (geth's replace-by-fee rule, flat-fee analog for AVM).
+        (geth's replace-by-fee rule, flat-fee analog for AVM).  The
+        ``(sender, nonce)`` index makes the lookup O(1); historically
+        this scanned the whole mempool per submission.
         """
-        for entry in self._mempool:
-            pending = entry.transaction
-            if pending.sender != tx.sender or pending.nonce != tx.nonce:
-                continue
-            if tx.max_fee_per_gas + tx.flat_fee <= pending.max_fee_per_gas + pending.flat_fee:
-                raise InvalidTransaction("replacement transaction underpriced")
-            self._mempool.remove(entry)
-            replaced = self.receipts[pending.txid]
-            replaced.error = "replaced"
-            self._receipt_watchers.pop(pending.txid, None)
-            span = self._tx_spans.pop(pending.txid, None)
-            if span is not None:
-                span.end(status="replaced")
-            if self.recorder.enabled:
-                self.recorder.counter("chain_tx_replaced_total", chain=self.profile.name)
+        pending_txid = self._mempool_nonce.get((tx.sender, tx.nonce))
+        if pending_txid is None:
             return
+        pending = self._mempool[pending_txid].transaction
+        if tx.max_fee_per_gas + tx.flat_fee <= pending.max_fee_per_gas + pending.flat_fee:
+            raise InvalidTransaction("replacement transaction underpriced")
+        del self._mempool[pending_txid]
+        del self._mempool_nonce[(tx.sender, tx.nonce)]
+        replaced = self.receipts[pending_txid]
+        replaced.error = "replaced"
+        self._receipt_watchers.pop(pending_txid, None)
+        span = self._tx_spans.pop(pending_txid, None)
+        if span is not None:
+            span.end(status="replaced")
+        if self.recorder.enabled:
+            self._obs().replaced.add()
 
     def next_nonce_for(self, address: str) -> int:
         """The chain-observed next nonce for ``address``.
@@ -565,11 +756,10 @@ class BaseChain:
             span.end(**extra)
         recorder = self.recorder
         if recorder.enabled:
-            recorder.counter(
-                "chain_tx_confirmed_total", chain=self.profile.name, status=receipt.status.value
-            )
+            metrics = self._obs()
+            metrics.confirmed_for(receipt.status.value).add()
             if receipt.latency is not None:
-                recorder.observe("chain_tx_latency_seconds", receipt.latency, chain=self.profile.name)
+                metrics.latency.observe(receipt.latency)
         for callback in self._receipt_watchers.pop(receipt.txid, []):
             callback(receipt)
 
@@ -624,38 +814,50 @@ class BaseChain:
             self.faults.on_block_begin(self, block)
         recorder = self.recorder
         instrumented = recorder.enabled
-        if instrumented:
-            recorder.gauge("chain_mempool_depth", len(self._mempool), chain=self.profile.name)
+        metrics = self._obs() if instrumented else None
+        if metrics is not None:
+            metrics.mempool_depth.set(len(self._mempool))
 
         if not self._block_can_include(block):
             # An uncertified round carries no transactions; pending ones
             # wait for the next certified round (liveness degradation,
             # not loss).
-            if instrumented:
-                recorder.counter("chain_blocks_total", chain=self.profile.name)
-                recorder.counter("chain_uncertified_rounds_total", chain=self.profile.name)
+            if metrics is not None:
+                metrics.blocks.add()
+                metrics.uncertified.add()
             self.blocks.append(block)
             self.queue.schedule(
                 self.profile.block_time, self._produce_block,
-                label=f"{self.profile.name}-block", inherit_context=False,
+                label=self._block_label, inherit_context=False,
             )
             return
 
-        ready: list[_MempoolEntry] = []
-        for entry in self._mempool:
-            if entry.blocks_to_skip > 0:
-                entry.blocks_to_skip -= 1
-            else:
-                ready.append(entry)
-        ready.sort(key=lambda e: (-e.transaction.priority_fee_per_gas, e.arrived_at))
+        self._round += 1
+        ready = self._ready
+        freed = self._eligible.pop(self._round, None)
+        if freed:
+            # Leftovers are already sorted; timsort folds the new batch
+            # in near-linearly and unique keys keep ties in submission
+            # order, matching the historical whole-mempool stable sort.
+            ready.extend(freed)
+            ready.sort()
 
         included: list[Transaction] = []
+        leftover: list[tuple[tuple[int, float, int], _MempoolEntry]] = []
+        pending_confirms: list[tuple[float, Callable[[], Any]]] = []
+        batch = self.batch_settlement
+        mempool = self._mempool
         gas_budget = self.profile.block_gas_limit
-        for entry in ready:
+        for pair in ready:
+            entry = pair[1]
+            if mempool.get(entry.txid) is not entry:
+                continue  # replaced after admission; drop silently
             tx = entry.transaction
             if tx.gas_limit > gas_budget:
+                leftover.append(pair)
                 continue  # stays queued for the next block
             if not self._includable(tx, block):
+                leftover.append(pair)
                 continue  # priced out; waits for the fee market to relax
             receipt = self._execute(tx, block)
             receipt.block_number = number
@@ -663,56 +865,74 @@ class BaseChain:
             included.append(tx)
             gas_budget -= receipt.gas_used
             block.gas_used += receipt.gas_used
-            self._mempool.remove(entry)
-            if instrumented:
-                recorder.observe("chain_fee_paid_base_units", receipt.fee_paid, chain=self.profile.name)
-            self._schedule_confirmation(receipt)
+            del mempool[entry.txid]
+            self._mempool_nonce.pop((tx.sender, tx.nonce), None)
+            if metrics is not None:
+                metrics.fee_paid.observe(receipt.fee_paid)
+            if batch:
+                delay, confirm = self._confirmation_entry(receipt)
+                if delay <= 0:
+                    confirm()
+                else:
+                    pending_confirms.append((delay, confirm))
+            else:
+                self._schedule_confirmation(receipt)
+        self._ready = leftover
+        if pending_confirms:
+            # One heap-resident slot settles the whole block's receipts;
+            # each keeps its own sampled delay and sequence position.
+            self.queue.schedule_slot(pending_confirms, label="confirm")
 
         block.transactions = included
         block.tx_root = merkle_root([tx.txid.encode() for tx in included])
         self.blocks.append(block)
-        if instrumented:
-            chain_name = self.profile.name
-            recorder.counter("chain_blocks_total", chain=chain_name)
+        if metrics is not None:
+            metrics.blocks.add()
             if included:
-                recorder.counter("chain_txs_included_total", value=len(included), chain=chain_name)
+                metrics.included.add(float(len(included)))
             # Gas-metered families report real utilization; flat-fee
             # chains (gas_used 0) report 0 and rely on tx counts instead.
             limit = self.profile.block_gas_limit
-            recorder.observe(
-                "chain_block_utilization_ratio",
-                block.gas_used / limit if limit else 0.0,
-                buckets=RATIO_BUCKETS,
-                chain=chain_name,
-            )
+            metrics.utilization.observe(block.gas_used / limit if limit else 0.0)
         self.queue.schedule(
             self.profile.block_time, self._produce_block,
-            label=f"{self.profile.name}-block", inherit_context=False,
+            label=self._block_label, inherit_context=False,
         )
 
-    def _schedule_confirmation(self, receipt: Receipt) -> None:
+    def _confirmation_entry(self, receipt: Receipt) -> tuple[float, Callable[[], None]]:
+        """The (delay, callback) pair that settles one receipt.
+
+        Sampling the provider overhead happens here, in inclusion order,
+        so the batched and per-event settlement paths draw identical
+        delay sequences from the latency model.
+        """
         delay = self.profile.confirmation_depth * self.profile.block_time + self._overhead.sample().total
 
         def confirm() -> None:
             receipt.confirmed_at = self.queue.clock.now
             self._notify_confirmed(receipt)
 
+        return delay, confirm
+
+    def _schedule_confirmation(self, receipt: Receipt) -> None:
+        delay, confirm = self._confirmation_entry(receipt)
         if delay <= 0:
-            receipt.confirmed_at = self.queue.clock.now
-            self._notify_confirmed(receipt)
+            confirm()
         else:
             self.queue.schedule(delay, confirm, label="confirm")
 
     # -- internal value movement ----------------------------------------------
 
     def _debit(self, address: str, amount: int) -> None:
-        balance = self.balance_of(address)
+        index = self._acct_index.get(address)
+        balance = self._acct_balances[index] if index is not None else 0
         if balance < amount:
             raise InsufficientFunds(f"{address} holds {balance} < {amount}")
-        self.balances[address] = balance - amount
+        if index is not None:
+            self._acct_balances[index] = balance - amount
 
     def _credit(self, address: str, amount: int) -> None:
-        self.balances[address] = self.balances.get(address, 0) + amount
+        self._acct_balances[self._slot_for(address)] += amount
 
 
 def drive(

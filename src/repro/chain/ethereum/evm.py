@@ -72,10 +72,17 @@ class EvmCode:
     instrs: list[Instr]
     methods: dict[str, int]  # selector -> program counter
     init_entry: int = 0
+    #: lazy caches: instruction lists never change after compilation,
+    #: and one compiled program is shared by every contract instance.
+    _byte_size: int | None = field(default=None, init=False, repr=False, compare=False)
+    _serialized: bytes | None = field(default=None, init=False, repr=False, compare=False)
 
     def byte_size(self) -> int:
         """Total code size in (simulated) bytes."""
-        return sum(instr.byte_size() for instr in self.instrs)
+        size = self._byte_size
+        if size is None:
+            size = self._byte_size = sum(instr.byte_size() for instr in self.instrs)
+        return size
 
 
 @dataclass
@@ -175,6 +182,27 @@ class EVM:
 
     def __init__(self, schedule: GasSchedule = DEFAULT_SCHEDULE):
         self.schedule = schedule
+        #: opcode -> flat cost, resolved against the schedule once
+        self._flat = {op: getattr(schedule, attr) for op, attr in self._FLAT_COSTS.items()}
+        #: id(code) -> (code, [(op, arg, flat_cost), ...]); the code ref
+        #: keeps the id stable for the life of the cache entry
+        self._decoded: dict[int, tuple[EvmCode, list[tuple[str, Any, int]]]] = {}
+
+    def _decode(self, code: EvmCode) -> list[tuple[str, Any, int]]:
+        """Flatten instructions to (op, arg, flat_cost) dispatch tuples.
+
+        Compiled programs are immutable and shared by every contract
+        instance, so the per-step dict lookup + getattr for flat gas
+        costs can be paid once per program instead of once per
+        instruction executed.
+        """
+        entry = self._decoded.get(id(code))
+        if entry is not None and entry[0] is code:
+            return entry[1]
+        flat = self._flat
+        decoded = [(instr.op, instr.arg, flat.get(instr.op, 0)) for instr in code.instrs]
+        self._decoded[id(code)] = (code, decoded)
+        return decoded
 
     def execute(
         self,
@@ -196,12 +224,14 @@ class EVM:
         adapter commits them on success.  On :class:`VMRevert` the
         exception carries ``gas_used`` so fees can still be charged.
         """
-        instrs = contract.code.instrs
+        instrs = self._decode(contract.code)
+        limit = len(instrs)
         stack: list[Any] = []
         writes: dict[bytes, Any] = {}
         logs: list[tuple[str, tuple[Any, ...]]] = []
         transfers: list[tuple[str, int]] = []
         warm: set[bytes] = set()
+        schedule = self.schedule
         gas_used = intrinsic
         refund_counter = 0
         spent_on_transfers = 0
@@ -215,92 +245,95 @@ class EVM:
                 error.gas_used = gas_limit  # type: ignore[attr-defined]
                 raise error
 
-        def pop() -> Any:
-            if not stack:
-                raise VMError("stack underflow")
-            return stack.pop()
-
         if gas_used > gas_limit:
             error = OutOfGas()
             error.gas_used = gas_limit  # type: ignore[attr-defined]
             raise error
 
+        # The dispatch loop inlines the flat-cost charge and uses bare
+        # ``stack.pop()`` (IndexError -> VMError below): both run once
+        # per instruction executed and dominate interpreter overhead.
         try:
             while True:
-                if not 0 <= pc < len(instrs):
+                if not 0 <= pc < limit:
                     raise VMError(f"program counter {pc} out of range")
-                instr = instrs[pc]
-                op = instr.op
+                op, arg, cost = instrs[pc]
 
-                flat = self._FLAT_COSTS.get(op)
-                if flat is not None:
-                    charge(getattr(self.schedule, flat))
+                if cost:
+                    gas_used += cost
+                    if gas_used > gas_limit:
+                        error = OutOfGas()
+                        error.gas_used = gas_limit  # type: ignore[attr-defined]
+                        raise error
 
                 if op == "PUSH":
-                    stack.append(instr.arg)
+                    stack.append(arg)
                 elif op == "POP":
-                    pop()
+                    stack.pop()
                 elif op == "DUP":
-                    depth = instr.arg or 1
+                    depth = arg or 1
                     if len(stack) < depth:
                         raise VMError("stack underflow on DUP")
                     stack.append(stack[-depth])
                 elif op == "SWAP":
-                    depth = instr.arg or 1
+                    depth = arg or 1
                     if len(stack) < depth + 1:
                         raise VMError("stack underflow on SWAP")
                     stack[-1], stack[-1 - depth] = stack[-1 - depth], stack[-1]
                 elif op == "ADD":
-                    stack.append((_as_int(pop()) + _as_int(pop())) % WORD)
+                    stack.append((_as_int(stack.pop()) + _as_int(stack.pop())) % WORD)
                 elif op == "SUB":
-                    a, b = _as_int(pop()), _as_int(pop())
+                    a, b = _as_int(stack.pop()), _as_int(stack.pop())
                     stack.append((a - b) % WORD)
                 elif op == "MUL":
-                    stack.append((_as_int(pop()) * _as_int(pop())) % WORD)
+                    stack.append((_as_int(stack.pop()) * _as_int(stack.pop())) % WORD)
                 elif op == "DIV":
-                    a, b = _as_int(pop()), _as_int(pop())
+                    a, b = _as_int(stack.pop()), _as_int(stack.pop())
                     stack.append(0 if b == 0 else a // b)
                 elif op == "MOD":
-                    a, b = _as_int(pop()), _as_int(pop())
+                    a, b = _as_int(stack.pop()), _as_int(stack.pop())
                     stack.append(0 if b == 0 else a % b)
                 elif op == "LT":
-                    a, b = _as_int(pop()), _as_int(pop())
+                    a, b = _as_int(stack.pop()), _as_int(stack.pop())
                     stack.append(1 if a < b else 0)
                 elif op == "GT":
-                    a, b = _as_int(pop()), _as_int(pop())
+                    a, b = _as_int(stack.pop()), _as_int(stack.pop())
                     stack.append(1 if a > b else 0)
                 elif op == "EQ":
-                    a, b = pop(), pop()
-                    stack.append(1 if _encode(a) == _encode(b) else 0)
+                    a, b = stack.pop(), stack.pop()
+                    if type(a) is int and type(b) is int:
+                        stack.append(1 if a % WORD == b % WORD else 0)
+                    else:
+                        stack.append(1 if _encode(a) == _encode(b) else 0)
                 elif op == "ISZERO":
-                    stack.append(0 if _truthy(pop()) else 1)
+                    stack.append(0 if _truthy(stack.pop()) else 1)
                 elif op == "AND":
-                    a, b = _truthy(pop()), _truthy(pop())
+                    a, b = _truthy(stack.pop()), _truthy(stack.pop())
                     stack.append(1 if (a and b) else 0)
                 elif op == "OR":
-                    a, b = _truthy(pop()), _truthy(pop())
+                    a, b = _truthy(stack.pop()), _truthy(stack.pop())
                     stack.append(1 if (a or b) else 0)
                 elif op == "XOR":
-                    stack.append(_as_int(pop()) ^ _as_int(pop()))
+                    stack.append(_as_int(stack.pop()) ^ _as_int(stack.pop()))
                 elif op == "NOT":
-                    stack.append(0 if _truthy(pop()) else 1)
+                    stack.append(0 if _truthy(stack.pop()) else 1)
                 elif op == "CONCAT":
-                    b, a = pop(), pop()
+                    b, a = stack.pop(), stack.pop()
                     stack.append(_encode(a) + _encode(b))
                 elif op == "SHA3":
-                    count = instr.arg or 1
-                    payload = b"".join(_encode(pop()) for _ in range(count))
+                    count = arg or 1
+                    payload = b"".join(_encode(stack.pop()) for _ in range(count))
                     words = (len(payload) + 31) // 32
-                    charge(self.schedule.keccak256 + self.schedule.keccak256word * words)
+                    charge(schedule.keccak256 + schedule.keccak256word * words)
                     stack.append(sha256(payload))
                 elif op == "MAPKEY":
-                    key = pop()
-                    payload = int(instr.arg).to_bytes(32, "big") + _encode(key)
+                    key = stack.pop()
+                    payload = int(arg).to_bytes(32, "big") + _encode(key)
                     words = (len(payload) + 31) // 32
-                    charge(self.schedule.keccak256 + self.schedule.keccak256word * words)
+                    charge(schedule.keccak256 + schedule.keccak256word * words)
                     stack.append(sha256(payload))
                 elif op == "CALLDATALOAD":
-                    index = instr.arg if instr.arg is not None else _as_int(pop())
+                    index = arg if arg is not None else _as_int(stack.pop())
                     stack.append(args[index] if 0 <= index < len(args) else 0)
                 elif op == "CALLDATASIZE":
                     stack.append(len(args))
@@ -317,76 +350,80 @@ class EVM:
                 elif op == "SELFBALANCE":
                     stack.append(self_balance + value - spent_on_transfers)
                 elif op == "SLOAD":
-                    key = _encode(pop())
+                    key = _encode(stack.pop())
                     if key in warm:
-                        charge(self.schedule.warm_access)
+                        charge(schedule.warm_access)
                     else:
-                        charge(self.schedule.cold_sload)
+                        charge(schedule.cold_sload)
                         warm.add(key)
                     if key in writes:
                         stack.append(writes[key])
                     else:
                         stack.append(contract.storage.get(key, 0))
                 elif op == "SSTORE":
-                    new_value = pop()
-                    key = _encode(pop())
+                    new_value = stack.pop()
+                    key = _encode(stack.pop())
                     if key not in warm:
-                        charge(self.schedule.cold_sload)
+                        charge(schedule.cold_sload)
                         warm.add(key)
                     current = writes.get(key, contract.storage.get(key, 0))
-                    current_zero = _encode(current) == b"\x00" * 32 if isinstance(current, int) else not current
-                    new_zero = _encode(new_value) == b"\x00" * 32 if isinstance(new_value, int) else not new_value
+                    # ints encode to the zero word iff the (normalized)
+                    # value is zero; byte-likes are zero iff empty.
+                    current_zero = current % WORD == 0 if isinstance(current, int) else not current
+                    new_zero = new_value % WORD == 0 if isinstance(new_value, int) else not new_value
                     if current_zero and not new_zero:
-                        charge(self.schedule.sset)
+                        charge(schedule.sset)
                     else:
-                        charge(self.schedule.sreset)
+                        charge(schedule.sreset)
                         if not current_zero and new_zero:
                             # R_sclear: clearing storage earns a refund,
                             # capped at settlement (EIP-3529 style).
-                            refund_counter += self.schedule.sclear_refund
+                            refund_counter += schedule.sclear_refund
                     writes[key] = new_value
                 elif op == "JUMPDEST":
                     pass
                 elif op == "JUMP":
-                    pc = int(instr.arg)
-                    self._check_jumpdest(instrs, pc)
+                    pc = int(arg)
+                    if not (0 <= pc < limit and instrs[pc][0] == "JUMPDEST"):
+                        raise VMError(f"jump to non-JUMPDEST index {pc}")
                     continue
                 elif op == "JUMPI":
-                    condition = _truthy(pop())
+                    condition = _truthy(stack.pop())
                     if condition:
-                        pc = int(instr.arg)
-                        self._check_jumpdest(instrs, pc)
+                        pc = int(arg)
+                        if not (0 <= pc < limit and instrs[pc][0] == "JUMPDEST"):
+                            raise VMError(f"jump to non-JUMPDEST index {pc}")
                         continue
                 elif op == "REQUIRE":
-                    condition = _truthy(pop())
+                    condition = _truthy(stack.pop())
                     if not condition:
-                        raise VMRevert(str(instr.arg or "requirement failed"))
+                        raise VMRevert(str(arg or "requirement failed"))
                 elif op == "TRANSFER":
-                    amount = _as_int(pop())
-                    to = pop()
+                    amount = _as_int(stack.pop())
+                    to = stack.pop()
                     if not isinstance(to, str):
                         raise VMError("TRANSFER target must be an address string")
-                    charge(self.schedule.callvalue)
+                    charge(schedule.callvalue)
                     available = self_balance + value - spent_on_transfers
                     if amount > available:
                         raise VMRevert("insufficient contract balance for transfer")
                     spent_on_transfers += amount
                     transfers.append((to, amount))
                 elif op == "LOG":
-                    event, count = instr.arg
+                    event, count = arg
                     # Operands were pushed in source order; report them so.
-                    payload = tuple(reversed([pop() for _ in range(count)]))
+                    payload = tuple(reversed([stack.pop() for _ in range(count)]))
                     data_len = sum(len(_encode(item)) for item in payload)
-                    charge(self.schedule.log + self.schedule.logtopic + self.schedule.logdata * data_len)
+                    charge(schedule.log + schedule.logtopic + schedule.logdata * data_len)
                     logs.append((event, payload))
                 elif op == "RETURN":
-                    count = instr.arg or 0
+                    count = arg or 0
                     if count == 0:
                         result = None
                     elif count == 1:
-                        result = pop()
+                        result = stack.pop()
                     else:
-                        result = tuple(reversed([pop() for _ in range(count)]))
+                        result = tuple(reversed([stack.pop() for _ in range(count)]))
                     refund = min(refund_counter, gas_used // 5)
                     return ExecutionResult(
                         gas_used=gas_used - refund,
@@ -397,7 +434,7 @@ class EVM:
                         refund=refund,
                     )
                 elif op == "REVERT":
-                    raise VMRevert(str(instr.arg or "execution reverted"))
+                    raise VMRevert(str(arg or "execution reverted"))
                 elif op == "STOP":
                     refund = min(refund_counter, gas_used // 5)
                     return ExecutionResult(
@@ -411,23 +448,22 @@ class EVM:
                 else:
                     raise VMError(f"unknown opcode {op}")
                 pc += 1
+        except IndexError as exc:
+            raise VMError("stack underflow") from exc
         except VMRevert as revert:
             if not hasattr(revert, "gas_used"):
                 revert.gas_used = gas_used  # type: ignore[attr-defined]
             raise
 
-    @staticmethod
-    def _check_jumpdest(instrs: list[Instr], pc: int) -> None:
-        if not (0 <= pc < len(instrs) and instrs[pc].op == "JUMPDEST"):
-            raise VMError(f"jump to non-JUMPDEST index {pc}")
-
 
 def serialize_code(code: EvmCode) -> bytes:
     """Flatten code to bytes (deployment payload; priced as calldata)."""
-    blob = json.dumps(
-        [[instr.op, _json_arg(instr.arg)] for instr in code.instrs],
-        separators=(",", ":"),
-    ).encode()
+    blob = code._serialized
+    if blob is None:
+        blob = code._serialized = json.dumps(
+            [[instr.op, _json_arg(instr.arg)] for instr in code.instrs],
+            separators=(",", ":"),
+        ).encode()
     return blob
 
 

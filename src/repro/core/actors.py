@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.did.auth import AuthError, ChallengeResponseAuth
+from repro.did.document import uint_did
 from repro.did.registry import DidRegistry
 from repro.geo.olc import encode as olc_encode
 from repro.core.bluetooth import BluetoothChannel, BluetoothError
@@ -51,6 +52,14 @@ class CertificationAuthority:
     wallets: dict[str, str] = field(default_factory=dict)  # key fingerprint -> wallet
     issuer: "object | None" = None  # a CredentialIssuer when VC mode is on
     credentials: dict[str, "object"] = field(default_factory=dict)  # key fp -> VC
+    # O(1) membership mirror of witness_keys plus a cached delivery set:
+    # with tens of thousands of witnesses, scanning the list per
+    # registration or per delivered verification is quadratic overall.
+    _members: set[PublicKey] = field(default_factory=set, repr=False)
+    _delivered: frozenset[PublicKey] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._members.update(self.witness_keys)
 
     def enable_credentials(self, keypair: KeyPair) -> None:
         """Turn on the Verifiable-Credential issuance mode."""
@@ -61,8 +70,10 @@ class CertificationAuthority:
 
     def register_witness(self, public: PublicKey, real_identity: str = "", wallet: str = "") -> None:
         """A user communicates its public key to become a witness."""
-        if public not in self.witness_keys:
+        if public not in self._members:
+            self._members.add(public)
             self.witness_keys.append(public)
+            self._delivered = None
         if real_identity:
             self.identities[public.fingerprint()] = real_identity
         if wallet:
@@ -99,8 +110,10 @@ class CertificationAuthority:
 
     def revoke_witness(self, public: PublicKey) -> None:
         """Strip a witness of its role in both accreditation modes."""
-        if public in self.witness_keys:
+        if public in self._members:
+            self._members.discard(public)
             self.witness_keys.remove(public)
+            self._delivered = None
         credential = self.credential_for(public)
         if credential is not None and self.issuer is not None:
             self.issuer.revoke(credential.credential_id)
@@ -122,6 +135,22 @@ class CertificationAuthority:
         if not self.is_verifier(verifier_id):
             raise PermissionError(f"{verifier_id} is not an accredited verifier")
         return list(self.witness_keys)
+
+    def witness_set(self, verifier_id: str) -> frozenset[PublicKey]:
+        """The witness list as a cached frozenset for O(1) membership.
+
+        Same accreditation gate and same keys as :meth:`witness_list`;
+        verification only needs "is this key CA-listed?" and "which of
+        these keys verifies?", neither of which depends on list order.
+        The cache is rebuilt whenever the roster changes (including
+        direct ``witness_keys`` mutation, detected by length).
+        """
+        if not self.is_verifier(verifier_id):
+            raise PermissionError(f"{verifier_id} is not an accredited verifier")
+        delivered = self._delivered
+        if delivered is None or len(delivered) != len(self.witness_keys):
+            delivered = self._delivered = frozenset(self.witness_keys)
+        return delivered
 
 
 @dataclass
@@ -317,7 +346,7 @@ class Verifier:
         prover_public: PublicKey | None = None,
     ) -> ProofFailure:
         """The verification of section 2.3.1.2 plus replay screening."""
-        witness_keys = self.authority.witness_list(self.name)
+        witness_keys = self.authority.witness_set(self.name)
         if nonce in self.seen_nonces:
             self.rejected += 1
             return ProofFailure.REPLAY
@@ -338,14 +367,22 @@ class Verifier:
         nonce: int,
         cid: str,
         prover_public: PublicKey | None = None,
+        hint_keys: list[PublicKey] | None = None,
     ) -> ProofFailure:
-        """Verify a record as retrieved from the contract Map."""
-        witness_keys = self.authority.witness_list(self.name)
+        """Verify a record as retrieved from the contract Map.
+
+        ``hint_keys`` orders the witness-list scan (keys likely to have
+        signed -- e.g. the record's OLC cell's witnesses -- first); it
+        never changes the outcome, only how many signature checks the
+        scan burns before finding the signer.
+        """
+        witness_keys = self.authority.witness_set(self.name)
         if nonce in self.seen_nonces:
             self.rejected += 1
             return ProofFailure.REPLAY
         outcome = verify_record(
-            hashed_proof_hex, signature_hex, did, olc, nonce, cid, witness_keys, prover_public=prover_public
+            hashed_proof_hex, signature_hex, did, olc, nonce, cid, witness_keys,
+            prover_public=prover_public, preferred=hint_keys,
         )
         if outcome is ProofFailure.OK:
             self.seen_nonces.add(nonce)
@@ -356,23 +393,17 @@ class Verifier:
 
 
 def _did_of(registry: DidRegistry, did_uint: int) -> str:
-    """Look up the full DID string for a contract-level UInt DID."""
+    """Look up the full DID string for a contract-level UInt DID.
+
+    The registry's UInt index answers in O(1) for documents it
+    registered itself; the linear scan remains as a fallback for
+    documents injected directly into ``registry.documents`` (tests,
+    external registries).
+    """
+    indexed = registry.did_for_uint(did_uint)
+    if indexed is not None:
+        return indexed
     for did, document in registry.documents.items():
         if uint_did(did) == did_uint and not document.deactivated:
             return did
     raise AuthError(f"no active DID registered for UInt id {did_uint}")
-
-
-def uint_did(did: str) -> int:
-    """Project a DID string onto the UInt key space the Map supports.
-
-    "We are aware that the UInt format does not represent a correct
-    DID.  However, we do this only for testing purposes" (section
-    4.1.1) -- the projection is the leading 53 bits of the
-    method-specific id, collision-checked at registration by the
-    system facade.
-    """
-    from repro.did.document import parse_did
-
-    specific = parse_did(did)
-    return int(specific[:13], 16)

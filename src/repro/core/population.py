@@ -1,0 +1,184 @@
+"""Array-backed prover population state for very large runs.
+
+A hundred thousand :class:`~repro.core.actors.Prover` dataclass
+instances cost one ``__dict__`` (plus boxed floats/ints) each and keep
+the registration and settlement loops pointer-chasing.  The population
+store keeps the same data as parallel columns -- a struct-of-arrays
+layout: one flat ``array('d')`` for latitudes instead of 100k boxed
+floats -- and hands out lightweight :class:`ProverView` flyweights that
+*are* ``Prover`` instances (``isinstance`` and every method keep
+working) but read and write the columns through properties.
+
+The store is **opt-in**
+(:meth:`repro.core.system.ProofOfLocationSystem.use_population_store`):
+small tests and interactive use keep plain dataclass objects with
+object identity semantics; the 10k/100k bench runs flip the switch.
+Witnesses stay as objects -- they carry per-session crypto state
+(issued/used nonce sets, an auth engine) and there is one per four
+provers, so the provers are where the memory and iteration time live.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import MutableMapping
+from typing import Iterator
+
+from repro.core.actors import Prover
+from repro.crypto.keys import KeyPair
+
+
+class ProverPopulation:
+    """The columns: one entry per registered prover, keyed by slot."""
+
+    __slots__ = (
+        "index", "names", "keypairs", "dids", "did_uints",
+        "latitudes", "longitudes", "rewards", "settled", "_in_flight",
+    )
+
+    def __init__(self) -> None:
+        self.index: dict[str, int] = {}  # name -> slot
+        self.names: list[str] = []
+        self.keypairs: list[KeyPair] = []
+        self.dids: list[str] = []
+        self.did_uints = array("Q")  # the 53-bit UInt projection fits uint64
+        self.latitudes = array("d")
+        self.longitudes = array("d")
+        self.rewards: list[int] = []
+        self.settled: list[int] = []
+        # Sparse: only provers with submissions actually in flight hold a
+        # list; at any instant that is one bench wave, not the population.
+        self._in_flight: dict[int, list] = {}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def add(self, prover: Prover) -> int:
+        """Append ``prover``'s fields as a new slot; returns the slot."""
+        slot = len(self.names)
+        self.index[prover.name] = slot
+        self.names.append(prover.name)
+        self.keypairs.append(prover.keypair)
+        self.dids.append(prover.did)
+        self.did_uints.append(prover.did_uint)
+        self.latitudes.append(prover.latitude)
+        self.longitudes.append(prover.longitude)
+        self.rewards.append(prover.rewards_received)
+        self.settled.append(prover.submissions_settled)
+        if prover.in_flight:
+            self._in_flight[slot] = list(prover.in_flight)
+        return slot
+
+    def replace(self, slot: int, prover: Prover) -> None:
+        """Overwrite a slot in place (pseudonym rotation keeps the name)."""
+        self.keypairs[slot] = prover.keypair
+        self.dids[slot] = prover.did
+        self.did_uints[slot] = prover.did_uint
+        self.latitudes[slot] = prover.latitude
+        self.longitudes[slot] = prover.longitude
+        self.rewards[slot] = prover.rewards_received
+        self.settled[slot] = prover.submissions_settled
+        if prover.in_flight:
+            self._in_flight[slot] = list(prover.in_flight)
+        else:
+            self._in_flight.pop(slot, None)
+
+    def in_flight_for(self, slot: int) -> list:
+        """The slot's live in-flight list (created on first touch)."""
+        pending = self._in_flight.get(slot)
+        if pending is None:
+            pending = self._in_flight[slot] = []
+        return pending
+
+    def set_in_flight(self, slot: int, pending: list) -> None:
+        if pending:
+            self._in_flight[slot] = pending
+        else:
+            self._in_flight.pop(slot, None)
+
+
+class ProverView(Prover):
+    """A flyweight ``Prover`` whose state lives in the population columns.
+
+    Subclasses the dataclass but never runs its generated ``__init__``;
+    every field is shadowed by a class-level property (data descriptors
+    win over instance attributes), so inherited behaviour --
+    ``make_request``, ``track_submission``, ``settle_submissions``, the
+    ``olc``/``device_id`` properties -- reads and writes the arrays.
+    """
+
+    def __init__(self, population: ProverPopulation, slot: int):
+        self._population = population
+        self._slot = slot
+
+    name = property(lambda self: self._population.names[self._slot])
+    keypair = property(lambda self: self._population.keypairs[self._slot])
+    did = property(lambda self: self._population.dids[self._slot])
+    did_uint = property(lambda self: self._population.did_uints[self._slot])
+    latitude = property(lambda self: self._population.latitudes[self._slot])
+    longitude = property(lambda self: self._population.longitudes[self._slot])
+
+    @property
+    def rewards_received(self) -> int:
+        return self._population.rewards[self._slot]
+
+    @rewards_received.setter
+    def rewards_received(self, value: int) -> None:
+        self._population.rewards[self._slot] = value
+
+    @property
+    def submissions_settled(self) -> int:
+        return self._population.settled[self._slot]
+
+    @submissions_settled.setter
+    def submissions_settled(self, value: int) -> None:
+        self._population.settled[self._slot] = value
+
+    @property
+    def in_flight(self) -> list:
+        return self._population.in_flight_for(self._slot)
+
+    @in_flight.setter
+    def in_flight(self, pending: list) -> None:
+        self._population.set_in_flight(self._slot, pending)
+
+
+class PopulationProverMap(MutableMapping):
+    """The ``system.provers`` mapping backed by a :class:`ProverPopulation`.
+
+    ``map[name]`` returns a cached :class:`ProverView` (stable identity
+    per slot); ``map[name] = prover`` copies the dataclass's fields into
+    the columns -- new names append a slot, existing names overwrite in
+    place, which is exactly what pseudonym rotation does.
+    """
+
+    __slots__ = ("population", "_views")
+
+    def __init__(self, population: ProverPopulation | None = None):
+        self.population = population if population is not None else ProverPopulation()
+        self._views: dict[int, ProverView] = {}
+
+    def __getitem__(self, name: str) -> ProverView:
+        slot = self.population.index.get(name)
+        if slot is None:
+            raise KeyError(name)
+        view = self._views.get(slot)
+        if view is None:
+            view = self._views[slot] = ProverView(self.population, slot)
+        return view
+
+    def __setitem__(self, name: str, prover: Prover) -> None:
+        slot = self.population.index.get(name)
+        if slot is None:
+            self.population.add(prover)
+        else:
+            self.population.replace(slot, prover)
+
+    def __delitem__(self, name: str) -> None:
+        raise TypeError("population slots are permanent; deactivate the DID instead")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.population.index)
+
+    def __len__(self) -> int:
+        return len(self.population.index)

@@ -18,6 +18,7 @@ against the Certification Authority's witness key list.
 
 from __future__ import annotations
 
+from collections.abc import Collection
 from dataclasses import dataclass
 from enum import Enum
 
@@ -88,8 +89,34 @@ def build_proof(request: ProofRequest, witness_keypair: KeyPair, timestamp: floa
     )
 
 
+def _find_signer(
+    hashed: bytes,
+    signature: Signature,
+    witness_keys: Collection[PublicKey],
+    preferred: Collection[PublicKey] | None,
+) -> PublicKey | None:
+    """The witness-list scan of section 2.3.1.2, hint-accelerated.
+
+    Identifying the signer means trying CA keys until one verifies --
+    inherently O(|witness list|) signature checks, which turns the
+    verifier into an O(users x witnesses) hotspot at scale.  ``preferred``
+    keys (e.g. the witnesses known to operate in the record's OLC cell)
+    are tried first; a preferred key only counts as the signer if it is
+    also in ``witness_keys``, and a miss falls back to the full scan, so
+    the accepted/rejected outcome is identical to the unhinted scan.
+    """
+    if preferred:
+        signer = next((key for key in preferred if key.verify(hashed, signature)), None)
+        if signer is not None and signer in witness_keys:
+            return signer
+    return next((key for key in witness_keys if key.verify(hashed, signature)), None)
+
+
 def identify_witness(
-    hashed_proof_hex: str, signature_hex: str, witness_keys: list[PublicKey]
+    hashed_proof_hex: str,
+    signature_hex: str,
+    witness_keys: Collection[PublicKey],
+    preferred: Collection[PublicKey] | None = None,
 ) -> PublicKey | None:
     """Which CA-listed witness signed this record, if any.
 
@@ -101,7 +128,7 @@ def identify_witness(
         signature = Signature.from_bytes(bytes.fromhex(signature_hex))
     except (ValueError, TypeError):
         return None
-    return next((key for key in witness_keys if key.verify(hashed, signature)), None)
+    return _find_signer(hashed, signature, witness_keys, preferred)
 
 
 def verify_record(
@@ -111,21 +138,23 @@ def verify_record(
     olc: str,
     nonce: int,
     cid: str,
-    witness_keys: list[PublicKey],
+    witness_keys: Collection[PublicKey],
     prover_public: PublicKey | None = None,
+    preferred: Collection[PublicKey] | None = None,
 ) -> ProofFailure:
     """Verify a proof as stored in the smart contract record.
 
     The record carries only the hash and the signature (figure 2.7);
     the verifier identifies the signing witness by trying the keys in
-    the Certification Authority's list (section 2.3.1.2).
+    the Certification Authority's list (section 2.3.1.2).  ``preferred``
+    keys are tried first (same outcome, see :func:`_find_signer`).
     """
     try:
         hashed = bytes.fromhex(hashed_proof_hex)
         signature = Signature.from_bytes(bytes.fromhex(signature_hex))
     except (ValueError, TypeError):
         return ProofFailure.BAD_SIGNATURE
-    signer = next((key for key in witness_keys if key.verify(hashed, signature)), None)
+    signer = _find_signer(hashed, signature, witness_keys, preferred)
     if signer is None:
         if prover_public is not None and prover_public.verify(hashed, signature):
             return ProofFailure.SELF_SIGNED
@@ -144,7 +173,7 @@ def verify_proof(
     olc: str,
     nonce: int,
     cid: str,
-    witness_keys: list[PublicKey],
+    witness_keys: Collection[PublicKey],
     prover_public: PublicKey | None = None,
 ) -> ProofFailure:
     """Verifier side: the two-step check of section 2.3.1.2.

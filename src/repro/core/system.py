@@ -36,6 +36,30 @@ class PolSystemError(Exception):
     """A facade-level failure (unknown user, missing contract...)."""
 
 
+def _drain(chain: BaseChain, handles: list[OpHandle]) -> None:
+    """Drive the chain's queue until every handle settles.
+
+    A countdown settled by done-callbacks keeps the drive predicate
+    O(1); polling ``all(h.done ...)`` per event step is O(n) and turns
+    large waves quadratic.
+    """
+    if not handles:
+        return
+    remaining = [len(handles)]
+
+    def settled(_handle: OpHandle) -> None:
+        remaining[0] -= 1
+
+    for handle in handles:
+        handle.add_done_callback(settled)
+    drive(
+        chain.queue,
+        lambda: remaining[0] <= 0,
+        max_steps=max(200_000, 100 * len(handles)),
+        chain=chain,
+    )
+
+
 def __getattr__(name: str) -> Any:
     # Deprecated alias, kept for one release: the class used to shadow
     # the awkwardly-underscored name.  New code should catch
@@ -121,6 +145,12 @@ class ProofOfLocationSystem:
     witnesses: dict[str, Witness] = field(default_factory=dict)
     verifiers: dict[str, Verifier] = field(default_factory=dict)
     _did_uints: dict[int, str] = field(default_factory=dict)
+    #: 8-character OLC cell prefix -> public keys of the witnesses
+    #: registered there.  Purely an ordering hint for the verifier's
+    #: witness-list scan (the CA list stays authoritative): records from
+    #: a cell are almost always signed by that cell's witnesses, which
+    #: turns the O(|witnesses|) signature scan into O(1) in practice.
+    _witness_cells: dict[str, list] = field(default_factory=dict)
     #: journey linkage (only populated while a live recorder is attached):
     #: the ``proof:request`` span's context keyed by (prover, nonce), so
     #: the later submit call joins the same trace ...
@@ -156,6 +186,22 @@ class ProofOfLocationSystem:
         self.authority = CertificationAuthority()
         self.channel = BluetoothChannel()
 
+    def use_population_store(self) -> None:
+        """Swap ``provers`` for the array-backed population store.
+
+        Must be called before any prover registers.  Views returned by
+        ``provers[name]`` remain real :class:`Prover` instances (the
+        whole actor API keeps working); only the storage layout changes,
+        so 100k provers cost flat arrays instead of 100k dataclass
+        ``__dict__`` objects.  Opt-in because plain objects keep
+        identity semantics small tests rely on.
+        """
+        if self.provers:
+            raise PolSystemError("enable the population store before registering provers")
+        from repro.core.population import PopulationProverMap
+
+        self.provers = PopulationProverMap()
+
     # -- onboarding (figure 2.3's "initial phase") ---------------------------------
 
     def _onboard(self, name: str, latitude: float, longitude: float, funding: int) -> tuple[Account, str, int]:
@@ -180,7 +226,9 @@ class ProofOfLocationSystem:
             latitude=latitude, longitude=longitude,
         )
         self.provers[name] = prover
-        return prover
+        # Read back through the mapping: the population store hands out a
+        # column-backed view, the default dict returns the same object.
+        return self.provers[name]
 
     def register_witness(self, name: str, latitude: float, longitude: float, funding: int = 0) -> Witness:
         """Onboard a witness; its public key goes to the CA list."""
@@ -193,6 +241,7 @@ class ProofOfLocationSystem:
         self.authority.register_witness(
             account.keypair.public, real_identity=name, wallet=account.address
         )
+        self._witness_cells.setdefault(witness.olc[:8], []).append(account.keypair.public)
         return witness
 
     def register_verifier(self, name: str, funding: int) -> Verifier:
@@ -401,8 +450,7 @@ class ProofOfLocationSystem:
         bench harness's concurrent mode.
         """
         pending = [self.submit_async(name, request, proof) for name, request, proof in submissions]
-        if pending:
-            drive(self.chain.queue, lambda: all(p.done for p in pending), chain=self.chain)
+        _drain(self.chain, [p.handle for p in pending])
         for prover_name, request, _ in submissions:
             tracker = self.provers.get(prover_name)
             if tracker is not None:
@@ -416,6 +464,28 @@ class ProofOfLocationSystem:
         deployed = self._contract_at(olc)
         account = self.accounts[verifier_name]
         return deployed.api("verifierAPI.insert_money", amount, sender=account, pay=amount)
+
+    def fund_contracts(self, verifier_name: str, amounts: dict[str, int]) -> dict[str, OpResult]:
+        """Pipeline :meth:`fund_contract` across many locations.
+
+        All insert_money transactions share blocks instead of each
+        waiting out its own confirmation: serially, funding 100k users'
+        locations is tens of thousands of blocked round trips.
+        """
+        account = self.accounts[verifier_name]
+        handles = {
+            olc: self._contract_at(olc).api_async(
+                "verifierAPI.insert_money", amount, sender=account, pay=amount
+            )
+            for olc, amount in amounts.items()
+        }
+        _drain(self.chain, list(handles.values()))
+        results: dict[str, OpResult] = {}
+        for olc, handle in handles.items():
+            if handle.error is not None:
+                raise handle.error
+            results[olc] = handle.op_result
+        return results
 
     def verify_and_reward(self, verifier_name: str, olc: str, did_uint: int) -> ProofFailure:
         """Read the record, check the proof, reward, feed the hypercube."""
@@ -433,6 +503,21 @@ class ProofOfLocationSystem:
     def _verify_and_reward(
         self, verifier: Verifier, verifier_name: str, olc: str, did_uint: int
     ) -> ProofFailure:
+        outcome, handle, cid = self._start_verify(verifier, verifier_name, olc, did_uint)
+        if handle is None:
+            return outcome
+        handle.wait()
+        self._publish_verified(verifier_name, olc, cid)
+        return ProofFailure.OK
+
+    def _start_verify(
+        self, verifier: Verifier, verifier_name: str, olc: str, did_uint: int
+    ) -> tuple[ProofFailure, OpHandle | None, str]:
+        """Off-chain record checks, then launch the on-chain verify.
+
+        Returns ``(outcome, handle, cid)``; the handle is None when the
+        record failed the off-chain checks (no transaction submitted).
+        """
         deployed = self._contract_at(olc)
         raw = deployed.map_value("easy_map", did_uint)
         if raw is None:
@@ -450,9 +535,10 @@ class ProofOfLocationSystem:
             nonce=int(fields["nonce"]),
             cid=str(fields["cid"]),
             prover_public=prover_public,
+            hint_keys=self._witness_cells.get(olc[:8]),
         )
         if outcome is not ProofFailure.OK:
-            return outcome
+            return outcome, None, ""
         account = self.accounts[verifier_name]
         if self.witness_reward:
             # Section 2.8: identify the signing witness and pay it too.
@@ -461,17 +547,23 @@ class ProofOfLocationSystem:
             signer = identify_witness(
                 str(fields["hashed_proof"]),
                 str(fields["signed_proof"]),
-                self.authority.witness_list(verifier_name),
+                self.authority.witness_set(verifier_name),
+                preferred=self._witness_cells.get(olc[:8]),
             )
             witness_wallet = self.authority.witness_wallet(signer) if signer else None
             if witness_wallet is None:
                 raise PolSystemError("cannot resolve the signing witness's wallet")
-            deployed.api(
+            handle = deployed.api_async(
                 "verifierAPI.verify", did_uint, str(fields["wallet"]), witness_wallet, sender=account
             )
         else:
-            deployed.api("verifierAPI.verify", did_uint, str(fields["wallet"]), sender=account)
-        cid = str(fields["cid"])
+            handle = deployed.api_async(
+                "verifierAPI.verify", did_uint, str(fields["wallet"]), sender=account
+            )
+        return ProofFailure.OK, handle, str(fields["cid"])
+
+    def _publish_verified(self, verifier_name: str, olc: str, cid: str) -> None:
+        """Post-reward bookkeeping: feed the hypercube, pin the report."""
         with self.chain.recorder.span(
             "dht:publish", track=f"verifier:{verifier_name}", cat="dht", olc=olc
         ):
@@ -482,7 +574,56 @@ class ProofOfLocationSystem:
             self.ipfs.replicate(cid, "gateway", pin=True)
         except Exception:
             pass  # already gone (nothing to pin) or already replicated
-        return ProofFailure.OK
+
+    def verify_many(self, verifier_name: str, targets: list[tuple[str, int]]) -> list[ProofFailure]:
+        """Pipeline :meth:`verify_and_reward` across many records.
+
+        Each record's off-chain checks run up front (they read state the
+        submission wave already settled), every accepted record's
+        ``verifierAPI.verify`` transaction is in flight at once, and each
+        journey's verify span still closes at its own confirmation time.
+        Serially, verification is the long pole at scale: one blocked
+        consensus round trip per user.
+        """
+        verifier = self.verifiers.get(verifier_name)
+        if verifier is None:
+            raise PolSystemError(f"{verifier_name!r} is not an accredited verifier")
+        recorder = self.chain.recorder
+        results: list[ProofFailure] = [ProofFailure.OK] * len(targets)
+        pending: list[OpHandle] = []
+        for index, (olc, did_uint) in enumerate(targets):
+            journey = self._journey_records.pop((olc, did_uint), None) if recorder.enabled else None
+            span = recorder.span(
+                "proof:verify", track=f"verifier:{verifier_name}", cat="proof",
+                olc=olc, did=did_uint, parent=journey,
+            )
+            with recorder.activate(span.context):
+                try:
+                    outcome, handle, cid = self._start_verify(
+                        verifier, verifier_name, olc, did_uint
+                    )
+                except BaseException as exc:
+                    span.end(error=type(exc).__name__)
+                    raise
+                if handle is None:
+                    results[index] = outcome
+                    span.end()
+                    continue
+
+                def finish(settled: OpHandle, *, span=span, olc=olc, cid=cid) -> None:
+                    # Runs under span.context (add_done_callback re-activates
+                    # the registration-time trace context).
+                    if settled.error is None:
+                        self._publish_verified(verifier_name, olc, cid)
+                    span.end()
+
+                handle.add_done_callback(finish)
+                pending.append(handle)
+        _drain(self.chain, pending)
+        for handle in pending:
+            if handle.error is not None:
+                raise handle.error
+        return results
 
     def rotate_identity(self, prover_name: str) -> Prover:
         """GDPR-style pseudonym rotation (section 2.7).
@@ -519,7 +660,7 @@ class ProofOfLocationSystem:
             longitude=prover.longitude,
         )
         self.provers[prover_name] = rotated
-        return rotated
+        return self.provers[prover_name]
 
     def display_reports(self, olc: str) -> list[bytes]:
         """Figure 3.2: hypercube -> CIDs -> IPFS fetches."""

@@ -10,17 +10,28 @@ from __future__ import annotations
 import hashlib
 
 
+_sha256 = hashlib.sha256
+
+
 def sha256(*parts: bytes) -> bytes:
-    """Return the SHA-256 digest of the concatenation of ``parts``."""
-    h = hashlib.sha256()
-    for part in parts:
-        h.update(part)
-    return h.digest()
+    """Return the SHA-256 digest of the concatenation of ``parts``.
+
+    The kernel hashes millions of short inputs per run; one C-level
+    call over the joined bytes beats a Python loop of ``update``s.
+    """
+    if len(parts) == 1:
+        return _sha256(parts[0]).digest()
+    return _sha256(b"".join(parts)).digest()
 
 
 def sha256_hex(*parts: bytes) -> str:
     """Return the SHA-256 digest of ``parts`` as a hex string."""
     return sha256(*parts).hex()
+
+
+#: tag -> H(tag) || H(tag); the tag set is small and fixed, the prefix
+#: re-derivation used to be a third of all SHA-256 calls at scale.
+_TAG_PREFIXES: dict[str, bytes] = {}
 
 
 def tagged_hash(tag: str, *parts: bytes) -> bytes:
@@ -30,8 +41,11 @@ def tagged_hash(tag: str, *parts: bytes) -> bytes:
     seals, DID challenges) hashes under its own tag so that a digest
     produced in one context can never be replayed in another.
     """
-    tag_digest = sha256(tag.encode("utf-8"))
-    return sha256(tag_digest, tag_digest, *parts)
+    prefix = _TAG_PREFIXES.get(tag)
+    if prefix is None:
+        tag_digest = _sha256(tag.encode("utf-8")).digest()
+        prefix = _TAG_PREFIXES[tag] = tag_digest + tag_digest
+    return _sha256(prefix + b"".join(parts)).digest()
 
 
 def hash_to_int(data: bytes, modulus: int) -> int:

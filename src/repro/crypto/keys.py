@@ -16,11 +16,42 @@ import secrets
 from dataclasses import dataclass
 
 from repro.crypto import group
+from repro.crypto.fastexp import g_pow
 from repro.crypto.hashing import sha256, tagged_hash
 
 
 class SignatureError(Exception):
     """Raised when a signature fails verification."""
+
+
+# -- in-process fast paths -----------------------------------------------------
+#
+# The simulation signs, encrypts, verifies and decrypts inside ONE
+# process, so most checks re-derive something this process just
+# computed.  Both memos below only short-circuit work whose outcome is
+# forced by construction -- a signature produced by ``sign`` is valid,
+# a KEM header produced by ``encrypt`` decrypts to the encryptor's
+# shared secret -- so every result is bit-identical to the full
+# algebraic path, which unknown (possibly forged) inputs still take.
+# Bounded: at the cap the memo is cleared, costing a few re-derivations.
+
+_SIGNED_CAP = 1 << 18
+#: signatures this process produced: (y, message, e, s).  Keyed on the
+#: message bytes themselves -- set hashing (siphash) is far cheaper than
+#: the SHA-256 digest this used to key on, and the caller already holds
+#: the message alive (it is the transaction's cached signing payload).
+_signed_here: set[tuple[int, bytes, int, int]] = set()
+
+_SHARED_CAP = 1 << 16
+#: DH shared secrets this process derived while encrypting: (y, c1) -> y**k
+_shared_here: dict[tuple[int, int], int] = {}
+
+_DLOG_CAP = 1 << 20
+#: discrete logs of keys this process generated: y -> x with y == g**x.
+#: Knowing x turns every variable-base ``pow(y, e, P)`` into one
+#: fixed-base comb pow ``g**(x*e mod q)`` -- same value, ~10x cheaper.
+#: Keys parsed from wire bytes are absent and take the generic path.
+_dlog_here: dict[int, int] = {}
 
 
 @dataclass(frozen=True)
@@ -52,6 +83,20 @@ class PublicKey:
         if not group.is_group_element(self.y):
             raise ValueError("public key is not a valid group element")
 
+    @classmethod
+    def _trusted(cls, y: int) -> "PublicKey":
+        """Construct without the subgroup-membership check.
+
+        Only for values *this process derived* as ``g ** x`` (key
+        generation): membership holds by construction and the check is
+        a full 160-bit exponentiation -- the single most expensive step
+        of onboarding a user at scale.  Untrusted inputs (wire bytes,
+        ciphertext headers) must keep going through ``PublicKey(y=...)``.
+        """
+        key = cls.__new__(cls)
+        object.__setattr__(key, "y", y)
+        return key
+
     def fingerprint(self) -> str:
         """Short stable identifier used in address derivation and logs."""
         return sha256(self.to_bytes()).hex()[:40]
@@ -73,7 +118,14 @@ class PublicKey:
         """
         if not (0 < signature.e < group.Q and 0 < signature.s < group.Q):
             return False
-        r = (pow(group.G, signature.s, group.P) * pow(self.y, group.Q - signature.e, group.P)) % group.P
+        if (self.y, message, signature.e, signature.s) in _signed_here:
+            return True  # this process signed it; validity is by construction
+        x = _dlog_here.get(self.y)
+        if x is not None:
+            # g**s * y**(q-e) == g**(s + x*(q-e) mod q): one comb pow
+            r = g_pow((signature.s + x * (group.Q - signature.e)) % group.Q)
+        else:
+            r = (g_pow(signature.s) * pow(self.y, group.Q - signature.e, group.P)) % group.P
         e = _challenge(r, self.y, message)
         return e == signature.e
 
@@ -85,8 +137,12 @@ class PublicKey:
         encrypt DID authentication challenges to provers.
         """
         k = secrets.randbelow(group.Q - 1) + 1
-        c1 = pow(group.G, k, group.P)
-        shared = pow(self.y, k, group.P)
+        c1 = g_pow(k)
+        x = _dlog_here.get(self.y)
+        shared = g_pow((x * k) % group.Q) if x is not None else pow(self.y, k, group.P)
+        if len(_shared_here) >= _SHARED_CAP:
+            _shared_here.clear()
+        _shared_here[(self.y, c1)] = shared
         return c1, _xor_stream(shared, plaintext)
 
 
@@ -100,8 +156,7 @@ class KeyPair:
     @classmethod
     def generate(cls) -> "KeyPair":
         """Generate a fresh random key pair."""
-        x = secrets.randbelow(group.Q - 1) + 1
-        return cls(x=x, public=PublicKey(y=pow(group.G, x, group.P)))
+        return cls._from_private(secrets.randbelow(group.Q - 1) + 1)
 
     @classmethod
     def from_seed(cls, seed: bytes) -> "KeyPair":
@@ -111,7 +166,15 @@ class KeyPair:
         reproducible (e.g. ``KeyPair.from_seed(b"prover-7")``).
         """
         x = int.from_bytes(tagged_hash("repro/keypair-seed", seed), "big") % (group.Q - 1) + 1
-        return cls(x=x, public=PublicKey(y=pow(group.G, x, group.P)))
+        return cls._from_private(x)
+
+    @classmethod
+    def _from_private(cls, x: int) -> "KeyPair":
+        y = g_pow(x)
+        if len(_dlog_here) >= _DLOG_CAP:
+            _dlog_here.clear()
+        _dlog_here[y] = x
+        return cls(x=x, public=PublicKey._trusted(y))
 
     def sign(self, message: bytes) -> Signature:
         """Schnorr-sign ``message`` with a deterministic (RFC 6979-style) nonce.
@@ -120,17 +183,25 @@ class KeyPair:
         the hash of the prover's proof.
         """
         k = _deterministic_nonce(self.x, message)
-        r = pow(group.G, k, group.P)
+        r = g_pow(k)
         e = _challenge(r, self.public.y, message)
         s = (k + self.x * e) % group.Q
+        if len(_signed_here) >= _SIGNED_CAP:
+            _signed_here.clear()
+        _signed_here.add((self.public.y, message, e, s))
         return Signature(e=e, s=s)
 
     def decrypt(self, ciphertext: tuple[int, bytes]) -> bytes:
         """Decrypt a hashed-ElGamal ciphertext produced by :meth:`PublicKey.encrypt`."""
         c1, c2 = ciphertext
-        if not group.is_group_element(c1):
-            raise ValueError("ciphertext header is not a valid group element")
-        shared = pow(c1, self.x, group.P)
+        # A header this process produced (encrypt, above) is g**k by
+        # construction and its shared secret y**k == c1**x is already
+        # known; wire-format headers take the full check + modexp.
+        shared = _shared_here.get((self.public.y, c1))
+        if shared is None:
+            if not group.is_group_element(c1):
+                raise ValueError("ciphertext header is not a valid group element")
+            shared = pow(c1, self.x, group.P)
         return _xor_stream(shared, c2)
 
 
@@ -148,18 +219,20 @@ def _challenge(r: int, y: int, message: bytes) -> int:
 
 def _deterministic_nonce(x: int, message: bytes) -> int:
     """Derive a per-(key, message) nonce; avoids RNG misuse in replays."""
-    digest = hmac.new(x.to_bytes(32, "big"), tagged_hash("repro/nonce", message), "sha256").digest()
+    # hmac.digest is the one-shot C path; same bytes as hmac.new(...).digest()
+    digest = hmac.digest(x.to_bytes(32, "big"), tagged_hash("repro/nonce", message), "sha256")
     k = int.from_bytes(digest, "big") % group.Q
     return k if k != 0 else 1
 
 
 def _xor_stream(shared: int, data: bytes) -> bytes:
     """XOR ``data`` with a SHA-256 counter stream keyed by ``shared``."""
+    size = len(data)
+    if size == 0:
+        return b""
     key = tagged_hash("repro/elgamal-kdf", shared.to_bytes(128, "big"))
-    out = bytearray(len(data))
-    for block in range(0, len(data), 32):
-        stream = sha256(key, block.to_bytes(8, "big"))
-        chunk = data[block : block + 32]
-        for i, byte in enumerate(chunk):
-            out[block + i] = byte ^ stream[i]
-    return bytes(out)
+    stream = b"".join(
+        sha256(key, block.to_bytes(8, "big")) for block in range(0, size, 32)
+    )[:size]
+    # byte-wise XOR as one big-int XOR (identical output, no Python loop)
+    return (int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")).to_bytes(size, "big")

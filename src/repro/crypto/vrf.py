@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto import group
+from repro.crypto.fastexp import g_pow
 from repro.crypto.hashing import tagged_hash
 from repro.crypto.keys import KeyPair, PublicKey
 
@@ -63,20 +64,41 @@ class VRFKeyPair:
         """The public half, published as the account's participation key."""
         return self.keypair.public
 
-    def evaluate(self, message: bytes) -> VRFProof:
-        """Evaluate the VRF on ``message`` and produce a credential."""
+    def evaluate(self, message: bytes, *, base: int | None = None) -> VRFProof:
+        """Evaluate the VRF on ``message`` and produce a credential.
+
+        ``base`` may carry a precomputed ``hash_to_group(message)`` --
+        sortition evaluates every participant on the same per-round
+        message, so the caller hashes once and shares the element.
+        """
         x = self.keypair.x
-        base = group.hash_to_group(message)
+        if base is None:
+            base = group.hash_to_group(message)
         gamma = pow(base, x, group.P)
         # Chaum-Pedersen: prove log_G(y) == log_base(gamma) without revealing x.
         k = int.from_bytes(tagged_hash("repro/vrf-nonce", x.to_bytes(32, "big"), message), "big") % group.Q
         if k == 0:
             k = 1
-        a1 = pow(group.G, k, group.P)
+        a1 = g_pow(k)  # fixed-base comb; == pow(group.G, k, group.P)
         a2 = pow(base, k, group.P)
         c = _dleq_challenge(self.public.y, base, gamma, a1, a2, message)
         s = (k + c * x) % group.Q
         return VRFProof(gamma=gamma, c=c, s=s)
+
+    def output_for(self, message: bytes, *, base: int | None = None) -> bytes:
+        """The VRF output alone, without the DLEQ transcript.
+
+        Sortition's *private* self-check only needs ``beta = H(gamma)``
+        to learn its seat count; the proof is revealed (and therefore
+        needed) only for selected credentials.  One modexp instead of
+        three -- and because the nonce is derived deterministically, a
+        later :meth:`evaluate` on the same message yields exactly the
+        proof whose output this is.
+        """
+        if base is None:
+            base = group.hash_to_group(message)
+        gamma = pow(base, self.keypair.x, group.P)
+        return tagged_hash("repro/vrf-output", gamma.to_bytes(128, "big"))
 
 
 def verify_vrf(public: PublicKey, message: bytes, proof: VRFProof) -> bytes:

@@ -33,6 +33,19 @@ def parse_did(did: str) -> str:
     return parts[2]
 
 
+def uint_did(did: str) -> int:
+    """Project a DID string onto the UInt key space the contract Map supports.
+
+    "We are aware that the UInt format does not represent a correct
+    DID.  However, we do this only for testing purposes" (section
+    4.1.1) -- the projection is the leading 53 bits of the
+    method-specific id, collision-checked at registration by the
+    system facade.
+    """
+    specific = parse_did(did)
+    return int(specific[:13], 16)
+
+
 @dataclass
 class DidDocument:
     """The resolvable description of a DID subject (figure 1.8)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.keys import KeyPair, PublicKey
-from repro.did.document import DidDocument, DidError, make_did, parse_did
+from repro.did.document import DidDocument, DidError, make_did, parse_did, uint_did
 
 
 class DidResolutionError(DidError):
@@ -25,6 +25,10 @@ class DidRegistry:
 
     documents: dict[str, DidDocument] = field(default_factory=dict)
     resolutions: int = 0
+    #: UInt-DID projection -> DID string for documents registered through
+    #: :meth:`create`; lets the witness authentication path resolve a
+    #: contract-level UInt DID in O(1) instead of scanning every document.
+    _uint_index: dict[int, str] = field(default_factory=dict)
 
     def create(self, keypair: KeyPair) -> DidDocument:
         """Register a new DID derived from ``keypair``'s public key."""
@@ -33,7 +37,23 @@ class DidRegistry:
             raise DidError(f"{did} is already registered")
         document = DidDocument(id=did, public_key=keypair.public)
         self.documents[did] = document
+        self._uint_index[uint_did(did)] = did
         return document
+
+    def did_for_uint(self, short_did: int) -> str | None:
+        """The *active* DID behind a UInt projection, if indexed.
+
+        Returns None when the projection is unknown or the document was
+        deactivated; callers that allow out-of-band ``documents``
+        mutation should treat None as "fall back to a full scan".
+        """
+        did = self._uint_index.get(short_did)
+        if did is None:
+            return None
+        document = self.documents.get(did)
+        if document is None or document.deactivated:
+            return None
+        return did
 
     def resolve(self, did: str) -> DidDocument:
         """DID resolution: DID -> document (figure 2.4, step 1)."""

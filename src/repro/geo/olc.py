@@ -14,6 +14,7 @@ area codes, and shorten/recover relative to a reference location.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 OLC_ALPHABET = "23456789CFGHJMPQRVWX"
 SEPARATOR = "+"
@@ -92,6 +93,7 @@ _FINAL_LAT_PRECISION = _PAIR_PRECISION * GRID_ROWS ** (MAX_CODE_LENGTH - PAIR_CO
 _FINAL_LNG_PRECISION = _PAIR_PRECISION * GRID_COLUMNS ** (MAX_CODE_LENGTH - PAIR_CODE_LENGTH)
 
 
+@lru_cache(maxsize=65536)
 def encode(latitude: float, longitude: float, code_length: int = PAIR_CODE_LENGTH) -> str:
     """Encode a location to an Open Location Code.
 
@@ -100,7 +102,8 @@ def encode(latitude: float, longitude: float, code_length: int = PAIR_CODE_LENGT
 
     Digits are computed with integer arithmetic (like the reference
     implementation) so polar and cell-boundary coordinates round-trip
-    exactly.
+    exactly.  Encoding is a pure function and campaign workloads revisit
+    the same few thousand cells, so results are memoized.
     """
     if code_length < 2 or (code_length < PAIR_CODE_LENGTH and code_length % 2 == 1):
         raise OlcError(f"invalid code length {code_length}")

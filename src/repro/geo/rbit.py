@@ -16,18 +16,22 @@ The dual encoding that keys the hypercube DHT:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.crypto.hashing import hash_to_int
 from repro.geo.olc import PAIR_CODE_LENGTH, SEPARATOR, is_full
 
 PIECE_SIZE = 2
 
+# Both encodings are pure functions of their arguments, and a
+# population's requests concentrate on a small set of distinct OLC
+# cells, so the DHT re-derives the same node IDs thousands of times
+# at scale; the caches hold comfortably more cells than a 100k-user
+# run touches.
 
-def olc_to_segments(code: str) -> list[str]:
-    """Split an OLC into zero-padded positional segments (figure 1.3).
 
-    ``"6PH57VP3+PR"`` becomes ``["6P00000000", "00H5000000",
-    "00007V0000", "000000P300", "00000000PR"]``.
-    """
+@lru_cache(maxsize=65536)
+def _segments(code: str) -> tuple[str, ...]:
     if not is_full(code):
         raise ValueError(f"r-bit encoding needs a full OLC, got {code!r}")
     digits = code.upper().replace(SEPARATOR, "")[:PAIR_CODE_LENGTH]
@@ -37,20 +41,31 @@ def olc_to_segments(code: str) -> list[str]:
     for start in range(0, PAIR_CODE_LENGTH, PIECE_SIZE):
         piece = digits[start : start + PIECE_SIZE]
         segments.append("0" * start + piece + "0" * (PAIR_CODE_LENGTH - start - PIECE_SIZE))
-    return segments
+    return tuple(segments)
 
 
+def olc_to_segments(code: str) -> list[str]:
+    """Split an OLC into zero-padded positional segments (figure 1.3).
+
+    ``"6PH57VP3+PR"`` becomes ``["6P00000000", "00H5000000",
+    "00007V0000", "000000P300", "00000000PR"]``.
+    """
+    return list(_segments(code))
+
+
+@lru_cache(maxsize=65536)
 def olc_to_rbit(code: str, r: int) -> str:
     """Encode a full OLC to the r-bit node-ID string."""
     if r <= 0:
         raise ValueError("r must be positive")
     bits = [0] * r
-    for segment in olc_to_segments(code):
+    for segment in _segments(code):
         position = hash_to_int(segment.encode(), r)
         bits[position] ^= 1
     return "".join(str(bit) for bit in bits)
 
 
+@lru_cache(maxsize=65536)
 def rbit_to_int(bit_string: str) -> int:
     """The node key: the bit string read as a binary number.
 

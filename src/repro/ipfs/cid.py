@@ -9,6 +9,7 @@ multibase prefix over base32(version || raw-codec || sha2-256 multihash).
 from __future__ import annotations
 
 import base64
+from functools import lru_cache
 
 from repro.crypto.hashing import sha256
 
@@ -21,13 +22,22 @@ class CidError(ValueError):
     """A malformed or mismatching CID."""
 
 
-def compute_cid(content: bytes) -> str:
-    """The CID of a block of content."""
-    if not isinstance(content, bytes):
-        raise CidError("content must be bytes")
+@lru_cache(maxsize=131072)
+def _cid_of(content: bytes) -> str:
     digest = sha256(content)
     payload = _VERSION + _RAW_CODEC + _SHA256_CODE + digest
     return "b" + base64.b32encode(payload).decode().lower().rstrip("=")
+
+
+def compute_cid(content: bytes) -> str:
+    """The CID of a block of content.
+
+    Cached by content: every pin/replicate/verify of the same block
+    re-derives the same address (self-certifying names are pure).
+    """
+    if not isinstance(content, bytes):
+        raise CidError("content must be bytes")
+    return _cid_of(content)
 
 
 def verify_cid(content: bytes, cid: str) -> bool:

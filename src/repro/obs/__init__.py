@@ -11,6 +11,7 @@ disabled runs at near-zero overhead.
 
 from repro.obs.recorder import (
     DEFAULT_BUCKETS,
+    MUTED_CONTEXT,
     NULL_RECORDER,
     RATIO_BUCKETS,
     NullRecorder,
@@ -40,6 +41,7 @@ from repro.obs.export import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "MUTED_CONTEXT",
     "RATIO_BUCKETS",
     "NULL_RECORDER",
     "NullRecorder",

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TraceContext"]
+__all__ = ["MUTED_CONTEXT", "TraceContext"]
 
 
 @dataclass(frozen=True)
@@ -51,3 +51,12 @@ class TraceContext:
 
     def __repr__(self) -> str:
         return f"TraceContext({self.trace_id}/{self.span_id})"
+
+
+#: Sentinel context for *sampled-out* journeys.  A span opened under it
+#: (explicitly or via the ambient stack) is not recorded; it returns a
+#: shared muted span whose own ``context`` is again this sentinel, so the
+#: mute propagates through every capture point listed above without any
+#: call-site changes.  Metrics (counters/gauges/histograms) still record
+#: normally -- sampling silences *traces*, not aggregates.
+MUTED_CONTEXT = TraceContext("<muted>", -1)

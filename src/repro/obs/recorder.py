@@ -38,14 +38,15 @@ pays only an attribute read.
 from __future__ import annotations
 
 from bisect import bisect_left
-from contextlib import contextmanager
 from typing import Any, Iterator
 
-from repro.obs.context import TraceContext
+from repro.obs.context import MUTED_CONTEXT, TraceContext
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "RATIO_BUCKETS",
+    "MUTED_CONTEXT",
+    "MUTED_SPAN",
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
@@ -178,6 +179,115 @@ class _NullSpan:
         pass
 
 
+class _MutedSpan:
+    """The shared span returned for sampled-out journeys.
+
+    Unlike :class:`_NullSpan` its ``context`` is :data:`MUTED_CONTEXT`,
+    so every child opened under it (directly, through the ambient stack,
+    or across an event-queue / done-callback capture) is muted too.
+    ``args`` is a throwaway dict per access: callers may mutate it, but
+    nothing is retained.
+    """
+
+    __slots__ = ()
+    name = ""
+    track = ""
+    cat = ""
+    started_at = 0.0
+    finished_at: float | None = 0.0
+    done = True
+    duration = 0.0
+    trace_id = ""
+    span_id = -1
+    parent_id: int | None = None
+    context: TraceContext = MUTED_CONTEXT
+
+    @property
+    def args(self) -> dict[str, Any]:
+        return {}
+
+    def end(self, **extra: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_MutedSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+
+#: the process-wide muted span; ``span(parent=MUTED_CONTEXT)`` returns it.
+MUTED_SPAN = _MutedSpan()
+
+
+class _NullHandle:
+    """Do-nothing instrument handle the :class:`NullRecorder` hands out."""
+
+    __slots__ = ()
+
+    def add(self, value: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class CounterHandle:
+    """A pre-keyed counter: ``add()`` skips per-call label sorting.
+
+    Hot loops (the event kernel, the chain's submit/produce paths) call
+    the same ``name{labels}`` sample millions of times per run; resolving
+    the :data:`MetricKey` once and reusing it keeps the per-call cost to
+    one dict update.
+    """
+
+    __slots__ = ("_counters", "_key")
+
+    def __init__(self, recorder: "Recorder", key: MetricKey):
+        self._counters = recorder._counters
+        self._key = key
+
+    def add(self, value: float = 1.0) -> None:
+        counters = self._counters
+        key = self._key
+        counters[key] = counters.get(key, 0.0) + value
+
+
+class GaugeHandle:
+    """A pre-keyed gauge: ``set()`` with the label work done up front."""
+
+    __slots__ = ("_recorder", "_key", "_name")
+
+    def __init__(self, recorder: "Recorder", key: MetricKey):
+        self._recorder = recorder
+        self._key = key
+        self._name = key[0]
+
+    def set(self, value: float) -> None:
+        self._recorder._gauge_set(self._key, self._name, value)
+
+
+class HistogramHandle:
+    """A pre-keyed histogram: ``observe()`` with a cached bucket table."""
+
+    __slots__ = ("_recorder", "_key", "_name", "_buckets")
+
+    def __init__(self, recorder: "Recorder", key: MetricKey, buckets: tuple[float, ...] | None):
+        self._recorder = recorder
+        self._key = key
+        self._name = key[0]
+        self._buckets = buckets
+
+    def observe(self, value: float) -> None:
+        self._recorder._observe_key(self._key, self._name, value, self._buckets)
+
+
 class _Histogram:
     """Bucketed distribution: per-bucket counts plus sum and count."""
 
@@ -241,6 +351,17 @@ class NullRecorder:
     def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
         pass
 
+    def counter_handle(self, name: str, **labels: Any) -> "_NullHandle":
+        return _NULL_HANDLE
+
+    def gauge_handle(self, name: str, **labels: Any) -> "_NullHandle":
+        return _NULL_HANDLE
+
+    def histogram_handle(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: Any,
+    ) -> "_NullHandle":
+        return _NULL_HANDLE
+
     def span(
         self, name: str, track: str = "main", cat: str = "span",
         parent: TraceContext | None = None, **args: Any,
@@ -267,6 +388,25 @@ class _NullActivation:
 
 
 _NULL_ACTIVATION = _NullActivation()
+
+
+class _Activation:
+    """Single-use hand-rolled CM for :meth:`Recorder.activate`."""
+
+    __slots__ = ("_stack", "_context")
+
+    def __init__(self, stack: list, context: "TraceContext | None"):
+        self._stack = stack
+        self._context = context
+
+    def __enter__(self) -> None:
+        if self._context is not None:
+            self._stack.append(self._context)
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._context is not None:
+            self._stack.pop()
 
 #: the process-wide disabled recorder every component defaults to.
 NULL_RECORDER = NullRecorder()
@@ -295,6 +435,7 @@ class Recorder(NullRecorder):
         self._declared_buckets: dict[str, tuple[float, ...]] = {}
         self.spans: list[Span] = []
         self.spans_dropped = 0
+        self.spans_sampled_out = 0
         self._context_stack: list[TraceContext] = []
         self._trace_count = 0
         self._span_count = 0
@@ -316,8 +457,7 @@ class Recorder(NullRecorder):
         """The ambient :class:`TraceContext` new spans parent under."""
         return self._context_stack[-1] if self._context_stack else None
 
-    @contextmanager
-    def activate(self, context: TraceContext | None):
+    def activate(self, context: TraceContext | None) -> "_Activation":
         """Make ``context`` ambient for the duration of the ``with`` body.
 
         The propagation primitive: the event kernel and the tx/op
@@ -325,15 +465,12 @@ class Recorder(NullRecorder):
         re-activate it around the continuation, so spans opened inside
         asynchronous callbacks parent into the right trace.  A ``None``
         context is a no-op (disabled runs pay nothing).
+
+        Returns a single-use, hand-rolled context manager: activation
+        runs several times per transaction, where the generator-based
+        ``@contextmanager`` machinery is measurable overhead.
         """
-        if context is None:
-            yield
-            return
-        self._context_stack.append(context)
-        try:
-            yield
-        finally:
-            self._context_stack.pop()
+        return _Activation(self._context_stack, context)
 
     # -- instruments ----------------------------------------------------------
 
@@ -354,7 +491,9 @@ class Recorder(NullRecorder):
         ``gauge_samples_dropped_total{gauge=<name>}``; the last-value
         read (:meth:`snapshot`) always stays exact.
         """
-        key = _key(name, labels)
+        self._gauge_set(_key(name, labels), name, value)
+
+    def _gauge_set(self, key: MetricKey, name: str, value: float) -> None:
         self._gauges[key] = value
         series = self._gauge_series.setdefault(key, [])
         stride = self._gauge_strides.get(key, 1)
@@ -385,12 +524,30 @@ class Recorder(NullRecorder):
         :meth:`declare_histogram`, the ``buckets`` argument, or
         :data:`DEFAULT_BUCKETS`; they are fixed at first observation.
         """
-        key = _key(name, labels)
+        self._observe_key(_key(name, labels), name, value, buckets)
+
+    def _observe_key(
+        self, key: MetricKey, name: str, value: float, buckets: tuple[float, ...] | None,
+    ) -> None:
         histogram = self._histograms.get(key)
         if histogram is None:
             bounds = self._declared_buckets.get(name) or buckets or DEFAULT_BUCKETS
             histogram = self._histograms[key] = _Histogram(tuple(bounds))
         histogram.observe(value)
+
+    def counter_handle(self, name: str, **labels: Any) -> CounterHandle:
+        """A pre-keyed handle to the counter ``name{labels}``."""
+        return CounterHandle(self, _key(name, labels))
+
+    def gauge_handle(self, name: str, **labels: Any) -> GaugeHandle:
+        """A pre-keyed handle to the gauge ``name{labels}``."""
+        return GaugeHandle(self, _key(name, labels))
+
+    def histogram_handle(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: Any,
+    ) -> HistogramHandle:
+        """A pre-keyed handle to the histogram ``name{labels}``."""
+        return HistogramHandle(self, _key(name, labels), buckets)
 
     def span(
         self, name: str, track: str = "main", cat: str = "span",
@@ -405,9 +562,14 @@ class Recorder(NullRecorder):
         in ``obs_spans_dropped_total`` and surfaced by :meth:`snapshot`
         and the drive() stall report.
         """
-        span = Span(self, name, track, cat, {label: str(value) for label, value in args.items()})
         if parent is None:
             parent = self.current_context()
+        if parent is MUTED_CONTEXT:
+            # Sampled-out journey: hand back the shared muted span.  Its
+            # context is MUTED_CONTEXT again, so descendants stay muted.
+            self.spans_sampled_out += 1
+            return MUTED_SPAN  # type: ignore[return-value]
+        span = Span(self, name, track, cat, {label: str(value) for label, value in args.items()})
         if parent is None:
             self._trace_count += 1
             span.trace_id = f"t{self._trace_count:06d}"
@@ -460,6 +622,7 @@ class Recorder(NullRecorder):
                 "total": len(self.spans),
                 "open": sum(1 for span in self.spans if not span.done),
                 "dropped": self.spans_dropped,
+                "sampled_out": self.spans_sampled_out,
             },
         }
 

@@ -51,6 +51,62 @@ class ScheduledEvent:
             self.queue._forget(self)
 
 
+class _SlotEntry:
+    """One pre-sequenced (time, callback, context) member of a slot."""
+
+    __slots__ = ("time", "sequence", "callback", "context")
+
+    def __init__(self, time: float, sequence: int, callback: Callable[[], Any], context: Any):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.context = context
+
+
+class _SlotCursor:
+    """Drains one slot through a single in-heap proxy event.
+
+    The cursor keeps the slot's entries sorted by (time, sequence) and
+    holds exactly one :class:`ScheduledEvent` in the queue's heap at a
+    time -- a proxy carrying the next-due entry's time, sequence and
+    trace context, whose callback re-arms the following entry before
+    firing the current one.  Because every entry was assigned its own
+    sequence number when the slot was scheduled, the global firing order
+    is byte-identical to the equivalent individual ``schedule`` calls;
+    only the heap occupancy changes (O(1) per slot instead of O(n)).
+    """
+
+    __slots__ = ("queue", "entries", "index", "label")
+
+    def __init__(self, queue: "EventQueue", entries: list[_SlotEntry], label: str):
+        self.queue = queue
+        self.entries = entries
+        self.index = 0
+        self.label = label
+
+    @property
+    def remaining(self) -> int:
+        """Entries not yet fired (including the in-heap proxy's)."""
+        return len(self.entries) - self.index
+
+    def _arm(self) -> None:
+        entry = self.entries[self.index]
+        event = ScheduledEvent(
+            time=entry.time, sequence=entry.sequence, callback=self._fire,
+            label=self.label, queue=self.queue, context=entry.context,
+        )
+        heapq.heappush(self.queue._heap, event)
+
+    def _fire(self) -> None:
+        entry = self.entries[self.index]
+        self.index += 1
+        if self.index < len(self.entries):
+            self._arm()  # re-arm first, so a raising callback cannot stall the slot
+        else:
+            self.queue._slots.remove(self)
+        entry.callback()
+
+
 class EventQueue:
     """A deterministic future-event list bound to a :class:`SimClock`."""
 
@@ -64,7 +120,12 @@ class EventQueue:
         #: unfaulted run; installed by repro.faults injectors to model
         #: block-production stalls and receipt delays.
         self.fault_delay: Callable[[str, float], float] | None = None
+        #: active slot cursors; their un-armed entries are invisible to
+        #: the heap but still pending (see pending_labels / __len__).
+        self._slots: list[_SlotCursor] = []
         self.recorder = NULL_RECORDER
+        self._label_handles: dict[str, tuple[Any, Any, Any]] = {}
+        self._depth_gauge = NULL_RECORDER.gauge_handle("sim_queue_depth")
         if recorder is not None:
             self.attach_recorder(recorder)
 
@@ -76,6 +137,26 @@ class EventQueue:
         """
         self.recorder = recorder
         recorder.bind_clock(self.clock)
+        self._label_handles.clear()
+        self._depth_gauge = recorder.gauge_handle("sim_queue_depth")
+
+    def _handles_for(self, label: str) -> tuple[Any, Any, Any]:
+        """Cached (scheduled, fired, cancelled) counter handles per label.
+
+        The kernel increments the same three counters for every event;
+        pre-keying them once per label keeps the per-event telemetry
+        cost to a dict update instead of a sorted-tuple key build.
+        """
+        handles = self._label_handles.get(label)
+        if handles is None:
+            shown = label or "<unlabelled>"
+            recorder = self.recorder
+            handles = self._label_handles[label] = (
+                recorder.counter_handle("sim_events_scheduled_total", label=shown),
+                recorder.counter_handle("sim_events_fired_total", label=shown),
+                recorder.counter_handle("sim_events_cancelled_total", label=shown),
+            )
+        return handles
 
     def __len__(self) -> int:
         return self._live
@@ -113,29 +194,77 @@ class EventQueue:
         self._live += 1
         recorder = self.recorder
         if recorder.enabled:
-            recorder.counter("sim_events_scheduled_total", label=label or "<unlabelled>")
-            recorder.gauge("sim_queue_depth", self._live)
+            self._handles_for(label)[0].add()
+            self._depth_gauge.set(self._live)
         return event
+
+    def schedule_slot(
+        self, entries: list[tuple[float, Callable[[], Any]]], label: str = "",
+    ) -> _SlotCursor | None:
+        """Schedule many ``(delay, callback)`` pairs as one heap-resident slot.
+
+        Each pair gets its own fire time (fault-delay adjusted), its own
+        sequence number and its own captured trace context -- exactly as
+        the equivalent loop of :meth:`schedule` calls would -- so the
+        firing order interleaves with other events byte-identically.
+        But the heap only ever holds one proxy entry for the whole slot,
+        so a block settling thousands of receipts costs O(log heap) once
+        instead of thousands of pushes.  Slot entries cannot be
+        cancelled (the chain's settlement path never cancels them).
+        """
+        now = self.clock.now
+        fault = self.fault_delay
+        recorder = self.recorder
+        capture = recorder.enabled
+        resolved: list[_SlotEntry] = []
+        for delay, callback in entries:
+            if delay < 0:
+                raise ValueError("cannot schedule an event in the past")
+            if fault is not None:
+                delay += fault(label, now + delay)
+            context = recorder.current_context() if capture else None
+            resolved.append(_SlotEntry(now + delay, next(self._sequence), callback, context))
+        if not resolved:
+            return None
+        resolved.sort(key=lambda entry: (entry.time, entry.sequence))
+        self._live += len(resolved)
+        if recorder.enabled:
+            self._handles_for(label)[0].add(float(len(resolved)))
+            self._depth_gauge.set(self._live)
+        cursor = _SlotCursor(self, resolved, label)
+        self._slots.append(cursor)
+        cursor._arm()
+        return cursor
 
     def _forget(self, event: ScheduledEvent) -> None:
         """Account for a pending event's cancellation (O(1) ``__len__``)."""
         self._live -= 1
         recorder = self.recorder
         if recorder.enabled:
-            recorder.counter("sim_events_cancelled_total", label=event.label or "<unlabelled>")
-            recorder.gauge("sim_queue_depth", self._live)
+            self._handles_for(event.label)[2].add()
+            self._depth_gauge.set(self._live)
 
     def pending_labels(self) -> list[str]:
         """Labels of the pending events in firing order (diagnostics).
 
         Unlabelled events report as ``"<unlabelled>"``; cancelled events
-        are skipped, matching :meth:`__len__`.
+        are skipped, matching :meth:`__len__`.  Slot entries not yet
+        armed in the heap are merged in at their reserved (time,
+        sequence) position.
         """
-        return [
-            event.label or "<unlabelled>"
-            for event in sorted(self._heap)
+        pending = [
+            (event.time, event.sequence, event.label or "<unlabelled>")
+            for event in self._heap
             if not event.cancelled
         ]
+        for cursor in self._slots:
+            shown = cursor.label or "<unlabelled>"
+            pending.extend(
+                (entry.time, entry.sequence, shown)
+                for entry in cursor.entries[cursor.index + 1:]
+            )
+        pending.sort()
+        return [label for _, _, label in pending]
 
     def step(self) -> ScheduledEvent | None:
         """Fire the earliest pending event, advancing the clock to it.
@@ -151,8 +280,8 @@ class EventQueue:
             self.clock.advance_to(event.time)
             recorder = self.recorder
             if recorder.enabled:
-                recorder.counter("sim_events_fired_total", label=event.label or "<unlabelled>")
-                recorder.gauge("sim_queue_depth", self._live)
+                self._handles_for(event.label)[1].add()
+                self._depth_gauge.set(self._live)
             if event.context is not None:
                 with recorder.activate(event.context):
                     event.callback()

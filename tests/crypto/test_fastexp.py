@@ -1,0 +1,79 @@
+"""Fixed-base comb exponentiation: Python comb, native comb, g_pow.
+
+Every path must compute exactly ``pow(G, e, P)`` -- the comb is the
+hottest operation in the scaled kernel and any divergence would corrupt
+every signature and key in a run.
+"""
+
+import pytest
+
+from repro.crypto import group
+from repro.crypto.fastexp import FixedBaseComb, g_pow
+from repro.crypto.native import load_native_comb
+
+# deterministic spread: boundaries plus a multiplicative orbit in Z_Q
+EXPONENTS = [0, 1, 2, 255, 256, 257, group.Q - 1, group.Q // 2] + [
+    pow(1000003, i, group.Q) for i in range(1, 6)
+]
+
+
+class TestFixedBaseComb:
+    @pytest.mark.parametrize("exponent", EXPONENTS)
+    def test_matches_builtin_pow(self, exponent):
+        comb = FixedBaseComb(group.G, group.P)
+        assert comb.pow(exponent) == pow(group.G, exponent, group.P)
+
+    @pytest.mark.parametrize("window_bits", [4, 8])
+    def test_window_width_does_not_change_results(self, window_bits):
+        comb = FixedBaseComb(group.G, group.P, window_bits=window_bits)
+        for exponent in EXPONENTS:
+            assert comb.pow(exponent) == pow(group.G, exponent, group.P)
+
+    def test_arbitrary_base(self):
+        base = pow(group.G, 12345, group.P)
+        comb = FixedBaseComb(base, group.P)
+        assert comb.pow(6789) == pow(base, 6789, group.P)
+
+    def test_negative_exponent_rejected(self):
+        comb = FixedBaseComb(group.G, group.P)
+        with pytest.raises(ValueError):
+            comb.pow(-1)
+
+    def test_exponent_beyond_comb_width_rejected(self):
+        comb = FixedBaseComb(group.G, group.P, max_exponent_bits=16)
+        with pytest.raises(ValueError):
+            comb.pow(1 << 17)
+
+
+class TestNativeComb:
+    """The OpenSSL-backed comb, when the host toolchain can build it.
+
+    Skipped (not failed) where no compiler or headers exist -- the
+    kernel falls back to the Python comb there, which the tests above
+    already pin.
+    """
+
+    @pytest.fixture(scope="class")
+    def native(self):
+        comb = load_native_comb(group.G, group.P)
+        if comb is None:
+            pytest.skip("native comb unavailable on this host")
+        return comb
+
+    @pytest.mark.parametrize("exponent", EXPONENTS)
+    def test_matches_builtin_pow(self, native, exponent):
+        assert native.pow(exponent) == pow(group.G, exponent, group.P)
+
+    def test_negative_exponent_rejected(self, native):
+        with pytest.raises(ValueError):
+            native.pow(-1)
+
+
+class TestGPow:
+    @pytest.mark.parametrize("exponent", EXPONENTS)
+    def test_drop_in_for_pow(self, exponent):
+        assert g_pow(exponent) == pow(group.G, exponent, group.P)
+
+    def test_reduces_modulo_subgroup_order(self):
+        # G has order Q, so reducing the exponent mod Q is invisible
+        assert g_pow(group.Q + 5) == pow(group.G, 5, group.P)

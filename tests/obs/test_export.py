@@ -162,5 +162,5 @@ class TestSnapshotJson:
     def test_round_trips(self):
         snapshot = json.loads(to_snapshot_json(build_recorder()))
         assert snapshot["counters"]['tx_total{chain="goerli",kind="call"}'] == 1
-        assert snapshot["spans"] == {"total": 2, "open": 1, "dropped": 0}
+        assert snapshot["spans"] == {"total": 2, "open": 1, "dropped": 0, "sampled_out": 0}
         assert snapshot["sim_time"] == 42.0

@@ -118,7 +118,7 @@ class TestSpanCap:
         assert recorder.spans == kept
         assert recorder.spans_dropped == 1
         assert recorder.counter_value("obs_spans_dropped_total") == 1.0
-        assert recorder.snapshot()["spans"] == {"total": 2, "open": 2, "dropped": 1}
+        assert recorder.snapshot()["spans"] == {"total": 2, "open": 2, "dropped": 1, "sampled_out": 0}
 
     def test_no_drops_reported_below_the_cap(self):
         recorder = Recorder()

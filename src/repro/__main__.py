@@ -127,25 +127,33 @@ def _cmd_analyze(args) -> int:
     trajectory {16, 1000, 10000} (plus 100000 with ``--allow-100k``);
     every point records its kernel wall-clock seconds so BENCH_pol.json
     carries the scaling curve per family.
+
+    Every point also runs under a stage profiler: per-stage wall-clock
+    and sim-time self times (plus the profiler's own overhead as the
+    ``obs.profiler`` stage) land in the point's ``profile`` block, the
+    tail-latency bucket exemplars in ``latency_exemplars``, and
+    ``--profiles DIR`` additionally writes collapsed-stack and
+    speedscope flamegraphs per point.  The run is *appended* to the
+    ``--bench`` history (git sha, seed, host in the run metadata) --
+    compare runs with ``repro bench diff``.
     """
-    import json
+    import os
     import time
 
     from repro.bench.simulation import run_traced_journeys
-    from repro.obs import bench_summary, render_report, validate_journeys
+    from repro.obs import bench_summary, histogram_exemplars, render_report, validate_journeys
+    from repro.obs.prof import Profiler, write_collapsed, write_speedscope
+    from repro.obs.regress import append_run, run_meta
 
     if args.sweep:
         user_counts = list(SWEEP_POINTS) + ([100_000] if args.allow_100k else [])
     else:
         user_counts = [args.users]
     sections: list[str] = []
-    payload: dict = {
-        "benchmark": "pol-proof-journeys",
-        "users": user_counts,
-        "seed": args.seed,
-        "families": {},
-    }
+    families: dict = {}
     failed = False
+    if args.profiles:
+        os.makedirs(args.profiles, exist_ok=True)
     for network in args.networks:
         if network not in PROFILES:
             print(f"unknown network {network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
@@ -154,6 +162,7 @@ def _cmd_analyze(args) -> int:
         points: list[dict] = []
         for users in user_counts:
             sample_every = args.sample_every or _auto_sample_every(users)
+            profiler = Profiler()
             started = time.perf_counter()
             report, recorder = run_traced_journeys(
                 network,
@@ -161,8 +170,10 @@ def _cmd_analyze(args) -> int:
                 seed=args.seed,
                 sample_every=sample_every,
                 population=users > 2_000,
+                profiler=profiler,
             )
             kernel_seconds = time.perf_counter() - started
+            profile = profiler.profile()
             problems = validate_journeys(report)
             point = {
                 "users": users,
@@ -170,6 +181,8 @@ def _cmd_analyze(args) -> int:
                 "sample_every": sample_every,
                 **bench_summary(report, recorder),
                 "validation_problems": problems,
+                "profile": profile,
+                "latency_exemplars": histogram_exemplars(recorder, "chain_tx_latency_seconds"),
             }
             points.append(point)
             print(
@@ -177,6 +190,24 @@ def _cmd_analyze(args) -> int:
                 f"{point['journeys']} journeys traced (every {sample_every}), "
                 f"{len(problems)} problem(s)"
             )
+            top = sorted(
+                profile["stages"].items(), key=lambda kv: -kv[1]["wall_seconds"]
+            )[:5]
+            shares = ", ".join(
+                f"{stage} {row['wall_seconds']:.3f}s" for stage, row in top
+            )
+            print(
+                f"  profile: {shares}; overhead "
+                f"{profile['profiler_overhead_ratio'] * 100:.1f}%"
+            )
+            if args.profiles:
+                base = os.path.join(args.profiles, f"{network}-{users}")
+                write_collapsed(profiler, f"{base}.collapsed")
+                write_speedscope(
+                    profiler, f"{base}.speedscope.json",
+                    name=f"{network} {users} users",
+                )
+                print(f"  flamegraph: {base}.collapsed / {base}.speedscope.json")
             if problems:
                 failed = True
             if users == user_counts[0]:
@@ -188,18 +219,66 @@ def _cmd_analyze(args) -> int:
                         f"    - {problem}" for problem in problems
                     )
                 sections.append(rendered)
-        payload["families"][family] = {"network": network, "points": points}
+        families[family] = {"network": network, "points": points}
     text = "\n\n".join(sections)
     print(text)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"\nreport written to {args.report}")
-    with open(args.bench, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"benchmark trajectory written to {args.bench}")
+    history = append_run(args.bench, run_meta(args.seed, user_counts, list(args.networks)), families)
+    print(
+        f"benchmark run appended to {args.bench} "
+        f"({len(history['runs'])} run(s) in history)"
+    )
     return 1 if failed else 0
+
+
+def _cmd_bench(args) -> int:
+    """Inspect and gate the benchmark history (``BENCH_pol.json``).
+
+    ``repro bench list`` shows every recorded run; ``repro bench diff``
+    compares two runs (by default the last two) with noise-aware
+    thresholds and exits 1 when a regression beyond them is found --
+    the CI perf gate.  Wall-clock metrics gate only between runs from
+    the same host; deterministic simulated metrics always gate.
+    """
+    from repro.obs.regress import Thresholds, diff_runs, load_history, render_findings
+
+    history = load_history(args.bench)
+    runs = history.get("runs", [])
+    if args.action == "list":
+        if not runs:
+            print(f"no runs recorded in {args.bench}")
+            return 0
+        for index, run in enumerate(runs):
+            meta = run.get("meta", {})
+            family_names = ",".join(sorted(run.get("families", {})))
+            print(
+                f"[{index}] sha={str(meta.get('git_sha', '?'))[:12]} "
+                f"seed={meta.get('seed', '?')} users={meta.get('users', [])} "
+                f"families={family_names} host={meta.get('host', '?')}"
+            )
+        return 0
+    if len(runs) < 2:
+        print(
+            f"bench diff needs at least two runs in {args.bench} "
+            f"(found {len(runs)}); run `repro analyze` to append one",
+            file=sys.stderr,
+        )
+        return 2
+    before = runs[args.before]
+    after = runs[args.after]
+    thresholds = Thresholds(
+        wall_pct=args.wall_pct,
+        wall_floor_s=args.wall_floor,
+        sim_pct=args.sim_pct,
+        fee_pct=args.fee_pct,
+    )
+    findings, compared = diff_runs(before, after, thresholds)
+    print(render_findings(findings, compared, before.get("meta", {}), after.get("meta", {})))
+    failures = [finding for finding in findings if finding.severity == "fail"]
+    return 1 if failures else 0
 
 
 def _cmd_compare(args) -> int:
@@ -445,8 +524,53 @@ def main(argv: list[str] | None = None) -> int:
     )
     analyze.add_argument(
         "--bench", default="BENCH_pol.json", metavar="PATH",
-        help="where to write the machine-readable benchmark trajectory "
+        help="append the run to this benchmark history file "
         "(default: BENCH_pol.json)",
+    )
+    analyze.add_argument(
+        "--profiles", default=None, metavar="DIR",
+        help="also write per-point collapsed-stack and speedscope "
+        "flamegraph profiles into DIR",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="inspect the benchmark history and gate on regressions "
+        "(bench list / bench diff)",
+    )
+    bench.add_argument(
+        "action", choices=["list", "diff"],
+        help="list recorded runs, or diff two runs and exit 1 on regression",
+    )
+    bench.add_argument(
+        "--bench", default="BENCH_pol.json", metavar="PATH",
+        help="benchmark history file (default: BENCH_pol.json)",
+    )
+    bench.add_argument(
+        "--before", type=int, default=-2, metavar="IDX",
+        help="run index for the baseline (default: -2, second-to-last)",
+    )
+    bench.add_argument(
+        "--after", type=int, default=-1, metavar="IDX",
+        help="run index for the candidate (default: -1, last)",
+    )
+    bench.add_argument(
+        "--wall-pct", type=float, default=1.0,
+        help="relative wall-clock slowdown tolerated (default: 1.0 = +100%%, "
+        "only a >2x slowdown trips)",
+    )
+    bench.add_argument(
+        "--wall-floor", type=float, default=0.25, metavar="SECONDS",
+        help="absolute wall-clock delta floor; smaller deltas never trip "
+        "(default: 0.25s)",
+    )
+    bench.add_argument(
+        "--sim-pct", type=float, default=0.001,
+        help="tolerance on deterministic simulated metrics (default: 0.001)",
+    )
+    bench.add_argument(
+        "--fee-pct", type=float, default=0.001,
+        help="tolerance on fee totals (default: 0.001)",
     )
 
     compare = subparsers.add_parser("compare", help="the chapter-5 comparison tables")
@@ -484,6 +608,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
         "compare": _cmd_compare,
         "verify-contract": _cmd_verify_contract,
         "lint": _cmd_lint,

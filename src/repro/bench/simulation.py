@@ -220,6 +220,7 @@ def run_traced_journeys(
     sample_every: int = 1,
     batch_settlement: bool | None = None,
     population: bool = False,
+    profiler=None,
 ):
     """One fully-traced proof lifecycle run through the system facade.
 
@@ -243,21 +244,44 @@ def run_traced_journeys(
       batching (None keeps the chain default; the parity test passes
       False to cross-check the seed path);
     - ``population=True`` stores prover state in the array-backed
-      population store (:mod:`repro.core.population`).
+      population store (:mod:`repro.core.population`);
+    - ``profiler`` (a :class:`repro.obs.prof.Profiler`) attributes the
+      run's wall-clock and sim-time to kernel stages: it is attached to
+      the event queue and the recorder, made ambient for the crypto and
+      DHT layers, and its profiled window covers account setup through
+      final verification.  Profiling never changes results.
 
     Returns ``(report, recorder)``: the reconstructed
     :class:`~repro.obs.analysis.JourneyReport` plus the recorder, whose
     spans/counters back the Chrome trace and ``BENCH_pol.json`` entry.
     """
-    from repro.core.system import ProofOfLocationSystem
     from repro.obs.analysis import reconstruct_journeys
-    from repro.obs.context import MUTED_CONTEXT
+    from repro.obs.prof import NULL_PROFILER, activate_profiler
     from repro.obs.recorder import Recorder
 
+    if profiler is None:
+        profiler = NULL_PROFILER
     recorder = Recorder()
     chain = make_chain(network, seed=seed, recorder=recorder)
     if batch_settlement is not None:
         chain.batch_settlement = batch_settlement
+    if profiler.enabled:
+        chain.queue.attach_profiler(profiler)
+        recorder.attach_profiler(profiler)
+    profiler.start()
+    try:
+        with activate_profiler(profiler):
+            _run_traced_workload(chain, recorder, user_count, reward, sample_every, population)
+    finally:
+        profiler.stop()
+    return reconstruct_journeys(recorder), recorder
+
+
+def _run_traced_workload(chain, recorder, user_count, reward, sample_every, population) -> None:
+    """The traced campaign body (profiled window of ``run_traced_journeys``)."""
+    from repro.core.system import ProofOfLocationSystem
+    from repro.obs.context import MUTED_CONTEXT
+
     system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=USERS_PER_CONTRACT)
     if population:
         system.use_population_store()
@@ -311,7 +335,6 @@ def run_traced_journeys(
             for (name, _request, _proof), outcome in zip(submissions, outcomes)
         ],
     )
-    return reconstruct_journeys(recorder), recorder
 
 
 def run_simulation(

@@ -634,6 +634,19 @@ class BaseChain:
         state, fee policy and worst-case affordability -- the same
         failures a node provider would surface synchronously.
         """
+        profiler = self.queue._profiler
+        if not profiler.enabled:
+            return self._submit_impl(tx)
+        # Admission (signature verify, fee checks, mempool insert) is a
+        # distinct profile stage; the signature check nests crypto.verify
+        # under it.
+        profiler.enter("chain.submit")
+        try:
+            return self._submit_impl(tx)
+        finally:
+            profiler.exit()
+
+    def _submit_impl(self, tx: Transaction) -> str:
         self.start()
         if self.faults.enabled:
             self.faults.on_submit(tx)
@@ -759,7 +772,11 @@ class BaseChain:
             metrics = self._obs()
             metrics.confirmed_for(receipt.status.value).add()
             if receipt.latency is not None:
-                metrics.latency.observe(receipt.latency)
+                # Exemplar: the tail-latency bucket names this journey's
+                # trace_id, so a p99 outlier is replayable by trace.
+                metrics.latency.observe(
+                    receipt.latency, span.trace_id if span is not None else None
+                )
         for callback in self._receipt_watchers.pop(receipt.txid, []):
             callback(receipt)
 
@@ -832,6 +849,9 @@ class BaseChain:
             )
             return
 
+        profiler = self.queue._profiler
+        profiling = profiler.enabled
+
         self._round += 1
         ready = self._ready
         freed = self._eligible.pop(self._round, None)
@@ -839,8 +859,12 @@ class BaseChain:
             # Leftovers are already sorted; timsort folds the new batch
             # in near-linearly and unique keys keep ties in submission
             # order, matching the historical whole-mempool stable sort.
+            if profiling:
+                profiler.enter("mempool.schedule")
             ready.extend(freed)
             ready.sort()
+            if profiling:
+                profiler.exit()
 
         included: list[Transaction] = []
         leftover: list[tuple[tuple[int, float, int], _MempoolEntry]] = []
@@ -859,7 +883,14 @@ class BaseChain:
             if not self._includable(tx, block):
                 leftover.append(pair)
                 continue  # priced out; waits for the fee market to relax
-            receipt = self._execute(tx, block)
+            if profiling:
+                profiler.enter("vm.execute")
+                try:
+                    receipt = self._execute(tx, block)
+                finally:
+                    profiler.exit()
+            else:
+                receipt = self._execute(tx, block)
             receipt.block_number = number
             receipt.included_at = self.queue.clock.now
             included.append(tx)
@@ -868,7 +899,12 @@ class BaseChain:
             del mempool[entry.txid]
             self._mempool_nonce.pop((tx.sender, tx.nonce), None)
             if metrics is not None:
-                metrics.fee_paid.observe(receipt.fee_paid)
+                # The fee histogram's bucket exemplar points at this
+                # journey's trace (muted spans carry "" and are skipped).
+                span = self._tx_spans.get(entry.txid)
+                metrics.fee_paid.observe(
+                    receipt.fee_paid, span.trace_id if span is not None else None
+                )
             if batch:
                 delay, confirm = self._confirmation_entry(receipt)
                 if delay <= 0:

@@ -24,6 +24,7 @@ builtin ``pow``.
 from __future__ import annotations
 
 from repro.crypto import group
+from repro.obs import prof as _prof
 
 __all__ = ["FixedBaseComb", "g_pow"]
 
@@ -122,9 +123,20 @@ def g_pow(exponent: int) -> int:
     Exponents are reduced mod the subgroup order first (callers pass
     values already below ``Q``; the reduction keeps the function a
     drop-in for ``pow`` on any non-negative exponent).
+
+    Under an ambient profiler every call is the ``crypto.comb`` stage --
+    fixed-base exponentiation is the kernel's dominant arithmetic cost,
+    and future heavy crypto (ZK-PoL) will be budgeted against it.
     """
     global _G_COMB
     comb = _G_COMB
     if comb is None:
         comb = _G_COMB = _make_g_comb()
-    return comb.pow(exponent % group.Q)
+    profiler = _prof.ACTIVE
+    if not profiler.enabled:
+        return comb.pow(exponent % group.Q)
+    profiler.enter("crypto.comb")
+    try:
+        return comb.pow(exponent % group.Q)
+    finally:
+        profiler.exit()

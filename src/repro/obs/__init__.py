@@ -25,6 +25,7 @@ from repro.obs.analysis import (
     JourneyReport,
     Stage,
     bench_summary,
+    histogram_exemplars,
     reconstruct_journeys,
     render_report,
     stage_statistics,
@@ -37,6 +38,24 @@ from repro.obs.export import (
     to_snapshot_json,
     write_chrome_trace,
     write_prometheus,
+)
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    activate_profiler,
+    to_collapsed,
+    to_speedscope,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.obs.regress import (
+    Thresholds,
+    append_run,
+    diff_runs,
+    load_history,
+    render_findings,
+    run_meta,
 )
 
 __all__ = [
@@ -53,6 +72,7 @@ __all__ = [
     "JourneyReport",
     "Stage",
     "bench_summary",
+    "histogram_exemplars",
     "reconstruct_journeys",
     "render_report",
     "stage_statistics",
@@ -63,4 +83,18 @@ __all__ = [
     "to_snapshot_json",
     "write_chrome_trace",
     "write_prometheus",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+    "activate_profiler",
+    "to_collapsed",
+    "to_speedscope",
+    "write_collapsed",
+    "write_speedscope",
+    "Thresholds",
+    "append_run",
+    "diff_runs",
+    "load_history",
+    "render_findings",
+    "run_meta",
 ]

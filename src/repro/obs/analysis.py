@@ -381,6 +381,35 @@ def _counter_total(recorder: NullRecorder, name: str) -> float:
     return sum(value for (metric, _labels), value in counters.items() if metric == name)
 
 
+def histogram_exemplars(recorder: NullRecorder, name: str) -> list[dict[str, Any]]:
+    """The bucket exemplars of histogram ``name``: metric -> journey links.
+
+    Each entry ties one bucket (``le`` upper bound) to the ``trace_id``
+    of the last journey that landed in it, so a tail-latency bucket
+    points at a concrete replayable trace in the journey report /
+    Chrome trace.  Kept out of :func:`bench_summary` on purpose: the
+    summary is asserted byte-equal across settlement paths, and which
+    journey lands last in a bucket is path-dependent timing detail.
+    """
+    out: list[dict[str, Any]] = []
+    for (metric, labels), histogram in sorted(getattr(recorder, "_histograms", {}).items()):
+        if metric != name or not histogram.exemplars:
+            continue
+        bounds = histogram.bounds
+        for index in sorted(histogram.exemplars):
+            trace_id, value, sim_time = histogram.exemplars[index]
+            out.append(
+                {
+                    "labels": dict(labels),
+                    "le": "+Inf" if index >= len(bounds) else f"{bounds[index]:g}",
+                    "trace_id": trace_id,
+                    "value": round(value, 6),
+                    "sim_time": round(sim_time, 6),
+                }
+            )
+    return out
+
+
 def bench_summary(report: JourneyReport, recorder: NullRecorder) -> dict[str, Any]:
     """One chain family's machine-readable entry for ``BENCH_pol.json``."""
     journeys = report.journeys

@@ -139,9 +139,17 @@ def to_prometheus(recorder: "Recorder") -> str:
 
     for (name, labels), histogram in sorted(recorder._histograms.items()):
         type_line(name, "histogram")
-        for bound, cumulative in histogram.cumulative():
+        exemplars = histogram.exemplars or {}
+        for index, (bound, cumulative) in enumerate(histogram.cumulative()):
             le = "+Inf" if bound == float("inf") else f"{bound:g}"
-            lines.append(f"{name}_bucket{_label_block(labels, extra=('le', le))} {cumulative}")
+            line = f"{name}_bucket{_label_block(labels, extra=('le', le))} {cumulative}"
+            exemplar = exemplars.get(index)
+            if exemplar is not None:
+                # OpenMetrics exemplar: `# {trace_id="..."} value sim_time`
+                # ties this bucket to one concrete replayable journey.
+                trace_id, value, sim_time = exemplar
+                line += f' # {{trace_id="{_escape(trace_id)}"}} {_format_value(value)} {sim_time:g}'
+            lines.append(line)
         lines.append(f"{name}_sum{_label_block(labels)} {_format_value(histogram.total)}")
         lines.append(f"{name}_count{_label_block(labels)} {histogram.count}")
 

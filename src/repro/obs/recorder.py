@@ -38,9 +38,11 @@ pays only an attribute read.
 from __future__ import annotations
 
 from bisect import bisect_left
+from time import perf_counter_ns
 from typing import Any, Iterator
 
 from repro.obs.context import MUTED_CONTEXT, TraceContext
+from repro.obs.prof import NULL_PROFILER
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -231,7 +233,7 @@ class _NullHandle:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar_trace: str | None = None) -> None:
         pass
 
 
@@ -284,25 +286,38 @@ class HistogramHandle:
         self._name = key[0]
         self._buckets = buckets
 
-    def observe(self, value: float) -> None:
-        self._recorder._observe_key(self._key, self._name, value, self._buckets)
+    def observe(self, value: float, exemplar_trace: str | None = None) -> None:
+        self._recorder._observe_key(self._key, self._name, value, self._buckets, exemplar_trace)
 
 
 class _Histogram:
-    """Bucketed distribution: per-bucket counts plus sum and count."""
+    """Bucketed distribution: per-bucket counts plus sum and count.
 
-    __slots__ = ("bounds", "counts", "total", "count")
+    ``exemplars`` maps bucket index -> (trace_id, value, sim_time), the
+    *last* exemplar-carrying observation that landed in that bucket --
+    OpenMetrics keep-last semantics, so a p99 bucket always points at a
+    recent concrete journey (allocated lazily; most histograms never
+    receive exemplars and pay one None check per observation).
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count", "exemplars")
 
     def __init__(self, bounds: tuple[float, ...]):
         self.bounds = tuple(sorted(bounds))
         self.counts = [0] * (len(self.bounds) + 1)  # trailing slot: +Inf
         self.total = 0.0
         self.count = 0
+        self.exemplars: dict[int, tuple[str, float, float]] | None = None
 
-    def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, exemplar_trace: str | None = None, sim_time: float = 0.0) -> None:
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
         self.total += value
         self.count += 1
+        if exemplar_trace:
+            if self.exemplars is None:
+                self.exemplars = {}
+            self.exemplars[index] = (exemplar_trace, value, sim_time)
 
     def cumulative(self) -> Iterator[tuple[float, int]]:
         """(upper-bound, cumulative count) pairs, Prometheus ``le`` style."""
@@ -328,6 +343,9 @@ class NullRecorder:
     spans_dropped = 0
 
     def bind_clock(self, clock: Any) -> None:
+        pass
+
+    def attach_profiler(self, profiler: Any) -> None:
         pass
 
     def now(self) -> float:
@@ -439,6 +457,8 @@ class Recorder(NullRecorder):
         self._context_stack: list[TraceContext] = []
         self._trace_count = 0
         self._span_count = 0
+        self._profiler = NULL_PROFILER
+        self._drop_keys: dict[MetricKey, MetricKey] = {}
 
     # -- clock ----------------------------------------------------------------
 
@@ -446,6 +466,18 @@ class Recorder(NullRecorder):
         """Adopt ``clock`` as the time source unless one is already set."""
         if self.clock is None:
             self.clock = clock
+
+    def attach_profiler(self, profiler: Any) -> None:
+        """Charge this recorder's bookkeeping to the profiler.
+
+        With a profiler attached, the recorder's hottest entry points
+        (span creation, gauge sampling, histogram observation) time
+        themselves and attribute their cost to the ``obs.recorder``
+        stage via :meth:`Profiler.add_flat` -- so telemetry overhead
+        shows up as telemetry overhead, never inflating whichever
+        kernel stage happened to be open around the call.
+        """
+        self._profiler = profiler
 
     def now(self) -> float:
         """Current simulated time (0.0 until a clock is bound)."""
@@ -488,12 +520,37 @@ class Recorder(NullRecorder):
         and only every stride-th subsequent call is kept -- so a
         long-running series keeps its overall shape at bounded memory.
         Every sample not retained is counted in
-        ``gauge_samples_dropped_total{gauge=<name>}``; the last-value
-        read (:meth:`snapshot`) always stays exact.
+        ``gauge_samples_dropped_total{gauge=<name>,...}`` *carrying the
+        series' own labels*, so per-series loss stays distinguishable
+        (two chains' queue-depth gauges don't merge into one drop
+        count); the last-value read (:meth:`snapshot`) always stays
+        exact.
         """
         self._gauge_set(_key(name, labels), name, value)
 
     def _gauge_set(self, key: MetricKey, name: str, value: float) -> None:
+        profiler = self._profiler
+        if profiler.enabled:
+            t0 = perf_counter_ns()
+            self._gauge_set_impl(key, name, value)
+            profiler.add_flat("obs.recorder", perf_counter_ns() - t0)
+            return
+        self._gauge_set_impl(key, name, value)
+
+    def _drop_counter_key(self, key: MetricKey, name: str) -> MetricKey:
+        """The drop counter's key: the gauge name plus its full label set.
+
+        Built once per series and cached -- the stride-downsampled hot
+        path increments this counter on *every* skipped sample.
+        """
+        cached = self._drop_keys.get(key)
+        if cached is None:
+            labels = dict(key[1])
+            labels["gauge"] = name
+            cached = self._drop_keys[key] = _key("gauge_samples_dropped_total", labels)
+        return cached
+
+    def _gauge_set_impl(self, key: MetricKey, name: str, value: float) -> None:
         self._gauges[key] = value
         series = self._gauge_series.setdefault(key, [])
         stride = self._gauge_strides.get(key, 1)
@@ -501,7 +558,8 @@ class Recorder(NullRecorder):
             tick = self._gauge_ticks.get(key, 0) + 1
             self._gauge_ticks[key] = tick
             if tick % stride:
-                self.counter("gauge_samples_dropped_total", gauge=name)
+                drop_key = self._drop_counter_key(key, name)
+                self._counters[drop_key] = self._counters.get(drop_key, 0.0) + 1.0
                 return
         series.append((self.now(), value))
         if len(series) >= MAX_GAUGE_SAMPLES:
@@ -509,9 +567,8 @@ class Recorder(NullRecorder):
             del series[1::2]  # keep every other sample; shape survives
             self._gauge_strides[key] = stride * 2
             self._gauge_ticks[key] = 0
-            self.counter(
-                "gauge_samples_dropped_total", value=float(before - len(series)), gauge=name
-            )
+            drop_key = self._drop_counter_key(key, name)
+            self._counters[drop_key] = self._counters.get(drop_key, 0.0) + float(before - len(series))
 
     def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
         """Pin the bucket bounds used when ``name`` is first observed."""
@@ -528,12 +585,28 @@ class Recorder(NullRecorder):
 
     def _observe_key(
         self, key: MetricKey, name: str, value: float, buckets: tuple[float, ...] | None,
+        exemplar_trace: str | None = None,
+    ) -> None:
+        profiler = self._profiler
+        if profiler.enabled:
+            t0 = perf_counter_ns()
+            self._observe_impl(key, name, value, buckets, exemplar_trace)
+            profiler.add_flat("obs.recorder", perf_counter_ns() - t0)
+            return
+        self._observe_impl(key, name, value, buckets, exemplar_trace)
+
+    def _observe_impl(
+        self, key: MetricKey, name: str, value: float, buckets: tuple[float, ...] | None,
+        exemplar_trace: str | None,
     ) -> None:
         histogram = self._histograms.get(key)
         if histogram is None:
             bounds = self._declared_buckets.get(name) or buckets or DEFAULT_BUCKETS
             histogram = self._histograms[key] = _Histogram(tuple(bounds))
-        histogram.observe(value)
+        if exemplar_trace:
+            histogram.observe(value, exemplar_trace, self.now())
+        else:
+            histogram.observe(value)
 
     def counter_handle(self, name: str, **labels: Any) -> CounterHandle:
         """A pre-keyed handle to the counter ``name{labels}``."""
@@ -562,6 +635,17 @@ class Recorder(NullRecorder):
         in ``obs_spans_dropped_total`` and surfaced by :meth:`snapshot`
         and the drive() stall report.
         """
+        profiler = self._profiler
+        if not profiler.enabled:
+            return self._span_impl(name, track, cat, parent, args)
+        t0 = perf_counter_ns()
+        span = self._span_impl(name, track, cat, parent, args)
+        profiler.add_flat("obs.recorder", perf_counter_ns() - t0)
+        return span
+
+    def _span_impl(
+        self, name: str, track: str, cat: str, parent: TraceContext | None, args: dict[str, Any],
+    ) -> Span:
         if parent is None:
             parent = self.current_context()
         if parent is MUTED_CONTEXT:

@@ -64,3 +64,75 @@ class TestSixteenUserParity:
         assert drift in ([], ["fees_base_units_total"]), drift
         assert fast_path["complete"] and seed_path["complete"]
         assert fast_path["journeys"] == seed_path["journeys"] == 16
+
+
+@pytest.fixture(scope="module")
+def profiled_10k():
+    """One shared profiled 10k-user campaign with tiny telemetry caps.
+
+    The caps are patched down so both bounded-telemetry mechanisms
+    (gauge stride-downsampling, span-cap dropping) actually engage at
+    this scale, which the production caps are sized never to do.
+    """
+    from repro.obs.prof import Profiler
+
+    patcher = pytest.MonkeyPatch()
+    patcher.setattr("repro.obs.recorder.MAX_GAUGE_SAMPLES", 256)
+    patcher.setattr("repro.obs.recorder.MAX_SPANS", 2000)
+    profiler = Profiler()
+    try:
+        report, recorder = run_traced_journeys(
+            "goerli", 10_000, seed=SEED, sample_every=10,
+            population=True, profiler=profiler,
+        )
+    finally:
+        patcher.undo()
+    return report, recorder, profiler
+
+
+class TestProfiledTenThousandUsers:
+    """Profiler + bounded-telemetry invariants at 10k users."""
+
+    def test_profiler_overhead_within_budget(self, profiled_10k):
+        _, _, profiler = profiled_10k
+        profile = profiler.profile()
+        assert profile["profiler_overhead_ratio"] <= 0.05
+
+    def test_stage_self_times_tile_the_wall_clock(self, profiled_10k):
+        _, _, profiler = profiled_10k
+        profile = profiler.profile()
+        accounted = (
+            sum(row["wall_seconds"] for row in profile["stages"].values())
+            + profile["unattributed_wall_seconds"]
+        )
+        total = profile["total_wall_seconds"]
+        assert accounted == pytest.approx(total, rel=0.01)
+        # Dispatch must carry (nearly all of) the simulated time, and
+        # the kernel's compute stages must all have run.
+        assert profile["stages"]["simnet.dispatch"]["sim_seconds"] > 0
+        for stage in ("vm.execute", "mempool.schedule", "crypto.comb",
+                      "chain.submit", "obs.recorder", "obs.profiler"):
+            assert profile["stages"][stage]["wall_seconds"] > 0, stage
+
+    def test_span_drop_accounting_is_exact(self, profiled_10k):
+        _, recorder, _ = profiled_10k
+        assert recorder.spans_dropped > 0  # the patched cap engaged
+        assert len(recorder.spans) == 2000
+        assert (
+            recorder.counter_value("obs_spans_dropped_total") == recorder.spans_dropped
+        )
+        assert recorder.snapshot()["spans"]["dropped"] == recorder.spans_dropped
+
+    def test_gauge_downsampling_engaged_and_accounted(self, profiled_10k):
+        _, recorder, _ = profiled_10k
+        totals = [
+            (key, value)
+            for key, value in recorder._counters.items()
+            if key[0] == "gauge_samples_dropped_total" and value > 0
+        ]
+        assert totals, "no gauge hit the patched 256-sample cap"
+        for key, dropped in totals:
+            labels = dict(key[1])
+            series = recorder._gauge_series[(labels.pop("gauge"), tuple(sorted(labels.items())))]
+            assert len(series) <= 256
+            assert dropped > 0

@@ -157,6 +157,33 @@ class TestPrometheus:
         write_prometheus(build_recorder(), str(path))
         assert path.read_text().endswith("\n")
 
+    def test_histogram_exemplars_render_openmetrics_style(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        handle = recorder.histogram_handle("latency_seconds", buckets=(1.0, 10.0), chain="goerli")
+        clock.advance(3.5)
+        handle.observe(0.5, "t000007")
+        handle.observe(2.0)  # no exemplar on this bucket
+        text = to_prometheus(recorder)
+        assert (
+            'latency_seconds_bucket{chain="goerli",le="1"} 1 '
+            '# {trace_id="t000007"} 0.5 3.5' in text
+        )
+        # Buckets without exemplars keep the plain two-token form.
+        assert 'latency_seconds_bucket{chain="goerli",le="10"} 2\n' in text
+
+    def test_exemplar_lines_keep_last_token_numeric(self):
+        # CI's smoke parser reads the last whitespace token as a float;
+        # exemplar suffixes must preserve that.
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        handle = recorder.histogram_handle("latency_seconds", buckets=(1.0,))
+        handle.observe(0.5, "t000001")
+        for line in to_prometheus(recorder).strip().splitlines():
+            if line.startswith("#"):
+                continue
+            float(line.rpartition(" ")[2])
+
 
 class TestSnapshotJson:
     def test_round_trips(self):

@@ -247,3 +247,52 @@ class TestCompactRendering:
 def test_track_for_is_stable_and_short():
     assert track_for("0xabcdef0123456789") == "user:0xabcdef01"
     assert track_for("0xabcdef0123456789") == track_for("0xabcdef0123456789")
+
+
+class TestDropCounterLabels:
+    def test_labeled_gauges_keep_labels_on_the_drop_counter(self, monkeypatch):
+        # The drop counter must carry the full series labels, not lump
+        # every series of one name into a single unlabeled counter.
+        monkeypatch.setattr("repro.obs.recorder.MAX_GAUGE_SAMPLES", 8)
+        recorder = Recorder()
+        for value in range(20):
+            recorder.gauge("depth", value, chain="goerli")
+        recorder.gauge("depth", 1, chain="mumbai")
+        dropped_goerli = recorder.counter_value(
+            "gauge_samples_dropped_total", gauge="depth", chain="goerli"
+        )
+        assert dropped_goerli > 0
+        assert (
+            recorder.counter_value("gauge_samples_dropped_total", gauge="depth", chain="mumbai")
+            == 0.0
+        )
+
+
+class TestHistogramExemplars:
+    def test_keep_last_exemplar_per_bucket(self):
+        clock = SimClock()
+        recorder = Recorder(clock=clock)
+        handle = recorder.histogram_handle("latency", buckets=(1.0, 10.0))
+        handle.observe(0.5, "t-aaa")
+        clock.advance(5.0)
+        handle.observe(0.7, "t-bbb")  # same bucket: replaces t-aaa
+        handle.observe(50.0, "t-ccc")  # +Inf bucket
+        histogram = recorder._histograms[("latency", ())]
+        assert histogram.exemplars == {
+            0: ("t-bbb", 0.7, 5.0),
+            2: ("t-ccc", 50.0, 5.0),
+        }
+
+    def test_observations_without_trace_leave_no_exemplar(self):
+        recorder = Recorder()
+        handle = recorder.histogram_handle("latency", buckets=(1.0,))
+        handle.observe(0.5)
+        handle.observe(0.6, None)
+        handle.observe(0.7, "")  # muted journeys carry the empty trace id
+        histogram = recorder._histograms[("latency", ())]
+        assert histogram.exemplars is None
+        assert histogram.count == 3
+
+    def test_null_handle_accepts_exemplars(self):
+        handle = NULL_RECORDER.histogram_handle("latency")
+        handle.observe(0.5, "t-aaa")  # must not raise

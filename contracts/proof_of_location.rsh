@@ -10,8 +10,10 @@ contract "proof-of-location" {
     global pending = 0;
     global reward = 10000;
     global position = "";
+    global anchored = 0;
 
     map easy_map : UInt => Bytes(512);
+    map batch_map : UInt => Bytes(64);
 
     publish(pos: Bytes(128), did: UInt, data_inserted: Bytes(512)) {
         position := pos;
@@ -30,6 +32,16 @@ contract "proof-of-location" {
                 sits := sits - 1;
                 pending := pending + 1;
                 emit reportData(did, data);
+                return sits;
+            }
+            insert_batch(root: Bytes(64), count: UInt, batch_id: UInt) returns UInt {
+                require(!batch_map.has(batch_id), "batch id already anchored");
+                require(count > 0, "empty batch");
+                require(count <= sits, "not enough seats for the batch");
+                batch_map[batch_id] = root;
+                anchored := anchored + count;
+                sits := sits - count;
+                emit reportBatch(batch_id, count);
                 return sits;
             }
         }
@@ -64,4 +76,5 @@ contract "proof-of-location" {
 
     view getCtcBalance = balance();
     view getReward = reward;
+    view getAnchored = anchored;
 }

@@ -116,6 +116,65 @@ def _auto_sample_every(users: int) -> int:
     return 100
 
 
+def _check_batch_point(network: str, batch: int, recorder, point: dict) -> list[str]:
+    """Containment check for one batched analyze point.
+
+    Reads the aggregator's receipt extremes back out of the recorder's
+    gauges, records them in the point's ``batch`` block, and checks them
+    against the ``COST-BATCH-AMORTIZED`` intervals
+    (:func:`repro.bench.bounds.check_batched_point`).  Returns rendered
+    violations (run-failing validation problems).
+    """
+    from repro.bench.bounds import check_batched_point
+    from repro.core.contract import build_pol_program
+    from repro.reach.compiler import compile_program
+
+    def gauge(name: str) -> int:
+        series = recorder.gauge_series(name)
+        return int(series[-1][1]) if series else 0
+
+    measured = {
+        "batches": int(recorder.counter_value("batch_anchored_total")),
+        "gas_min": gauge("batch_insert_gas_min"),
+        "gas_max": gauge("batch_insert_gas_max"),
+        "fee_min": gauge("batch_insert_fee_min"),
+        "fee_max": gauge("batch_insert_fee_max"),
+    }
+    point["batch"] = {
+        **measured,
+        "proofs_anchored": int(recorder.counter_value("batch_proofs_anchored_total")),
+        "light_verified": int(recorder.counter_value("light_verify_total")),
+    }
+    compiled = compile_program(build_pol_program(max_users=batch))
+    bounds = check_batched_point(compiled, PROFILES[network], batch - 1, measured)
+    return [f"batch bounds: {violation.render()}" for violation in bounds.violations]
+
+
+def _report_amortization(network: str, points: list[dict]) -> bool:
+    """Print per-proof amortization ratios for one family's points.
+
+    Returns False when a batched point of size >= 16 misses the 5x
+    acceptance bar against the family's unbatched point.
+    """
+    base = next((p for p in points if p.get("batch_size", 1) == 1), None)
+    batched = [p for p in points if p.get("batch_size", 1) > 1]
+    if base is None or not batched:
+        return True
+    ok = True
+    for point in batched:
+        per = point["fees_per_proof_base_units"]
+        ratio = (base["fees_per_proof_base_units"] / per) if per else float("inf")
+        print(
+            f"{network} batch={point['batch_size']}: amortized per-proof fee "
+            f"{per:.1f} vs unbatched {base['fees_per_proof_base_units']:.1f} "
+            f"({ratio:.2f}x cheaper)"
+        )
+        if point["batch_size"] >= 16 and ratio < 5.0:
+            print(f"  FAIL: amortization {ratio:.2f}x is below the 5x acceptance bar")
+            ok = False
+    return ok
+
+
 def _cmd_analyze(args) -> int:
     """Traced proof-journey runs on both families + ``BENCH_pol.json``.
 
@@ -127,6 +186,16 @@ def _cmd_analyze(args) -> int:
     trajectory {16, 1000, 10000} (plus 100000 with ``--allow-100k``);
     every point records its kernel wall-clock seconds so BENCH_pol.json
     carries the scaling curve per family.
+
+    ``--batch-size N`` adds the Merkle proof-batching pipeline: an
+    extra point per family runs the batched campaign (one
+    ``insert_batch`` per group of N users) next to the unbatched one,
+    its anchoring receipts are checked against the
+    ``COST-BATCH-AMORTIZED`` intervals, and the amortized per-proof fee
+    must undercut the unbatched point at least 5x for N >= 16.
+    Combined with ``--sweep``, batch sizes {1, 2, 4, ...} up to N are
+    swept at the fixed ``--users`` count (the cost-vs-batch-size
+    chart's data).
 
     Every point also runs under a stage profiler: per-stage wall-clock
     and sim-time self times (plus the profiler's own overhead as the
@@ -145,10 +214,22 @@ def _cmd_analyze(args) -> int:
     from repro.obs.prof import Profiler, write_collapsed, write_speedscope
     from repro.obs.regress import append_run, run_meta
 
+    if args.batch_size is not None and args.batch_size < 2:
+        print("--batch-size must be at least 2", file=sys.stderr)
+        return 2
     if args.sweep:
         user_counts = list(SWEEP_POINTS) + ([100_000] if args.allow_100k else [])
     else:
         user_counts = [args.users]
+    # (users, batch_size) per run; batch_size 1 is the unbatched campaign.
+    if args.sweep and args.batch_size:
+        sizes = sorted({1} | {2 ** k for k in range(1, 20) if 2 ** k < args.batch_size} | {args.batch_size})
+        run_specs = [(args.users, size) for size in sizes]
+        user_counts = [args.users]
+    elif args.batch_size:
+        run_specs = [(args.users, 1), (args.users, args.batch_size)]
+    else:
+        run_specs = [(users, 1) for users in user_counts]
     sections: list[str] = []
     families: dict = {}
     failed = False
@@ -160,33 +241,44 @@ def _cmd_analyze(args) -> int:
             return 2
         family = PROFILES[network].family
         points: list[dict] = []
-        for users in user_counts:
-            sample_every = args.sample_every or _auto_sample_every(users)
+        for users, batch in run_specs:
+            # Whole groups only in batched runs (mirrors the workload's trim).
+            effective = users if batch == 1 else max(batch, users - users % batch)
+            sample_every = args.sample_every or _auto_sample_every(effective)
             profiler = Profiler()
             started = time.perf_counter()
             report, recorder = run_traced_journeys(
                 network,
-                users,
+                effective,
                 seed=args.seed,
                 sample_every=sample_every,
-                population=users > 2_000,
+                population=effective > 2_000,
                 profiler=profiler,
+                batch_size=None if batch == 1 else batch,
             )
             kernel_seconds = time.perf_counter() - started
             profile = profiler.profile()
             problems = validate_journeys(report)
+            summary = bench_summary(report, recorder)
             point = {
-                "users": users,
+                "users": effective,
+                "batch_size": batch,
                 "kernel_seconds": round(kernel_seconds, 3),
                 "sample_every": sample_every,
-                **bench_summary(report, recorder),
+                **summary,
+                "fees_per_proof_base_units": round(
+                    summary["fees_base_units_total"] / max(1, effective), 3
+                ),
                 "validation_problems": problems,
                 "profile": profile,
                 "latency_exemplars": histogram_exemplars(recorder, "chain_tx_latency_seconds"),
             }
+            if batch > 1:
+                problems.extend(_check_batch_point(network, batch, recorder, point))
             points.append(point)
+            label = f"users={effective}" + (f" batch={batch}" if batch > 1 else "")
             print(
-                f"{network} users={users}: kernel {kernel_seconds:.2f}s, "
+                f"{network} {label}: kernel {kernel_seconds:.2f}s, "
                 f"{point['journeys']} journeys traced (every {sample_every}), "
                 f"{len(problems)} problem(s)"
             )
@@ -201,16 +293,17 @@ def _cmd_analyze(args) -> int:
                 f"{profile['profiler_overhead_ratio'] * 100:.1f}%"
             )
             if args.profiles:
-                base = os.path.join(args.profiles, f"{network}-{users}")
+                suffix = f"-batch{batch}" if batch > 1 else ""
+                base = os.path.join(args.profiles, f"{network}-{effective}{suffix}")
                 write_collapsed(profiler, f"{base}.collapsed")
                 write_speedscope(
                     profiler, f"{base}.speedscope.json",
-                    name=f"{network} {users} users",
+                    name=f"{network} {effective} users{suffix}",
                 )
                 print(f"  flamegraph: {base}.collapsed / {base}.speedscope.json")
             if problems:
                 failed = True
-            if users == user_counts[0]:
+            if (users, batch) == run_specs[0]:
                 # The critical-path report for the base point; larger
                 # points are represented by their summary statistics.
                 rendered = render_report(report, title=f"{network} proof-journey critical path")
@@ -219,6 +312,9 @@ def _cmd_analyze(args) -> int:
                         f"    - {problem}" for problem in problems
                     )
                 sections.append(rendered)
+        if args.batch_size:
+            if not _report_amortization(network, points):
+                failed = True
         families[family] = {"network": network, "points": points}
     text = "\n\n".join(sections)
     print(text)
@@ -513,6 +609,14 @@ def main(argv: list[str] | None = None) -> int:
         "--sample-every", type=int, default=None, metavar="N",
         help="trace every Nth user's journey and mute the rest (default: "
         "auto -- 1 up to 2k users, 10 up to 20k, 100 beyond)",
+    )
+    analyze.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="also run the Merkle proof-batching pipeline (groups of N "
+        "users, one insert_batch anchoring N-1 proofs per group) and "
+        "record an extra batched point per family; with --sweep, sweeps "
+        "batch sizes {1, 2, 4, ...} up to N at the fixed --users count "
+        "and charts cost vs batch size instead of the user trajectory",
     )
     analyze.add_argument(
         "--networks", nargs="+", default=["goerli", "algorand-testnet"],

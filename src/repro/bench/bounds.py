@@ -37,18 +37,20 @@ AVM_DEPLOY_FLAT_TXNS = 3
 
 @dataclass(frozen=True)
 class BoundViolation:
-    """One measured operation that exceeded its static ceiling."""
+    """One measured operation that escaped its static interval."""
 
     user: str
-    operation: str  # "deploy" | "attach"
-    metric: str  # "gas" | "fee"
-    measured: int
+    operation: str  # "deploy" | "attach" | "insert_batch"
+    metric: str  # "gas" | "fee" | "gas/proof"
+    measured: int | float
     bound: int
+    direction: str = "above"  # "above" a ceiling or "below" a floor
 
     def render(self) -> str:
+        verb = "exceeds the static bound" if self.direction == "above" else "undercuts the static floor"
         return (
             f"{self.user}/{self.operation}: measured {self.metric} "
-            f"{self.measured} exceeds the static bound {self.bound}"
+            f"{self.measured} {verb} {self.bound}"
         )
 
 
@@ -138,4 +140,68 @@ def check_simulation_against_bounds(
                     bound=bound,
                 )
             )
+    return report
+
+
+def check_batched_point(
+    compiled: CompiledContract,
+    profile: NetworkProfile,
+    batch_count: int,
+    measured: dict,
+) -> BoundsReport:
+    """Check measured ``insert_batch`` receipts against the amortization
+    theorem's intervals (``COST-BATCH-AMORTIZED``).
+
+    ``measured`` carries the batched run's receipt extremes as recorded
+    by the aggregator's gauges: ``gas_min``/``gas_max`` (EVM family)
+    and ``fee_min``/``fee_max`` (both families); ``batch_count`` is the
+    number of proofs each anchoring transaction carried.  Checks, per
+    family:
+
+    - EVM: every receipt inside the entry's full interval *and* the
+      amortized per-proof gas (``gas / batch_count``) inside the
+      theorem's ``per_proof(batch_count)`` interval;
+    - AVM: the flat call fee within ``[min_fee, worst-case pooled fee]``
+      (the theorem's premise that one batch costs one call fee).
+    """
+    from repro.reach.absint.cost import batch_amortization
+
+    costs = analyze_costs(compiled)
+    report = BoundsReport(network=profile.name, contract=compiled.name)
+    amortization = batch_amortization(costs)
+    if amortization is None or not measured.get("batches"):
+        return report
+
+    def flag(metric, value, bound, direction):
+        report.violations.append(
+            BoundViolation(
+                user="batch", operation="insert_batch", metric=metric,
+                measured=value, bound=bound, direction=direction,
+            )
+        )
+
+    if profile.family == "evm":
+        interval = amortization.batch_gas
+        per_proof = amortization.per_proof(batch_count)
+        report.checked += 2
+        if measured["gas_max"] > interval.hi:
+            flag("gas", measured["gas_max"], interval.hi, "above")
+        if measured["gas_min"] < interval.lo:
+            flag("gas", measured["gas_min"], interval.lo, "below")
+        gas_per_proof_hi = measured["gas_max"] / batch_count
+        gas_per_proof_lo = measured["gas_min"] / batch_count
+        report.checked += 2
+        if gas_per_proof_hi > per_proof.hi:
+            flag("gas/proof", gas_per_proof_hi, per_proof.hi, "above")
+        if gas_per_proof_lo < per_proof.lo:
+            flag("gas/proof", gas_per_proof_lo, per_proof.lo, "below")
+        return report
+
+    min_fee = profile.min_fee
+    fee_bound = _avm_call_fee(costs, "attacherAPI.insert_batch", min_fee)
+    report.checked += 2
+    if measured["fee_max"] > fee_bound:
+        flag("fee", measured["fee_max"], fee_bound, "above")
+    if measured["fee_min"] < min_fee:
+        flag("fee", measured["fee_min"], min_fee, "below")
     return report

@@ -221,6 +221,7 @@ def run_traced_journeys(
     batch_settlement: bool | None = None,
     population: bool = False,
     profiler=None,
+    batch_size: int | None = None,
 ):
     """One fully-traced proof lifecycle run through the system facade.
 
@@ -245,6 +246,14 @@ def run_traced_journeys(
       False to cross-check the seed path);
     - ``population=True`` stores prover state in the array-backed
       population store (:mod:`repro.core.population`);
+    - ``batch_size=N`` (N >= 2) switches the campaign to the Merkle
+      proof-batching pipeline: provers are grouped N to a location, the
+      group's creator deploys, and the N-1 members' accepted proofs are
+      anchored by *one* ``insert_batch`` transaction per group
+      (:class:`repro.core.batch.BatchAggregator`), then light-verified
+      against the anchored root.  ``user_count`` is trimmed down to a
+      whole number of groups (a remainder group could never fill its
+      contract's seats);
     - ``profiler`` (a :class:`repro.obs.prof.Profiler`) attributes the
       run's wall-clock and sim-time to kernel stages: it is attached to
       the event queue and the recorder, made ambient for the crypto and
@@ -271,17 +280,37 @@ def run_traced_journeys(
     profiler.start()
     try:
         with activate_profiler(profiler):
-            _run_traced_workload(chain, recorder, user_count, reward, sample_every, population)
+            _run_traced_workload(
+                chain, recorder, user_count, reward, sample_every, population,
+                batch_size=batch_size,
+            )
     finally:
         profiler.stop()
     return reconstruct_journeys(recorder), recorder
 
 
-def _run_traced_workload(chain, recorder, user_count, reward, sample_every, population) -> None:
-    """The traced campaign body (profiled window of ``run_traced_journeys``)."""
-    from repro.core.system import ProofOfLocationSystem
+def _traced_request(system, recorder, name, witness, index, sample_every):
+    """One prover's proof request, muted when sampled out."""
     from repro.obs.context import MUTED_CONTEXT
 
+    if sample_every > 1 and index % sample_every:
+        # Muted journey: the request span roots under MUTED_CONTEXT,
+        # and the mute rides the journey linkage through submit,
+        # every tx/op span and the verify span.
+        with recorder.activate(MUTED_CONTEXT):
+            return system.request_location_proof(name, witness, f"report by {name}".encode())
+    return system.request_location_proof(name, witness, f"report by {name}".encode())
+
+
+def _run_traced_workload(
+    chain, recorder, user_count, reward, sample_every, population, batch_size=None
+) -> None:
+    """The traced campaign body (profiled window of ``run_traced_journeys``)."""
+    from repro.core.system import ProofOfLocationSystem
+
+    if batch_size is not None and batch_size >= 2:
+        _run_batched_workload(chain, recorder, user_count, reward, sample_every, population, batch_size)
+        return
     system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=USERS_PER_CONTRACT)
     if population:
         system.use_population_store()
@@ -304,18 +333,9 @@ def _run_traced_workload(chain, recorder, user_count, reward, sample_every, popu
     submissions = []
     for index, name in enumerate(names):
         group = index // USERS_PER_CONTRACT
-        if sample_every > 1 and index % sample_every:
-            # Muted journey: the request span roots under MUTED_CONTEXT,
-            # and the mute rides the journey linkage through submit,
-            # every tx/op span and the verify span.
-            with recorder.activate(MUTED_CONTEXT):
-                request, proof, _cid = system.request_location_proof(
-                    name, f"witness-{group}", f"report by {name}".encode()
-                )
-        else:
-            request, proof, _cid = system.request_location_proof(
-                name, f"witness-{group}", f"report by {name}".encode()
-            )
+        request, proof, _cid = _traced_request(
+            system, recorder, name, f"witness-{group}", index, sample_every
+        )
         submissions.append((name, request, proof))
     outcomes = system.submit_many(submissions)
 
@@ -335,6 +355,84 @@ def _run_traced_workload(chain, recorder, user_count, reward, sample_every, popu
             for (name, _request, _proof), outcome in zip(submissions, outcomes)
         ],
     )
+
+
+def _run_batched_workload(
+    chain, recorder, user_count, reward, sample_every, population, batch_size
+) -> None:
+    """The Merkle proof-batching campaign (``batch_size`` users per group).
+
+    Per group of ``batch_size``: the first prover (the creator) deploys
+    the location's contract; the remaining ``batch_size - 1`` members'
+    proofs are verifier-checked off-chain, buffered, and anchored by one
+    ``insert_batch`` transaction; the creator's record is verified
+    on-chain, the members light-verify against the anchored root.
+    """
+    from repro.core.batch import BatchAggregator
+    from repro.core.system import ProofOfLocationSystem
+
+    # Whole groups only: a remainder group could never fill its
+    # contract's seats, stranding it in the attach phase.
+    users = max(batch_size, user_count - user_count % batch_size)
+    if users != user_count:
+        recorder.counter("batch_users_trimmed_total", user_count - users)
+    system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=batch_size)
+    if population:
+        system.use_population_store()
+    funding = chain.profile.simulation_funding
+    base_lat, base_lng = 44.4949, 11.3426
+    group_count = users // batch_size
+    for group in range(group_count):
+        system.register_witness(f"witness-{group}", base_lat + 0.01 * group, base_lng + 0.0002)
+    system.register_verifier("verifier", funding=funding * max(1, users))
+    names = [f"user-{index:03d}" for index in range(users)]
+    for index, name in enumerate(names):
+        group = index // batch_size
+        system.register_prover(name, base_lat + 0.01 * group, base_lng, funding=funding)
+
+    # Creators first: each group's contract must be live before its
+    # members' batch can anchor against it.
+    creators = []
+    for group in range(group_count):
+        index = group * batch_size
+        name = names[index]
+        request, proof, _cid = _traced_request(
+            system, recorder, name, f"witness-{group}", index, sample_every
+        )
+        creators.append((name, request, proof))
+    outcomes = system.submit_many(creators)
+
+    # Members route through the aggregator: checked off-chain, buffered,
+    # anchored one transaction per group (the size trigger fires exactly
+    # when a group's last member is accepted).
+    aggregator = BatchAggregator(system, "verifier", batch_size=batch_size - 1)
+    for index, name in enumerate(names):
+        if index % batch_size == 0:
+            continue
+        group = index // batch_size
+        request, proof, _cid = _traced_request(
+            system, recorder, name, f"witness-{group}", index, sample_every
+        )
+        outcome, _batch = system.submit_batched(name, request, proof, aggregator)
+        if outcome.name != "OK":
+            raise RuntimeError(f"batched submission rejected for {name}: {outcome.name}")
+    aggregator.poll()  # age trigger (a no-op here: every buffer flushed by size)
+    aggregator.flush_all()  # shutdown trigger, same
+    batches = aggregator.drain()
+
+    system.fund_contracts(
+        "verifier", {outcome.olc: reward for outcome in outcomes}
+    )
+    system.verify_many(
+        "verifier",
+        [
+            (outcome.olc, system.provers[name].did_uint)
+            for (name, _request, _proof), outcome in zip(creators, outcomes)
+        ],
+    )
+    failures = [f for f in system.light_verify_many("verifier", batches) if f.name != "OK"]
+    if failures:
+        raise RuntimeError(f"{len(failures)} batched records failed light verification")
 
 
 def run_simulation(

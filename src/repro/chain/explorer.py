@@ -43,6 +43,13 @@ class Explorer:
 
     def __init__(self, chain: BaseChain):
         self.chain = chain
+        # Per-block transaction trees, keyed by block number.  Blocks are
+        # immutable once sealed, so the cache never needs invalidation;
+        # without it every inclusion proof rebuilds an O(n) tree from the
+        # block's full transaction list.  ``trees_built`` counts actual
+        # constructions (pinned by tests/chain/test_light_client.py).
+        self._tree_cache: dict[int, MerkleTree] = {}
+        self.trees_built = 0
 
     def method_id(self, tx: Transaction) -> str:
         """The display label of a transaction (Etherscan's 'Method').
@@ -108,9 +115,13 @@ class Explorer:
         if receipt is None or receipt.block_number is None:
             raise ChainError(f"transaction {txid} is not in any block")
         block = self.chain.blocks[receipt.block_number]
-        leaves = [tx.txid.encode() for tx in block.transactions]
+        tree = self._tree_cache.get(block.number)
+        if tree is None:
+            tree = MerkleTree([tx.txid.encode() for tx in block.transactions])
+            self._tree_cache[block.number] = tree
+            self.trees_built += 1
         index = next(i for i, tx in enumerate(block.transactions) if tx.txid == txid)
-        return block.number, MerkleTree(leaves).proof(index)
+        return block.number, tree.proof(index)
 
     def verify_inclusion(self, txid: str, block_number: int, proof: MerkleProof) -> bool:
         """Check an inclusion proof against the block header's tx root."""

@@ -303,6 +303,10 @@ class Prover(UserBase):
     # actor layer free of a system-facade import).
     in_flight: list = field(default_factory=list)
     submissions_settled: int = 0
+    # Merkle inclusion paths for batched submissions, keyed by batch id
+    # (MerkleProof objects; the prover's half of light verification --
+    # the chain only holds the batch root).
+    batch_inclusions: dict = field(default_factory=dict)
 
     def make_request(self, nonce: int, cid: str, timestamp: float = 0.0) -> ProofRequest:
         """Assemble the broadcast of figure 2.5."""
@@ -323,6 +327,14 @@ class Prover(UserBase):
         self.in_flight = [pending for pending in self.in_flight if not pending.done]
         self.submissions_settled += len(settled)
         return settled
+
+    def retain_inclusion(self, batch_id: int, proof) -> None:
+        """Keep the Merkle inclusion path of a batched submission.
+
+        Only the batch's root goes on-chain; the prover must retain the
+        path to prove membership later (light verification).
+        """
+        self.batch_inclusions[batch_id] = proof
 
 
 @dataclass

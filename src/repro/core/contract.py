@@ -30,6 +30,8 @@ from repro.reach.types import Address, Bytes, Fun, UInt
 #: field separator of the concatenated Map value (listing 4.13)
 RECORD_SEPARATOR = "|"
 MAP_VALUE_CAPACITY = 512
+#: a batch anchor is a hex-encoded 32-byte Merkle root (64 characters)
+BATCH_ROOT_CAPACITY = 64
 
 
 def pol_record(hashed_proof: str, signed_proof: str, wallet: str, nonce: int, cid: str) -> str:
@@ -83,6 +85,7 @@ def build_pol_program(
             "did": UInt,
             "data_inserted": Bytes(MAP_VALUE_CAPACITY),
             "reportData": Fun([UInt, Bytes(MAP_VALUE_CAPACITY)], None),
+            "reportBatch": Fun([UInt, UInt], None),
             "reportVerification": Fun([UInt, Address], None),
             "issueDuringVerification": Fun([UInt], None),
         },
@@ -97,7 +100,9 @@ def build_pol_program(
     if witness_reward:
         program.declare_global("witness_reward", witness_reward)
     program.declare_global("position", "")
+    program.declare_global("anchored", 0)
     easy_map = program.map("easy_map", key_type=UInt, value_type=Bytes(MAP_VALUE_CAPACITY))
+    batch_map = program.map("batch_map", key_type=UInt, value_type=Bytes(BATCH_ROOT_CAPACITY))
 
     # Creator's first publication: position, DID and concatenated data.
     program.publish(
@@ -125,10 +130,29 @@ def build_pol_program(
             A.Return(A.glob("sits")),
         ],
     )
+    # Batch anchoring (the rollup-style amortization): one transaction
+    # commits a Merkle root over ``count`` proof records.  The records
+    # themselves stay off-chain with their provers (who hold inclusion
+    # paths); light verification recomputes the root from a record plus
+    # its path and compares against ``batch_map[batch_id]``.
+    insert_batch = A.ApiMethod(
+        name="insert_batch",
+        signature=Fun([Bytes(BATCH_ROOT_CAPACITY), UInt, UInt], UInt),
+        body=[
+            A.Require(batch_map.contains(A.arg(2)).not_(), "batch id already anchored"),
+            A.Require(A.arg(1) > A.const(0), "empty batch"),
+            A.Require(A.arg(1) <= A.glob("sits"), "not enough seats for the batch"),
+            batch_map.set(A.arg(2), A.arg(0)),
+            A.SetGlobal("anchored", A.glob("anchored") + A.arg(1)),
+            A.SetGlobal("sits", A.glob("sits") - A.arg(1)),
+            A.Log("reportBatch", [A.arg(2), A.arg(1)]),
+            A.Return(A.glob("sits")),
+        ],
+    )
     program.phase(
         name="attach",
         while_cond=A.glob("sits") > A.const(0),
-        apis=[A.ApiGroup("attacherAPI", [insert_data])],
+        apis=[A.ApiGroup("attacherAPI", [insert_data, insert_batch])],
         invariant=A.balance().eq(A.balance()),  # the thesis's trivial invariant
         timeout=(attach_timeout, []),
     )
@@ -204,4 +228,5 @@ def build_pol_program(
 
     program.view("getCtcBalance", A.balance())
     program.view("getReward", A.glob("reward"))
+    program.view("getAnchored", A.glob("anchored"))
     return program

@@ -34,6 +34,7 @@ class ProverPopulation:
     __slots__ = (
         "index", "names", "keypairs", "dids", "did_uints",
         "latitudes", "longitudes", "rewards", "settled", "_in_flight",
+        "_batch_inclusions",
     )
 
     def __init__(self) -> None:
@@ -49,6 +50,9 @@ class ProverPopulation:
         # Sparse: only provers with submissions actually in flight hold a
         # list; at any instant that is one bench wave, not the population.
         self._in_flight: dict[int, list] = {}
+        # Sparse for the same reason: only batched provers retain
+        # Merkle inclusion paths (batch_id -> MerkleProof per slot).
+        self._batch_inclusions: dict[int, dict] = {}
 
     def __len__(self) -> int:
         return len(self.names)
@@ -67,6 +71,8 @@ class ProverPopulation:
         self.settled.append(prover.submissions_settled)
         if prover.in_flight:
             self._in_flight[slot] = list(prover.in_flight)
+        if prover.batch_inclusions:
+            self._batch_inclusions[slot] = dict(prover.batch_inclusions)
         return slot
 
     def replace(self, slot: int, prover: Prover) -> None:
@@ -82,6 +88,10 @@ class ProverPopulation:
             self._in_flight[slot] = list(prover.in_flight)
         else:
             self._in_flight.pop(slot, None)
+        if prover.batch_inclusions:
+            self._batch_inclusions[slot] = dict(prover.batch_inclusions)
+        else:
+            self._batch_inclusions.pop(slot, None)
 
     def in_flight_for(self, slot: int) -> list:
         """The slot's live in-flight list (created on first touch)."""
@@ -95,6 +105,19 @@ class ProverPopulation:
             self._in_flight[slot] = pending
         else:
             self._in_flight.pop(slot, None)
+
+    def batch_inclusions_for(self, slot: int) -> dict:
+        """The slot's live inclusion-path dict (created on first touch)."""
+        inclusions = self._batch_inclusions.get(slot)
+        if inclusions is None:
+            inclusions = self._batch_inclusions[slot] = {}
+        return inclusions
+
+    def set_batch_inclusions(self, slot: int, inclusions: dict) -> None:
+        if inclusions:
+            self._batch_inclusions[slot] = inclusions
+        else:
+            self._batch_inclusions.pop(slot, None)
 
 
 class ProverView(Prover):
@@ -141,6 +164,14 @@ class ProverView(Prover):
     @in_flight.setter
     def in_flight(self, pending: list) -> None:
         self._population.set_in_flight(self._slot, pending)
+
+    @property
+    def batch_inclusions(self) -> dict:
+        return self._population.batch_inclusions_for(self._slot)
+
+    @batch_inclusions.setter
+    def batch_inclusions(self, inclusions: dict) -> None:
+        self._population.set_batch_inclusions(self._slot, inclusions)
 
 
 class PopulationProverMap(MutableMapping):

@@ -457,6 +457,112 @@ class ProofOfLocationSystem:
                 tracker.settle_submissions()
         return [p.outcome() for p in pending]
 
+    def submit_batched(
+        self, prover_name: str, request: ProofRequest, proof: LocationProof, aggregator
+    ) -> tuple[ProofFailure, "object | None"]:
+        """Route a proof through the batching layer instead of its own tx.
+
+        The aggregator's verifier checks the proof off-chain *now* (the
+        acceptance gate -- rejected proofs never reach a batch), the
+        record joins the location's buffer, and the eventual anchoring
+        transaction is shared by the whole batch
+        (:class:`repro.core.batch.BatchAggregator`).  Returns
+        ``(outcome, batch)`` where ``batch`` is the
+        :class:`~repro.core.batch.AnchoredBatch` when this record filled
+        a buffer, None otherwise.
+        """
+        from repro.core.batch import BatchRecord
+
+        prover = self.provers[prover_name]
+        account = self.accounts[prover_name]
+        recorder = self.chain.recorder
+        root = (
+            self._journey_roots.pop((prover_name, request.nonce), None)
+            if recorder.enabled
+            else None
+        )
+        span = recorder.span(
+            "proof:submit", track=f"prover:{prover_name}", cat="proof",
+            olc=request.olc, parent=root, batched=True,
+        )
+        prover_public = self.registry.resolve(prover.did).public_key
+        outcome = aggregator.verifier.check_record(
+            proof, prover.did_uint, request.olc, request.nonce, request.cid,
+            prover_public=prover_public,
+        )
+        if outcome is not ProofFailure.OK:
+            span.end(error=outcome.name)
+            return outcome, None
+        record = BatchRecord(
+            prover_name=prover_name,
+            olc=request.olc,
+            did_uint=prover.did_uint,
+            record=pol_record(
+                proof.hashed_proof_hex,
+                proof.signature_hex,
+                account.address,
+                request.nonce,
+                request.cid,
+            ),
+        )
+        if recorder.enabled:
+            self._journey_records[(request.olc, prover.did_uint)] = (
+                root if root is not None else span.context
+            )
+        batch = aggregator.add(record, submit_span=span)
+        return ProofFailure.OK, batch
+
+    def light_verify_many(self, verifier_name: str, batches) -> list[ProofFailure]:
+        """Light-verify batched records against their anchored roots.
+
+        The on-chain cost was already paid by each batch's single
+        anchoring transaction; here the verifier only reads
+        ``batch_map[batch_id]`` (a free contract read) and recomputes
+        the Merkle root from each record plus the prover's retained
+        inclusion path.  No signature re-checks: acceptance ran at
+        :meth:`submit_batched` time (re-running them would trip the
+        replay screen on the verifier's own nonce log).
+        """
+        verifier = self.verifiers.get(verifier_name)
+        if verifier is None:
+            raise PolSystemError(f"{verifier_name!r} is not an accredited verifier")
+        recorder = self.chain.recorder
+        results: list[ProofFailure] = []
+        for batch in batches:
+            deployed = self._contract_at(batch.olc)
+            anchored_hex = deployed.map_value("batch_map", batch.batch_id)
+            root = bytes.fromhex(anchored_hex) if anchored_hex else None
+            for record in batch.records:
+                journey = (
+                    self._journey_records.pop((batch.olc, record.did_uint), None)
+                    if recorder.enabled
+                    else None
+                )
+                with recorder.span(
+                    "proof:verify", track=f"verifier:{verifier_name}", cat="proof",
+                    olc=batch.olc, did=record.did_uint, parent=journey,
+                    batch=batch.batch_id,
+                ) as span:
+                    prover = self.provers.get(record.prover_name)
+                    inclusion = (
+                        prover.batch_inclusions.get(batch.batch_id)
+                        if prover is not None
+                        else None
+                    )
+                    ok = (
+                        root is not None
+                        and inclusion is not None
+                        and inclusion.verify(record.leaf, root)
+                    )
+                    if ok:
+                        recorder.counter("light_verify_total")
+                        results.append(ProofFailure.OK)
+                    else:
+                        recorder.counter("light_verify_failed_total")
+                        span.end(error="HASH_MISMATCH")
+                        results.append(ProofFailure.HASH_MISMATCH)
+        return results
+
     # -- verifier flows (figure 2.6) -----------------------------------------------------
 
     def fund_contract(self, verifier_name: str, olc: str, amount: int) -> OpResult:

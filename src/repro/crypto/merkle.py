@@ -1,8 +1,21 @@
-"""Merkle trees for block transaction roots.
+"""Merkle trees for block transaction roots and proof batching.
 
 Both chain simulators commit to their block's transaction list with a
-Merkle root, and light verification paths are exercised by the explorer
-(``repro.chain.explorer``) when it re-checks inclusion.
+Merkle root, light verification paths are exercised by the explorer
+(``repro.chain.explorer``) when it re-checks inclusion, and the proof
+batching layer (``repro.core.batch``) anchors batches of location
+proofs as a single on-chain root.
+
+The construction is *unbalanced* (promote-the-odd-node): an odd node at
+any level is carried up unchanged instead of being paired with a copy
+of itself.  Bitcoin's duplicate-last-node construction (the
+CVE-2012-2459 class) makes ``[A, B, C]`` and ``[A, B, C, C]`` commit to
+the same root, so two different proof sets verify against one anchored
+commitment -- fatal once roots anchor batches of signed location
+proofs.  Promotion makes the leaf list injective into the root (up to
+hash collisions): ``[A, B, C]`` hashes ``H(H(A,B), leaf(C))`` while
+``[A, B, C, C]`` hashes ``H(H(A,B), H(leaf(C),leaf(C)))``, and the
+leaf/node domain separation keeps the two from colliding.
 """
 
 from __future__ import annotations
@@ -21,28 +34,54 @@ EMPTY_ROOT = tagged_hash(_NODE_TAG, b"")
 class MerkleProof:
     """An inclusion path: sibling hashes from leaf to root.
 
-    Each step is ``(sibling_digest, sibling_is_right)``.
+    Each step is ``(sibling_digest, sibling_is_right)``.  The proof
+    binds its position: ``leaf_index`` and ``leaf_count`` determine, at
+    every level of the unbalanced tree, whether the running node is a
+    left child (sibling to the right), a right child (sibling to the
+    left), or the promoted odd node (no sibling, no path step) --
+    :meth:`verify` checks the path's direction bits against that
+    structure, so a valid proof cannot be replayed under a different
+    claimed index or tree width.
     """
 
     leaf_index: int
     path: tuple[tuple[bytes, bool], ...]
+    leaf_count: int
 
     def verify(self, leaf_data: bytes, root: bytes) -> bool:
-        """Return True iff ``leaf_data`` hashes up to ``root`` along this path."""
+        """Return True iff ``leaf_data`` hashes up to ``root`` along this
+        path *and* the path's shape matches ``leaf_index``/``leaf_count``."""
+        if self.leaf_count < 1 or not 0 <= self.leaf_index < self.leaf_count:
+            return False
         digest = tagged_hash(_LEAF_TAG, leaf_data)
-        for sibling, sibling_is_right in self.path:
-            if sibling_is_right:
-                digest = tagged_hash(_NODE_TAG, digest, sibling)
+        position, width = self.leaf_index, self.leaf_count
+        step = 0
+        while width > 1:
+            if position == width - 1 and width % 2:
+                # The promoted odd node: carried up, no sibling consumed.
+                position //= 2
             else:
-                digest = tagged_hash(_NODE_TAG, sibling, digest)
-        return digest == root
+                if step >= len(self.path):
+                    return False
+                sibling, sibling_is_right = self.path[step]
+                if sibling_is_right != (position % 2 == 0):
+                    return False  # direction bit contradicts the claimed index
+                if sibling_is_right:
+                    digest = tagged_hash(_NODE_TAG, digest, sibling)
+                else:
+                    digest = tagged_hash(_NODE_TAG, sibling, digest)
+                position //= 2
+                step += 1
+            width = width // 2 + width % 2
+        return step == len(self.path) and digest == root
 
 
 class MerkleTree:
     """A binary Merkle tree over an ordered list of byte strings.
 
-    Odd levels duplicate the trailing node (Bitcoin-style), and leaves
-    are domain-separated from internal nodes so a 64-byte leaf cannot be
+    Odd levels promote the trailing node unchanged (see the module
+    docstring for why duplication is malleable), and leaves are
+    domain-separated from internal nodes so a 64-byte leaf cannot be
     confused with a node pair.
     """
 
@@ -58,9 +97,13 @@ class MerkleTree:
         level = [tagged_hash(_LEAF_TAG, leaf) for leaf in self._leaves]
         self._levels = [level]
         while len(level) > 1:
+            paired = [
+                tagged_hash(_NODE_TAG, level[i], level[i + 1])
+                for i in range(0, len(level) - 1, 2)
+            ]
             if len(level) % 2:
-                level = level + [level[-1]]
-            level = [tagged_hash(_NODE_TAG, level[i], level[i + 1]) for i in range(0, len(level), 2)]
+                paired.append(level[-1])
+            level = paired
             self._levels.append(level)
 
     @property
@@ -78,13 +121,17 @@ class MerkleTree:
         path: list[tuple[bytes, bool]] = []
         position = index
         for level in self._levels[:-1]:
-            padded = level + [level[-1]] if len(level) % 2 else level
+            width = len(level)
+            if position == width - 1 and width % 2:
+                # Promoted odd node: skips this level without a sibling.
+                position //= 2
+                continue
             if position % 2 == 0:
-                path.append((padded[position + 1], True))
+                path.append((level[position + 1], True))
             else:
-                path.append((padded[position - 1], False))
+                path.append((level[position - 1], False))
             position //= 2
-        return MerkleProof(leaf_index=index, path=tuple(path))
+        return MerkleProof(leaf_index=index, path=tuple(path), leaf_count=len(self._leaves))
 
 
 def merkle_root(leaves: list[bytes]) -> bytes:

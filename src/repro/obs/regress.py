@@ -196,12 +196,18 @@ def append_run(
 # -- diffing -------------------------------------------------------------------
 
 
-def _points(run: dict[str, Any]) -> dict[tuple[str, int], dict[str, Any]]:
-    """Index a run's points by (family, users)."""
-    index: dict[tuple[str, int], dict[str, Any]] = {}
+def _points(run: dict[str, Any]) -> dict[tuple[str, int, int], dict[str, Any]]:
+    """Index a run's points by (family, users, batch_size).
+
+    Points recorded before the batching layer carry no ``batch_size``
+    and default to 1 (the unbatched campaign), so old and new histories
+    keep intersecting on their unbatched points.
+    """
+    index: dict[tuple[str, int, int], dict[str, Any]] = {}
     for family, entry in run.get("families", {}).items():
         for point in entry.get("points", []):
-            index[(family, int(point["users"]))] = point
+            key = (family, int(point["users"]), int(point.get("batch_size", 1)))
+            index[key] = point
     return index
 
 
@@ -245,8 +251,10 @@ def diff_runs(
 ) -> tuple[list[Finding], int]:
     """Compare two runs; returns ``(findings, metrics_compared)``.
 
-    Only (family, users) points present in **both** runs are compared --
-    a sweep that added a new scale point is growth, not regression.
+    Only (family, users, batch_size) points present in **both** runs are
+    compared -- a sweep that added a new scale point is growth, not
+    regression.  Batched points' metric names carry a ``[batch=N]``
+    suffix so a finding always says which campaign regressed.
     """
     thresholds = thresholds or Thresholds()
     host_before = before.get("meta", {}).get("host", "unknown")
@@ -256,16 +264,17 @@ def diff_runs(
     points_before = _points(before)
     points_after = _points(after)
     for key in sorted(set(points_before) & set(points_after)):
-        family, users = key
+        family, users, batch = key
+        suffix = f" [batch={batch}]" if batch != 1 else ""
         a, b = points_before[key], points_after[key]
-        diff.wall(family, users, "kernel_seconds", a.get("kernel_seconds", 0.0), b.get("kernel_seconds", 0.0))
+        diff.wall(family, users, f"kernel_seconds{suffix}", a.get("kernel_seconds", 0.0), b.get("kernel_seconds", 0.0))
         stages_a = (a.get("profile") or {}).get("stages", {})
         stages_b = (b.get("profile") or {}).get("stages", {})
         for stage in sorted(set(stages_a) & set(stages_b)):
             diff.wall(
                 family,
                 users,
-                f"profile.{stage}.wall_seconds",
+                f"profile.{stage}.wall_seconds{suffix}",
                 stages_a[stage].get("wall_seconds", 0.0),
                 stages_b[stage].get("wall_seconds", 0.0),
             )
@@ -274,16 +283,16 @@ def diff_runs(
         for quantile in ("p50", "p95", "p99"):
             if quantile in e2e_a and quantile in e2e_b:
                 diff.sim(
-                    family, users, f"end_to_end.{quantile}",
+                    family, users, f"end_to_end.{quantile}{suffix}",
                     e2e_a[quantile], e2e_b[quantile], thresholds.sim_pct,
                 )
         if "fees_base_units_total" in a and "fees_base_units_total" in b:
             diff.sim(
-                family, users, "fees_base_units_total",
+                family, users, f"fees_base_units_total{suffix}",
                 a["fees_base_units_total"], b["fees_base_units_total"], thresholds.fee_pct,
             )
         if "journeys" in a and "journeys" in b:
-            diff.sim(family, users, "journeys", a["journeys"], b["journeys"], 0.0)
+            diff.sim(family, users, f"journeys{suffix}", a["journeys"], b["journeys"], 0.0)
     return diff.findings, diff.compared
 
 

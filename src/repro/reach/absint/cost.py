@@ -276,3 +276,100 @@ def analyze_costs(compiled, schedule: GasSchedule = DEFAULT_SCHEDULE) -> CostRep
             dispatch_index=dispatch_index,
         )
     return CostReport(contract=compiled.name, entries=entries)
+
+
+# -- the batching amortization theorem -----------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchAmortization:
+    """The static side of proof batching (``COST-BATCH-AMORTIZED``).
+
+    Compares one ``insert_batch`` anchoring ``N`` proofs against ``N``
+    individual submissions, each of which pays the attach ceremony's
+    fixed handshake transfer (``handshake_gas``, one plain-transaction
+    base) on top of its own call receipt interval.
+
+    Two comparison semantics, stated honestly:
+
+    - :meth:`dominates` -- *interval dominance*: the amortized per-proof
+      interval sits pointwise below the unbatched per-proof interval
+      (lo < lo and hi < hi).  Both bounds shrink monotonically in ``N``,
+      so dominance at ``N`` extends to every larger batch.
+    - :attr:`break_even` -- the *adversarial* claim (worst-case batch
+      cheaper than ``N`` best-case singles); strictly stronger, so it
+      kicks in at a larger ``N`` than dominance does.
+    """
+
+    batch_entry: str
+    single_entry: str
+    handshake_gas: int
+    batch_gas: Interval  # full receipt interval of one insert_batch
+    single_gas: Interval  # handshake + receipt interval of one single insert
+    avm_batch_pool_flat: bool  # batch call fits one pooled-budget fee unit
+
+    def per_proof(self, count: int) -> Interval:
+        """The amortized per-proof gas interval for a batch of ``count``."""
+        if count < 1:
+            raise ValueError("a batch amortizes over at least one proof")
+        hi = None if self.batch_gas.hi is None else -(-self.batch_gas.hi // count)
+        return Interval(self.batch_gas.lo // count, hi)
+
+    def dominates(self, count: int) -> bool:
+        """Pointwise interval dominance of batching at ``count`` proofs."""
+        amortized = self.per_proof(count)
+        if amortized.hi is None or self.single_gas.hi is None:
+            return False
+        return (
+            amortized.lo < self.single_gas.lo
+            and amortized.hi < self.single_gas.hi
+        )
+
+    @property
+    def dominates_from(self) -> int | None:
+        """The smallest batch size (>= 2) with interval dominance."""
+        for count in range(2, 1025):
+            if self.dominates(count):
+                return count
+        return None
+
+    @property
+    def break_even(self) -> int | None:
+        """Smallest ``N`` where even the adversarial comparison favours
+        the batch: worst-case batch <= ``N`` x best-case singles."""
+        if self.batch_gas.hi is None or self.single_gas.lo <= 0:
+            return None
+        return max(2, -(-self.batch_gas.hi // self.single_gas.lo))
+
+
+def batch_amortization(
+    costs: CostReport,
+    batch_entry: str = "attacherAPI.insert_batch",
+    single_entry: str = "attacherAPI.insert_data",
+    schedule: GasSchedule = DEFAULT_SCHEDULE,
+) -> BatchAmortization | None:
+    """Derive the amortization comparison from a contract's cost report.
+
+    Returns None when the contract has no batching entry point (the
+    theorem is vacuous for it).  The AVM side needs no interval: a call
+    whose pooled budget stays at one transaction costs the same flat
+    ``min_fee * (1 + budget_txns)`` as a single insert, so anchoring
+    ``N`` proofs for one call fee amortizes by construction --
+    ``avm_batch_pool_flat`` records that the premise holds.
+    """
+    batch = costs.entries.get(batch_entry)
+    single = costs.entries.get(single_entry)
+    if batch is None or single is None:
+        return None
+    single_gas = Interval(
+        schedule.transaction + single.evm_gas.lo,
+        None if single.evm_gas.hi is None else schedule.transaction + single.evm_gas.hi,
+    )
+    return BatchAmortization(
+        batch_entry=batch_entry,
+        single_entry=single_entry,
+        handshake_gas=schedule.transaction,
+        batch_gas=batch.evm_gas,
+        single_gas=single_gas,
+        avm_batch_pool_flat=batch.avm_pool.hi == 1,
+    )

@@ -152,6 +152,44 @@ def lint_compiled(compiled, source: str = "") -> LintReport:
                 )
             )
 
+    # 3b. the batching amortization theorem: one insert_batch anchoring
+    # N proofs must beat N individual inserts for every N >= 2.
+    from repro.reach.absint.cost import batch_amortization
+
+    amortization = batch_amortization(costs)
+    if amortization is not None:
+        if amortization.dominates(2) and amortization.avm_batch_pool_flat:
+            findings.append(
+                Finding(
+                    severity="info",
+                    theorem="COST-BATCH-AMORTIZED",
+                    message=(
+                        f"{amortization.batch_entry}: amortized per-proof gas "
+                        f"{amortization.per_proof(16)} at N=16 vs unbatched "
+                        f"{amortization.single_gas}; interval dominance holds for "
+                        f"every N >= {amortization.dominates_from}, adversarial "
+                        f"break-even at N = {amortization.break_even}; AVM batch "
+                        f"call fits one pooled fee unit"
+                    ),
+                    source=source,
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    severity="error",
+                    theorem="COST-BATCH-AMORTIZED",
+                    message=(
+                        f"{amortization.batch_entry}: batching does not amortize -- "
+                        f"per-proof {amortization.per_proof(2)} at N=2 fails to "
+                        f"dominate the unbatched {amortization.single_gas}"
+                        + ("" if amortization.avm_batch_pool_flat
+                           else "; AVM batch call overflows one pooled fee unit")
+                    ),
+                    source=source,
+                )
+            )
+
     # 4. cross-backend equivalence
     for divergence in check_equivalence(compiled):
         findings.append(

@@ -59,3 +59,56 @@ class TestInclusionProofs:
         block_number, proof = explorer.inclusion_proof(txids[0])
         header_root = chain.blocks[block_number].tx_root
         assert proof.verify(txids[0].encode(), header_root)
+
+
+class TestTreeCache:
+    """Blocks are immutable once sealed, so each block's transaction
+    tree is built exactly once no matter how many proofs it serves."""
+
+    def test_one_build_per_block(self, world):
+        chain, explorer, txids = world
+        assert explorer.trees_built == 0
+        blocks = set()
+        for txid in txids:
+            block_number, _ = explorer.inclusion_proof(txid)
+            blocks.add(block_number)
+        assert explorer.trees_built == len(blocks)
+        # A second full pass over every tx hits the cache only.
+        for txid in txids:
+            explorer.inclusion_proof(txid)
+        assert explorer.trees_built == len(blocks)
+
+    def test_cached_proofs_still_verify(self, world):
+        chain, explorer, txids = world
+        first = [explorer.inclusion_proof(txid) for txid in txids]
+        second = [explorer.inclusion_proof(txid) for txid in txids]
+        assert first == second
+        for txid, (block_number, proof) in zip(txids, second):
+            assert explorer.verify_inclusion(txid, block_number, proof)
+
+
+class TestAlgorandFamily:
+    """verify_inclusion works identically over the AVM-family chain."""
+
+    @pytest.fixture
+    def avm_world(self):
+        from repro.chain.algorand import AlgorandChain
+
+        chain = AlgorandChain(profile="algo-devnet", seed=17, participant_count=6)
+        alice = chain.create_account(seed=b"alice", funding=100_000_000)
+        txids = []
+        for index in range(4):
+            tx = chain.make_transaction(alice, "transfer", to=alice.address, value=index)
+            txids.append(chain.transact(alice, tx).txid)
+        return chain, Explorer(chain), txids
+
+    def test_avm_proofs_verify(self, avm_world):
+        chain, explorer, txids = avm_world
+        for txid in txids:
+            block_number, proof = explorer.inclusion_proof(txid)
+            assert explorer.verify_inclusion(txid, block_number, proof)
+
+    def test_avm_proof_rejects_foreign_tx(self, avm_world):
+        chain, explorer, txids = avm_world
+        block_number, proof = explorer.inclusion_proof(txids[0])
+        assert not explorer.verify_inclusion(txids[1], block_number, proof)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.merkle import EMPTY_ROOT, MerkleTree, merkle_root
+from repro.crypto.merkle import EMPTY_ROOT, MerkleProof, MerkleTree, merkle_root
 
 
 class TestMerkleTree:
@@ -57,3 +57,122 @@ class TestMerkleTree:
         tree = MerkleTree(leaves)
         index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
         assert tree.proof(index).verify(leaves[index], tree.root)
+
+
+class TestMalleability:
+    """The CVE-2012-2459 class: duplicate-last-node roots are forgeable.
+
+    Bitcoin's construction pairs an odd trailing node with a copy of
+    itself, so ``[A, B, C]`` and ``[A, B, C, C]`` commit to the same
+    root.  Once a root anchors a *batch of signed location proofs*, that
+    collision lets two different proof sets verify against one anchored
+    commitment.  Promote-the-odd-node keeps the leaf list injective into
+    the root; these tests are the regression fence."""
+
+    def test_duplicated_last_leaf_changes_the_root(self):
+        assert merkle_root([b"A", b"B", b"C"]) != merkle_root([b"A", b"B", b"C", b"C"])
+
+    def test_duplication_at_every_odd_width(self):
+        for width in range(1, 18, 2):
+            leaves = [f"tx-{i}".encode() for i in range(width)]
+            assert merkle_root(leaves) != merkle_root(leaves + [leaves[-1]])
+
+    def test_duplicate_width_proofs_do_not_cross_verify(self):
+        # A proof built in the duplicated tree must not verify against
+        # the honest tree's root (and vice versa).
+        honest = MerkleTree([b"A", b"B", b"C"])
+        forged = MerkleTree([b"A", b"B", b"C", b"C"])
+        assert not forged.proof(2).verify(b"C", honest.root)
+        assert not honest.proof(2).verify(b"C", forged.root)
+
+    def test_empty_root_is_not_a_leaf_commitment(self):
+        # EMPTY_ROOT is a sentinel; no single-leaf proof may reach it.
+        tree = MerkleTree([b""])
+        assert tree.root != EMPTY_ROOT
+        assert not tree.proof(0).verify(b"", EMPTY_ROOT)
+
+
+class TestProofTamper:
+    """A structurally valid proof must bind index, path, and width."""
+
+    LEAVES = [f"leaf-{i}".encode() for i in range(11)]
+
+    def _tree(self):
+        return MerkleTree(self.LEAVES)
+
+    def test_shifted_leaf_index_rejected(self):
+        tree = self._tree()
+        proof = tree.proof(4)
+        for wrong in (3, 5, 0, len(self.LEAVES) - 1):
+            tampered = MerkleProof(wrong, proof.path, proof.leaf_count)
+            assert not tampered.verify(self.LEAVES[4], tree.root)
+
+    def test_out_of_range_index_rejected(self):
+        tree = self._tree()
+        proof = tree.proof(4)
+        for wrong in (-1, proof.leaf_count, proof.leaf_count + 5):
+            tampered = MerkleProof(wrong, proof.path, proof.leaf_count)
+            assert not tampered.verify(self.LEAVES[4], tree.root)
+
+    def test_wrong_leaf_count_rejected(self):
+        # Widths whose traversal shape for index 4 conflicts with the
+        # real path (too short, extra promotions, bad directions).  A
+        # claimed width with a bit-identical shape (e.g. 12 vs 11 here)
+        # is indistinguishable by construction -- same leaf, same index,
+        # same root -- so it is not part of this fence.
+        tree = self._tree()
+        proof = tree.proof(4)
+        for wrong in (0, 5, 8):
+            tampered = MerkleProof(proof.leaf_index, proof.path, wrong)
+            assert not tampered.verify(self.LEAVES[4], tree.root)
+
+    def test_flipped_sibling_byte_rejected(self):
+        tree = self._tree()
+        proof = tree.proof(4)
+        for step in range(len(proof.path)):
+            sibling, is_right = proof.path[step]
+            bad = bytes([sibling[0] ^ 1]) + sibling[1:]
+            path = proof.path[:step] + ((bad, is_right),) + proof.path[step + 1 :]
+            tampered = MerkleProof(proof.leaf_index, path, proof.leaf_count)
+            assert not tampered.verify(self.LEAVES[4], tree.root)
+
+    def test_flipped_direction_bit_rejected(self):
+        tree = self._tree()
+        proof = tree.proof(4)
+        for step in range(len(proof.path)):
+            sibling, is_right = proof.path[step]
+            path = proof.path[:step] + ((sibling, not is_right),) + proof.path[step + 1 :]
+            tampered = MerkleProof(proof.leaf_index, path, proof.leaf_count)
+            assert not tampered.verify(self.LEAVES[4], tree.root)
+
+    def test_truncated_and_extended_paths_rejected(self):
+        tree = self._tree()
+        proof = tree.proof(4)
+        short = MerkleProof(proof.leaf_index, proof.path[:-1], proof.leaf_count)
+        long = MerkleProof(
+            proof.leaf_index, proof.path + ((proof.path[0][0], True),), proof.leaf_count
+        )
+        assert not short.verify(self.LEAVES[4], tree.root)
+        assert not long.verify(self.LEAVES[4], tree.root)
+
+
+class TestWidthSweep:
+    """Every width the batching layer can produce (1..17) round-trips."""
+
+    def test_all_widths_all_positions(self):
+        for width in range(1, 18):
+            leaves = [f"w{width}-leaf-{i}".encode() for i in range(width)]
+            tree = MerkleTree(leaves)
+            for index, leaf in enumerate(leaves):
+                proof = tree.proof(index)
+                assert proof.leaf_count == width
+                assert proof.verify(leaf, tree.root)
+                # A proof never verifies for a sibling position's leaf.
+                if width > 1:
+                    other = (index + 1) % width
+                    assert not proof.verify(leaves[other], tree.root)
+
+    def test_roots_distinct_across_widths(self):
+        leaves = [f"leaf-{i}".encode() for i in range(17)]
+        roots = {MerkleTree(leaves[:width]).root for width in range(1, 18)}
+        assert len(roots) == 17

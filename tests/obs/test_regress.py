@@ -184,6 +184,52 @@ class TestDiffRuns:
         assert "no regressions" in text
 
 
+class TestBatchedPoints:
+    """Batched campaign points key and label separately from unbatched."""
+
+    def test_same_users_different_batch_size_never_compared(self):
+        before = make_run()
+        after = make_run()
+        after["families"]["evm"]["points"][0]["batch_size"] = 16
+        after["families"]["evm"]["points"][0]["kernel_seconds"] = 99.0
+        findings, compared = diff_runs(before, after)
+        assert findings == [] and compared == 0
+
+    def test_batched_metric_names_carry_the_suffix(self):
+        before = make_run()
+        before["families"]["evm"]["points"][0]["batch_size"] = 16
+        after = copy.deepcopy(before)
+        after["families"]["evm"]["points"][0]["journeys"] = 15
+        after["families"]["evm"]["points"][0]["end_to_end_seconds"]["p95"] = 80.0
+        findings, _ = diff_runs(before, after)
+        assert sorted(f.metric for f in findings) == [
+            "end_to_end.p95 [batch=16]",
+            "journeys [batch=16]",
+        ]
+
+    def test_pre_batching_points_default_to_unbatched(self):
+        # A history written before the batching layer has no batch_size
+        # field; it must keep intersecting with new unbatched points.
+        before = make_run()  # no batch_size key at all
+        after = make_run()
+        after["families"]["evm"]["points"][0]["batch_size"] = 1
+        after["families"]["evm"]["points"][0]["journeys"] = 15
+        findings, compared = diff_runs(before, after)
+        assert compared > 0
+        assert [f.metric for f in findings] == ["journeys"]  # no suffix at batch=1
+
+    def test_mixed_run_compares_each_point_with_its_peer(self):
+        def two_point_run(kernel_batched):
+            run = make_run()
+            batched = make_point(users=15, batch_size=16, kernel_seconds=kernel_batched)
+            run["families"]["evm"]["points"].append(batched)
+            return run
+
+        findings, compared = diff_runs(two_point_run(1.0), two_point_run(9.0))
+        assert compared > 0
+        assert [f.metric for f in findings] == ["kernel_seconds [batch=16]"]
+
+
 class TestBenchCli:
     def write_history(self, tmp_path, runs) -> str:
         path = tmp_path / "bench.json"

@@ -112,3 +112,49 @@ class TestSecondContract:
         for entry in costs.entries.values():
             assert entry.evm_gas.hi is not None
             assert entry.within_avm_budget
+
+
+class TestBatchAmortization:
+    """The ``COST-BATCH-AMORTIZED`` theorem over the PoL contract."""
+
+    @pytest.fixture(scope="class")
+    def amortization(self, costs):
+        from repro.reach.absint.cost import batch_amortization
+
+        result = batch_amortization(costs)
+        assert result is not None
+        return result
+
+    def test_contract_without_insert_batch_has_no_theorem(self):
+        from repro.reach.absint.cost import batch_amortization
+
+        program = parse_contract_file("contracts/crowdfunding.rsh")
+        assert batch_amortization(analyze_costs(compile_program(program))) is None
+
+    def test_interval_dominance_holds_from_two(self, amortization):
+        assert amortization.dominates(2)
+        assert amortization.dominates_from == 2
+
+    def test_per_proof_interval_shrinks_monotonically(self, amortization):
+        previous = amortization.per_proof(2)
+        for count in range(3, 33):
+            current = amortization.per_proof(count)
+            assert current.lo <= previous.lo and current.hi <= previous.hi
+            previous = current
+
+    def test_break_even_is_the_adversarial_crossover(self, amortization):
+        # break_even is the smallest n >= 2 where even the batch's
+        # worst case beats the single submission's best case.
+        n = amortization.break_even
+        assert n >= 2
+        assert amortization.per_proof(n).hi <= amortization.single_gas.lo
+        if n > 2:
+            assert amortization.per_proof(n - 1).hi > amortization.single_gas.lo
+
+    def test_single_cost_includes_the_handshake(self, amortization, costs):
+        # An unbatched submission pays the attach ceremony's handshake
+        # transfer on top of the insert_data call itself.
+        assert amortization.single_gas.lo > costs.entries["attacherAPI.insert_data"].evm_gas.lo
+
+    def test_avm_batch_fits_one_pooled_fee(self, amortization):
+        assert amortization.avm_batch_pool_flat

@@ -34,7 +34,7 @@ class TestLowering:
         assert functions["verifierAPI.verify"].phase == 2
 
     def test_views_compiled(self, compiled):
-        assert set(compiled.ir.view_exprs) == {"getCtcBalance", "getReward"}
+        assert set(compiled.ir.view_exprs) == {"getCtcBalance", "getReward", "getAnchored"}
 
     def test_undeclared_global_rejected(self):
         program = build_pol_program()

@@ -49,15 +49,46 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _print_watchtower(watchtower, show_slo: bool) -> int:
+    """Render a finished watchtower's outcome; exit code 1 on violations."""
+    summary = watchtower.summary()
+    fired = ", ".join(summary["alerts_fired"]) if summary["alerts_fired"] else "none"
+    proofs = summary["proofs"]
+    print(
+        f"watchtower: {len(summary['violations'])} violation(s), "
+        f"alerts fired: {fired}, proofs anchored: {proofs['resolved']}/{proofs['tracked']}"
+    )
+    for violation in summary["violations"]:
+        print(f"  violation: {violation}")
+    if show_slo:
+        print("SLOs:")
+        for name, alert in summary["alerts"].items():
+            value = alert["last_value"]
+            shown = "-" if value is None else f"{value:.3f}"
+            print(
+                f"  {name:<22} state={alert['state']:<9} fired={alert['times_fired']} "
+                f"last={shown:<10} {alert['description']}"
+            )
+    for path in watchtower.flight.bundle_paths:
+        print(f"  post-mortem bundle: {path} (render with `repro postmortem {path}`)")
+    return 1 if summary["violations"] else 0
+
+
 def _cmd_simulate(args) -> int:
     if args.network not in PROFILES:
         print(f"unknown network {args.network!r}; choose from {sorted(PROFILES)}", file=sys.stderr)
         return 2
+    monitored = args.monitor or args.slo
     recorder = None
-    if args.trace or args.metrics or args.report or args.faults is not None:
+    if args.trace or args.metrics or args.report or args.faults is not None or monitored:
         from repro.obs import Recorder
 
         recorder = Recorder()
+    watchtower = None
+    if monitored:
+        from repro.obs.monitor import Watchtower
+
+        watchtower = Watchtower(recorder, out_dir=args.bundle_dir)
     if args.faults is not None:
         # Chaos mode: concurrent run under an active fault plan, with
         # the end-to-end resilience invariants asserted (exits nonzero
@@ -65,11 +96,19 @@ def _cmd_simulate(args) -> int:
         from repro.faults import run_chaos
 
         report = run_chaos(
-            args.network, args.users, seed=args.seed, fault_seed=args.faults, recorder=recorder
+            args.network, args.users, seed=args.seed, fault_seed=args.faults,
+            recorder=recorder, watchtower=watchtower,
         )
         print(report.summary())
         print()
         result = report.result
+    elif monitored:
+        # The watchtower needs the block listeners and handle callbacks
+        # only the concurrent runner wires, so --monitor implies it.
+        result = run_simulation_concurrent(
+            args.network, args.users, seed=args.seed, recorder=recorder,
+            watchtower=watchtower,
+        )
     else:
         runner = run_simulation_concurrent if args.concurrent else run_simulation
         result = runner(args.network, args.users, seed=args.seed, recorder=recorder)
@@ -100,6 +139,28 @@ def _cmd_simulate(args) -> int:
                 handle.write(rendered + "\n")
             print(rendered)
             print(f"report written to {args.report}")
+    if watchtower is not None:
+        watchtower.finish()
+        return _print_watchtower(watchtower, show_slo=args.slo)
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    """Render a flight-recorder post-mortem bundle."""
+    import json
+
+    from repro.obs.flight import load_bundle, render_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read bundle {args.bundle!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_bundle(bundle, ring_tail=args.tail))
+    except BrokenPipeError:
+        # the reader (head, less) closed the pipe early; not an error
+        sys.stderr.close()
     return 0
 
 
@@ -588,6 +649,32 @@ def main(argv: list[str] | None = None) -> int:
         help="write a per-operation critical-path report of the run "
         "(default: out.report.txt)",
     )
+    simulate.add_argument(
+        "--monitor", action="store_true",
+        help="attach the watchtower: online invariants at every block "
+        "boundary, SLO alerting, and flight-recorder post-mortem bundles "
+        "on violations/firing alerts (implies --concurrent; exits 1 on "
+        "an invariant violation)",
+    )
+    simulate.add_argument(
+        "--slo", action="store_true",
+        help="print the full per-alert SLO state table after the run "
+        "(implies --monitor)",
+    )
+    simulate.add_argument(
+        "--bundle-dir", default="postmortems", metavar="DIR",
+        help="directory for post-mortem bundles written by --monitor "
+        "(default: postmortems)",
+    )
+
+    postmortem = subparsers.add_parser(
+        "postmortem", help="render a flight-recorder post-mortem bundle"
+    )
+    postmortem.add_argument("bundle", help="path to a postmortem-NNN.json bundle")
+    postmortem.add_argument(
+        "--tail", type=int, default=12, metavar="N",
+        help="flight-ring entries to show from the end (default: 12)",
+    )
 
     analyze = subparsers.add_parser(
         "analyze",
@@ -711,6 +798,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "simulate": _cmd_simulate,
+        "postmortem": _cmd_postmortem,
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
         "compare": _cmd_compare,

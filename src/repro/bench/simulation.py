@@ -95,6 +95,7 @@ def run_simulation_concurrent(
     compiled: CompiledContract | None = None,
     recorder: NullRecorder | None = None,
     faults=None,
+    watchtower=None,
 ) -> SimulationResult:
     """The thesis's Thread-based variant: attachers act concurrently.
 
@@ -111,10 +112,19 @@ def run_simulation_concurrent(
     ``faults=None`` (the default) the run is byte-identical to a
     build without the fault layer.
 
+    ``watchtower`` (a :class:`repro.obs.monitor.Watchtower`) attaches
+    the online monitor: invariants are checked at every block boundary,
+    each user's operation is tracked for proof liveness (resolved when
+    its handle settles without error), and SLO alerts evaluate against
+    the run's recorder.  Monitoring never changes the event sequence.
+
     The harness is chain-agnostic: the per-family ceremonies live in
     the Reach runtime, below this layer.
     """
     chain = make_chain(network, seed=seed, recorder=recorder)
+    if watchtower is not None and watchtower.enabled:
+        watchtower.attach_chain(chain)
+        watchtower.attach_queue(chain.queue)
     injector = None
     policy = None
     if faults is not None:
@@ -144,13 +154,18 @@ def run_simulation_concurrent(
         for spec in workload
     }
 
+    monitor = watchtower if watchtower is not None and watchtower.enabled else chain.watchtower
     result = SimulationResult(network=network, user_count=user_count)
     contracts: dict[str, DeployedContract] = {}
     for spec in (s for s in workload if s.is_creator):
         pending = client.deploy_async(
             compiled, accounts[spec.name], [spec.olc, spec.did, records[spec.name]]
         )
+        if monitor.enabled:
+            monitor.track_proof((spec.olc, spec.did), pending.trace_id)
         deployed = pending.wait().value
+        if monitor.enabled:
+            monitor.resolve_proof((spec.olc, spec.did))
         contracts[spec.olc] = deployed
         result.timings.append(
             UserTiming(
@@ -172,6 +187,18 @@ def run_simulation_concurrent(
         )
         for spec in attachers
     }
+    if monitor.enabled:
+        # Proof liveness: every in-flight attach must anchor within the
+        # watchtower's block budget; its settle callback resolves it.
+        for spec in attachers:
+            handle = handles[spec.name]
+            monitor.track_proof((spec.olc, spec.did), handle.trace_id)
+
+            def resolved(settled, key=(spec.olc, spec.did)) -> None:
+                if settled.error is None:
+                    monitor.resolve_proof(key)
+
+            handle.add_done_callback(resolved)
     if handles:
         # O(1) completion predicate: each handle decrements a countdown
         # when it settles instead of the drive polling every handle per
@@ -222,6 +249,7 @@ def run_traced_journeys(
     population: bool = False,
     profiler=None,
     batch_size: int | None = None,
+    watchtower=None,
 ):
     """One fully-traced proof lifecycle run through the system facade.
 
@@ -254,6 +282,12 @@ def run_traced_journeys(
       against the anchored root.  ``user_count`` is trimmed down to a
       whole number of groups (a remainder group could never fill its
       contract's seats);
+    - ``watchtower`` (a :class:`repro.obs.monitor.Watchtower`) rides the
+      whole campaign through the system facade, which attaches it to the
+      chain, the DHT and the event queue and tracks every submission
+      under the proof-liveness invariant; this is the scalable path for
+      monitored large-population runs (the thesis workload behind
+      :func:`run_simulation_concurrent` tops out at 8 locations);
     - ``profiler`` (a :class:`repro.obs.prof.Profiler`) attributes the
       run's wall-clock and sim-time to kernel stages: it is attached to
       the event queue and the recorder, made ambient for the crypto and
@@ -270,7 +304,12 @@ def run_traced_journeys(
 
     if profiler is None:
         profiler = NULL_PROFILER
-    recorder = Recorder()
+    # A monitored run must share one recorder: the watchtower's burn-rate
+    # windows read the same counter series the chain writes.
+    if watchtower is not None and watchtower.enabled:
+        recorder = watchtower.recorder
+    else:
+        recorder = Recorder()
     chain = make_chain(network, seed=seed, recorder=recorder)
     if batch_settlement is not None:
         chain.batch_settlement = batch_settlement
@@ -282,7 +321,7 @@ def run_traced_journeys(
         with activate_profiler(profiler):
             _run_traced_workload(
                 chain, recorder, user_count, reward, sample_every, population,
-                batch_size=batch_size,
+                batch_size=batch_size, watchtower=watchtower,
             )
     finally:
         profiler.stop()
@@ -303,15 +342,24 @@ def _traced_request(system, recorder, name, witness, index, sample_every):
 
 
 def _run_traced_workload(
-    chain, recorder, user_count, reward, sample_every, population, batch_size=None
+    chain, recorder, user_count, reward, sample_every, population, batch_size=None,
+    watchtower=None,
 ) -> None:
     """The traced campaign body (profiled window of ``run_traced_journeys``)."""
     from repro.core.system import ProofOfLocationSystem
+    from repro.obs.monitor import NULL_WATCHTOWER
 
+    if watchtower is None:
+        watchtower = NULL_WATCHTOWER
     if batch_size is not None and batch_size >= 2:
-        _run_batched_workload(chain, recorder, user_count, reward, sample_every, population, batch_size)
+        _run_batched_workload(
+            chain, recorder, user_count, reward, sample_every, population, batch_size,
+            watchtower=watchtower,
+        )
         return
-    system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=USERS_PER_CONTRACT)
+    system = ProofOfLocationSystem(
+        chain=chain, reward=reward, max_users=USERS_PER_CONTRACT, watchtower=watchtower
+    )
     if population:
         system.use_population_store()
     funding = chain.profile.simulation_funding
@@ -358,7 +406,8 @@ def _run_traced_workload(
 
 
 def _run_batched_workload(
-    chain, recorder, user_count, reward, sample_every, population, batch_size
+    chain, recorder, user_count, reward, sample_every, population, batch_size,
+    watchtower=None,
 ) -> None:
     """The Merkle proof-batching campaign (``batch_size`` users per group).
 
@@ -370,13 +419,19 @@ def _run_batched_workload(
     """
     from repro.core.batch import BatchAggregator
     from repro.core.system import ProofOfLocationSystem
+    from repro.obs.monitor import NULL_WATCHTOWER
+
+    if watchtower is None:
+        watchtower = NULL_WATCHTOWER
 
     # Whole groups only: a remainder group could never fill its
     # contract's seats, stranding it in the attach phase.
     users = max(batch_size, user_count - user_count % batch_size)
     if users != user_count:
         recorder.counter("batch_users_trimmed_total", user_count - users)
-    system = ProofOfLocationSystem(chain=chain, reward=reward, max_users=batch_size)
+    system = ProofOfLocationSystem(
+        chain=chain, reward=reward, max_users=batch_size, watchtower=watchtower
+    )
     if population:
         system.use_population_store()
     funding = chain.profile.simulation_funding

@@ -169,6 +169,7 @@ class AlgorandChain(BaseChain):
         except AsaError as failure:
             return self._reject(receipt, str(failure))
         self._debit(tx.sender, tx.flat_fee)
+        self.burned_total += tx.flat_fee
         receipt.status = TxStatus.SUCCESS
         receipt.fee_paid = tx.flat_fee
         return receipt
@@ -196,6 +197,7 @@ class AlgorandChain(BaseChain):
             return self._reject(receipt, "sender would fall below the minimum balance")
         self._debit(tx.sender, total)
         self._credit(tx.to, tx.value)
+        self.burned_total += tx.flat_fee
         receipt.status = TxStatus.SUCCESS
         receipt.fee_paid = tx.flat_fee
         return receipt
@@ -226,6 +228,7 @@ class AlgorandChain(BaseChain):
         except (AvmPanic, AvmError) as failure:
             return self._reject(receipt, str(failure))
         self._debit(tx.sender, tx.flat_fee + tx.value)
+        self.burned_total += tx.flat_fee
         self._commit_app_state(app, result)
         self.apps[app_id] = app
         if tx.value:
@@ -262,6 +265,7 @@ class AlgorandChain(BaseChain):
             return self._reject(receipt, str(failure))
         fee = tx.flat_fee * (1 + budget_txns)
         self._debit(tx.sender, fee + tx.value)
+        self.burned_total += fee
         if tx.value:
             self._credit(app.address, tx.value)
         self._commit_app_state(app, result)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterator
 from repro.crypto.hashing import sha256, sha256_hex
 from repro.crypto.keys import KeyPair, PublicKey, Signature
 from repro.crypto.merkle import merkle_root
+from repro.obs.monitor import NULL_WATCHTOWER, NullWatchtower
 from repro.obs.recorder import RATIO_BUCKETS, NullRecorder, Span, track_for
 from repro.simnet import CongestionProcess, EventQueue, LatencyModel
 from repro.chain.params import NetworkProfile
@@ -473,6 +474,12 @@ class BaseChain:
         self.batch_settlement = True
         self._receipt_watchers: dict[str, list[Callable[[Receipt], None]]] = {}
         self._observed_nonces: dict[str, int] = {}
+        # Per-sender next includable nonce: inclusion is gated so a
+        # sender's transactions land in strict nonce order even when
+        # congestion skips, inclusion penalties or fee-market price-outs
+        # would reorder them (a real chain never executes nonce N+1
+        # before N; without this gate large populations do).
+        self._next_included_nonce: dict[str, int] = {}
         self.congestion = CongestionProcess(
             mean=profile.congestion_mean,
             volatility=profile.congestion_volatility,
@@ -486,6 +493,17 @@ class BaseChain:
         self._accounts_created = 0
         self._started = False
         self.faults: NullFaultInjector = NULL_FAULTS
+        # Supply accounting for the watchtower's conservation invariant:
+        # everything the faucet created, everything provably destroyed
+        # (burned fees, tips to unknown proposers), everything locked in
+        # consensus deposits.  Exact integers, updated where value moves.
+        self.minted_total = 0
+        self.burned_total = 0
+        self.locked_total = 0
+        #: block-boundary subscribers called as ``listener(chain, block)``
+        #: right after a block (certified or not) is appended.
+        self.block_listeners: list[Callable[["BaseChain", Block], None]] = []
+        self.watchtower: NullWatchtower = NULL_WATCHTOWER
         self._tx_spans: dict[str, Span] = {}  # open submitted->confirmed windows
         self._block_label = f"{profile.name}-block"  # interned once, not per block
         self._metrics: _ChainMetrics | None = None
@@ -612,6 +630,7 @@ class BaseChain:
         if amount < 0:
             raise ValueError("faucet amount must be non-negative")
         self._acct_balances[self._slot_for(address)] += amount
+        self.minted_total += amount
 
     def balance_of(self, address: str) -> int:
         """Current balance of ``address`` in base units."""
@@ -777,6 +796,10 @@ class BaseChain:
                 metrics.latency.observe(
                     receipt.latency, span.trace_id if span is not None else None
                 )
+        if self.watchtower.enabled:
+            self.watchtower.observe_confirmation(
+                self, receipt, span.trace_id if span is not None else None
+            )
         for callback in self._receipt_watchers.pop(receipt.txid, []):
             callback(receipt)
 
@@ -843,6 +866,9 @@ class BaseChain:
                 metrics.blocks.add()
                 metrics.uncertified.add()
             self.blocks.append(block)
+            if self.block_listeners:
+                for listener in self.block_listeners:
+                    listener(self, block)
             self.queue.schedule(
                 self.profile.block_time, self._produce_block,
                 label=self._block_label, inherit_context=False,
@@ -872,11 +898,15 @@ class BaseChain:
         batch = self.batch_settlement
         mempool = self._mempool
         gas_budget = self.profile.block_gas_limit
+        next_nonce = self._next_included_nonce
         for pair in ready:
             entry = pair[1]
             if mempool.get(entry.txid) is not entry:
                 continue  # replaced after admission; drop silently
             tx = entry.transaction
+            if tx.nonce != next_nonce.get(tx.sender, 0):
+                leftover.append(pair)
+                continue  # an earlier nonce from this sender is still pending
             if tx.gas_limit > gas_budget:
                 leftover.append(pair)
                 continue  # stays queued for the next block
@@ -898,6 +928,7 @@ class BaseChain:
             block.gas_used += receipt.gas_used
             del mempool[entry.txid]
             self._mempool_nonce.pop((tx.sender, tx.nonce), None)
+            next_nonce[tx.sender] = tx.nonce + 1
             if metrics is not None:
                 # The fee histogram's bucket exemplar points at this
                 # journey's trace (muted spans carry "" and are skipped).
@@ -930,6 +961,9 @@ class BaseChain:
             # chains (gas_used 0) report 0 and rely on tx counts instead.
             limit = self.profile.block_gas_limit
             metrics.utilization.observe(block.gas_used / limit if limit else 0.0)
+        if self.block_listeners:
+            for listener in self.block_listeners:
+                listener(self, block)
         self.queue.schedule(
             self.profile.block_time, self._produce_block,
             label=self._block_label, inherit_context=False,

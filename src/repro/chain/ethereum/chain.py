@@ -71,6 +71,7 @@ class EthereumChain(BaseChain):
             account = self.create_account(seed=f"{self.profile.name}/validator/{index}".encode())
             self.faucet(account.address, stake)
             self._debit(account.address, stake)  # locked in the deposit contract
+            self.locked_total += stake
             self.validators.register(account.address, stake)
 
     # -- BaseChain hooks -------------------------------------------------------
@@ -267,8 +268,14 @@ class EthereumChain(BaseChain):
         base_share = min(self.base_fee, gas_price) * gas_used
         tip = (gas_price * gas_used) - base_share
         self.burned_fees += base_share
-        if tip > 0 and block.proposer in self.known_keys:
-            self._credit(block.proposer, tip)
+        self.burned_total += base_share
+        if tip > 0:
+            if block.proposer in self.known_keys:
+                self._credit(block.proposer, tip)
+            else:
+                # A tip with no payable proposer (genesis edge) is
+                # destroyed, not dropped from the supply accounting.
+                self.burned_total += tip
 
     # -- client conveniences -----------------------------------------------------
 

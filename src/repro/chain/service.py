@@ -203,11 +203,15 @@ class ChainService:
         self.rejections += 1
         if self.recorder.enabled:
             self.recorder.counter("chain_tx_rejected_total", chain=self.chain.profile.name)
+        if self.chain.watchtower.enabled:
+            self.chain.watchtower.note("tx_rejected", chain=self.chain.profile.name)
 
     def _observe_retry(self) -> None:
         self.retries += 1
         if self.recorder.enabled:
             self.recorder.counter("chain_tx_retries_total", chain=self.chain.profile.name)
+        if self.chain.watchtower.enabled:
+            self.chain.watchtower.note("tx_retried", chain=self.chain.profile.name)
 
     def _rebuild(self, account: Account, rejected: Transaction) -> Transaction | None:
         """Re-price/re-nonce a rejected transaction; None if unchanged."""
@@ -313,6 +317,13 @@ class ManagedTxHandle(TxHandle):
         if self.service.recorder.enabled:
             self.service.recorder.counter(
                 "chain_tx_fee_bumped_total", chain=self.chain.profile.name
+            )
+        if self.chain.watchtower.enabled:
+            self.chain.watchtower.note(
+                "fee_bump",
+                chain=self.chain.profile.name,
+                txid=new_txid[:12],
+                resubmits=self.resubmits,
             )
         self.chain.subscribe_receipt(new_txid, self._on_confirmed)
         self._arm()

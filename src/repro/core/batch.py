@@ -246,6 +246,13 @@ class BatchAggregator:
                     entry.submit_span.end(batch=batch_id, error=error)
             flush_span.end(error=error)
             if settled.error is None:
+                watchtower = self.system.chain.watchtower
+                if watchtower.enabled:
+                    # Batch-inclusion coverage: every member must hold a
+                    # retained Merkle path that verifies against the
+                    # anchored root; verified members resolve their
+                    # proof-liveness tracking.
+                    watchtower.check_batch(batch, self.system.provers)
                 gas = sum(r.gas_used for r in settled.receipts)
                 fee = sum(r.fee_paid for r in settled.receipts)
                 self.gas_min = gas if self.gas_min is None else min(self.gas_min, gas)

@@ -22,6 +22,7 @@ from typing import Any
 from repro.chain.base import Account, BaseChain, drive
 from repro.did.registry import DidRegistry
 from repro.dht.hypercube import HypercubeDHT
+from repro.obs.monitor import NULL_WATCHTOWER
 from repro.ipfs.network import IpfsNetwork
 from repro.reach.compiler import CompiledContract, compile_program
 from repro.reach.runtime import DeployedContract, OpHandle, OpResult, ReachClient
@@ -159,6 +160,9 @@ class ProofOfLocationSystem:
     #: verifier's read -- a separate call, often much later -- parents
     #: its ``proof:verify`` span into the proof's trace too.
     _journey_records: dict[tuple[str, int], Any] = field(default_factory=dict)
+    #: the online invariant monitor (see :mod:`repro.obs.monitor`);
+    #: NULL_WATCHTOWER keeps every hook a single attribute check.
+    watchtower: Any = NULL_WATCHTOWER
 
     def __post_init__(self) -> None:
         if self.compiled is None:
@@ -185,6 +189,10 @@ class ProofOfLocationSystem:
         self.registry = DidRegistry()
         self.authority = CertificationAuthority()
         self.channel = BluetoothChannel()
+        if self.watchtower.enabled:
+            self.watchtower.attach_chain(self.chain)
+            self.watchtower.attach_dht(self.dht)
+            self.watchtower.attach_queue(self.chain.queue)
 
     def use_population_store(self) -> None:
         """Swap ``provers`` for the array-backed population store.
@@ -371,7 +379,10 @@ class ProofOfLocationSystem:
           the deploy's confirmation callback.
         """
         recorder = self.chain.recorder
+        watchtower = self.watchtower if self.watchtower.enabled else self.chain.watchtower
         if not recorder.enabled:
+            if watchtower.enabled:
+                return self._monitored_submission(prover_name, request, proof, watchtower, "")
             return self._start_submission(prover_name, request, proof)
         root = self._journey_roots.pop((prover_name, request.nonce), None)
         span = recorder.span(
@@ -382,7 +393,12 @@ class ProofOfLocationSystem:
         # op/tx spans of the ceremony its children; the done callback is
         # where the journey's chain phase actually closes.
         with recorder.activate(span.context):
-            submission = self._start_submission(prover_name, request, proof)
+            if watchtower.enabled:
+                submission = self._monitored_submission(
+                    prover_name, request, proof, watchtower, span.trace_id
+                )
+            else:
+                submission = self._start_submission(prover_name, request, proof)
         prover = self.provers[prover_name]
         self._journey_records[(request.olc, prover.did_uint)] = (
             root if root is not None else span.context
@@ -393,6 +409,28 @@ class ProofOfLocationSystem:
                 was_deploy=submission.was_deploy,
             )
         )
+        return submission
+
+    def _monitored_submission(
+        self, prover_name: str, request: ProofRequest, proof: LocationProof,
+        watchtower: Any, trace_id: str,
+    ) -> PendingSubmission:
+        """Start a submission under the watchtower's liveness tracking.
+
+        The proof is tracked *before* the chain side starts and resolved
+        only when its transaction settles cleanly -- a submission that
+        errors (or never lands) stays tracked and trips the
+        ``proof_liveness`` invariant.
+        """
+        key = (request.olc, self.provers[prover_name].did_uint)
+        watchtower.track_proof(key, trace_id)
+        submission = self._start_submission(prover_name, request, proof)
+
+        def resolve(settled) -> None:
+            if settled.error is None:
+                watchtower.resolve_proof(key)
+
+        submission.handle.add_done_callback(resolve)
         return submission
 
     def _start_submission(self, prover_name: str, request: ProofRequest, proof: LocationProof) -> PendingSubmission:
@@ -508,6 +546,15 @@ class ProofOfLocationSystem:
         if recorder.enabled:
             self._journey_records[(request.olc, prover.did_uint)] = (
                 root if root is not None else span.context
+            )
+        watchtower = self.watchtower if self.watchtower.enabled else self.chain.watchtower
+        if watchtower.enabled:
+            # Accepted now, anchored later: the batch settlement path
+            # resolves the key (via Watchtower.check_batch) only once the
+            # member's retained inclusion path verifies against the
+            # anchored root.
+            watchtower.track_proof(
+                (request.olc, prover.did_uint), getattr(span, "trace_id", ""),
             )
         batch = aggregator.add(record, submit_span=span)
         return ProofFailure.OK, batch

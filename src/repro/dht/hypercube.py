@@ -293,6 +293,27 @@ class HypercubeDHT:
         """Number of stored records across all nodes."""
         return sum(len(node.storage) for node in self.nodes.values())
 
+    def replication_health(self) -> int | None:
+        """The worst-case live copy count across every stored location.
+
+        For each distinct stored key, counts how many of its designated
+        holders (primary + replicas) are online *and* actually hold the
+        record; returns the minimum over all keys, or ``None`` when
+        nothing is stored yet.  The watchtower samples this into the
+        ``dht-replication`` SLO: a crash that drops a location below the
+        replication floor shows up here until read-repair heals it.
+        """
+        keys: set[str] = set()
+        for node in self.nodes.values():
+            keys.update(node.storage)
+        worst: int | None = None
+        for olc in keys:
+            holders = [self.responsible_node(olc)] + self.replica_nodes(olc)
+            live = sum(1 for node in holders if node.online and olc in node.storage)
+            if worst is None or live < worst:
+                worst = live
+        return worst
+
     def max_possible_hops(self) -> int:
         """The diameter of the hypercube: exactly r."""
         return self.r

@@ -165,6 +165,8 @@ class RadioFaultInjector:
                 self.channel.send(sender, recipient, payload)
             except BluetoothError:
                 failures += 1
+                if self.recorder.enabled:
+                    self.recorder.counter("radio_send_failures_total")
                 continue
             if failures:
                 self.recovered += 1

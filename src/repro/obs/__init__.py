@@ -32,6 +32,7 @@ from repro.obs.analysis import (
     validate_journeys,
 )
 from repro.obs.export import (
+    HELP_TEXT,
     chrome_trace_json,
     to_chrome_trace,
     to_prometheus,
@@ -39,6 +40,14 @@ from repro.obs.export import (
     write_chrome_trace,
     write_prometheus,
 )
+from repro.obs.monitor import (
+    NULL_WATCHTOWER,
+    InvariantViolation,
+    NullWatchtower,
+    Watchtower,
+)
+from repro.obs.slo import SloEngine, SloRule, default_rules
+from repro.obs.flight import FlightRecorder, load_bundle, render_bundle
 from repro.obs.prof import (
     NULL_PROFILER,
     NullProfiler,
@@ -77,12 +86,23 @@ __all__ = [
     "render_report",
     "stage_statistics",
     "validate_journeys",
+    "HELP_TEXT",
     "chrome_trace_json",
     "to_chrome_trace",
     "to_prometheus",
     "to_snapshot_json",
     "write_chrome_trace",
     "write_prometheus",
+    "NULL_WATCHTOWER",
+    "InvariantViolation",
+    "NullWatchtower",
+    "Watchtower",
+    "SloEngine",
+    "SloRule",
+    "default_rules",
+    "FlightRecorder",
+    "load_bundle",
+    "render_bundle",
     "NULL_PROFILER",
     "NullProfiler",
     "Profiler",

@@ -37,6 +37,42 @@ __all__ = [
 
 _PID = 1  # one simulated process; tracks are threads within it
 
+#: Help texts keyed by metric family name, rendered as ``# HELP`` lines
+#: in the Prometheus/OpenMetrics exposition.  Families missing here get
+#: a deterministic fallback so the output is still strict OpenMetrics
+#: (every family carries HELP + TYPE metadata).
+HELP_TEXT: dict[str, str] = {
+    "batch_anchored_total": "Merkle batches committed via insert_batch.",
+    "batch_insert_fee_max": "Largest fee paid by one insert_batch transaction.",
+    "batch_insert_fee_min": "Smallest fee paid by one insert_batch transaction.",
+    "batch_insert_gas_max": "Largest gas used by one insert_batch transaction.",
+    "batch_insert_gas_min": "Smallest gas used by one insert_batch transaction.",
+    "batch_proofs_anchored_total": "Accepted proof records anchored inside batches.",
+    "chain_base_fee_wei": "Current EIP-1559 base fee of the simulated chain.",
+    "chain_block_interval_seconds": "Observed interval between produced blocks.",
+    "chain_confirm_latency_seconds": "Inclusion-to-confirmation latency by depth.",
+    "chain_fee_paid_base_units": "Fee paid per settled transaction.",
+    "chain_gas_used": "Gas used per settled transaction.",
+    "chain_mempool_depth": "Pending transactions in the simulated mempool.",
+    "chain_nonce_resyncs_total": "Client nonce resyncs after rejected submissions.",
+    "chain_tx_fee_bumped_total": "Stuck transactions replaced with a fee-bumped copy.",
+    "chain_tx_included_total": "Transactions included in produced blocks.",
+    "chain_tx_rejected_total": "Submissions rejected by the chain or provider.",
+    "chain_tx_retries_total": "Rejected submissions that were re-attempted.",
+    "chain_tx_submitted_total": "Transactions submitted to the chain.",
+    "chain_utilization_ratio": "Block fullness (gas or transaction count ratio).",
+    "dht_read_repairs_total": "Replica records healed on the DHT read path.",
+    "fault_injected_total": "Faults injected by the chaos plan, by kind.",
+    "fault_recovered_total": "Injected faults recovered by the client layer.",
+    "light_verify_failed_total": "Batched proofs whose Merkle path failed to verify.",
+    "light_verify_total": "Batched proofs light-verified against anchored roots.",
+    "radio_send_failures_total": "Bluetooth sends that failed before a retry succeeded.",
+    "slo_alert_state": "Current alert state (0 inactive, 1 pending, 2 firing, 3 resolved).",
+    "slo_alert_transitions_total": "Alert state-machine transitions, by alert and state.",
+    "slo_alerts_fired_total": "Alerts that entered the firing state.",
+    "watchtower_violations_total": "Online invariant violations, by invariant.",
+}
+
 
 def to_chrome_trace(recorder: "Recorder") -> dict[str, Any]:
     """Render the recorder as a Chrome trace-event object."""
@@ -92,7 +128,10 @@ def to_chrome_trace(recorder: "Recorder") -> dict[str, Any]:
         events.append({**flow, "ph": "f", "bp": "e", "tid": tid(span.track), "ts": flow_ts})
 
     for (name, labels), series in recorder._gauge_series.items():
-        label_text = ",".join(f"{label}={value}" for label, value in labels)
+        # Label values land inside the Perfetto counter-track *name*;
+        # escape them so a value containing quotes, newlines or braces
+        # cannot corrupt the track title (or collide with another).
+        label_text = ",".join(f'{label}="{_escape(value)}"' for label, value in labels)
         counter_name = f"{name}{{{label_text}}}" if label_text else name
         for timestamp, value in series:
             events.append(
@@ -120,13 +159,20 @@ def write_chrome_trace(recorder: "Recorder", path: str) -> None:
 
 
 def to_prometheus(recorder: "Recorder") -> str:
-    """Render every instrument in the Prometheus text exposition format."""
+    """Render every instrument in the Prometheus text exposition format.
+
+    Strict OpenMetrics shape: every metric family leads with ``# HELP``
+    (from :data:`HELP_TEXT`, with a deterministic fallback) and
+    ``# TYPE`` metadata, and the exposition ends with ``# EOF``.
+    """
     lines: list[str] = []
     typed: set[str] = set()
 
     def type_line(name: str, kind: str) -> None:
         if name not in typed:
             typed.add(name)
+            help_text = HELP_TEXT.get(name, f"Simulation metric {name}.")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
 
     for (name, labels), value in sorted(recorder._counters.items()):
@@ -153,6 +199,7 @@ def to_prometheus(recorder: "Recorder") -> str:
         lines.append(f"{name}_sum{_label_block(labels)} {_format_value(histogram.total)}")
         lines.append(f"{name}_count{_label_block(labels)} {histogram.count}")
 
+    lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
@@ -179,6 +226,11 @@ def _label_block(labels: tuple[tuple[str, str], ...], extra: tuple[str, str] | N
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP text is unquoted: only backslash and newline need escaping.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value: float) -> str:

@@ -121,6 +121,11 @@ class EventQueue:
         #: unfaulted run; installed by repro.faults injectors to model
         #: block-production stalls and receipt delays.
         self.fault_delay: Callable[[str, float], float] | None = None
+        #: observers of uncaught callback exceptions, called as
+        #: ``watcher(exc, label)`` before the exception propagates.
+        #: Installed by the watchtower to dump a post-mortem bundle;
+        #: empty (the default) keeps dispatch byte-identical.
+        self.exception_watchers: list[Callable[[BaseException, str], None]] = []
         #: active slot cursors; their un-armed entries are invisible to
         #: the heap but still pending (see pending_labels / __len__).
         self._slots: list[_SlotCursor] = []
@@ -313,13 +318,24 @@ class EventQueue:
             if recorder.enabled:
                 self._handles_for(event.label)[1].add()
                 self._depth_gauge.set(self._live)
-            if event.context is not None:
-                with recorder.activate(event.context):
+            try:
+                if event.context is not None:
+                    with recorder.activate(event.context):
+                        event.callback()
+                else:
                     event.callback()
-            else:
-                event.callback()
+            except Exception as exc:
+                self._notify_exception(exc, event.label)
+                raise
             return event
         return None
+
+    def _notify_exception(self, exc: BaseException, label: str) -> None:
+        for watcher in self.exception_watchers:
+            try:
+                watcher(exc, label or "<unlabelled>")
+            except Exception:
+                pass  # a broken watcher must not mask the original error
 
     def _step_profiled(self) -> ScheduledEvent | None:
         """:meth:`step` with stage attribution (profiled runs only).
@@ -357,6 +373,9 @@ class EventQueue:
                     event.callback()
             else:
                 event.callback()
+        except Exception as exc:
+            self._notify_exception(exc, event.label)
+            raise
         finally:
             profiler.exit()
         return event

@@ -37,9 +37,47 @@ class TestChaosInvariants:
         assert "invariants: all held" in report.summary()
         assert f"{USERS}/{USERS}" in report.summary()
 
+    def test_watchtower_liveness_held(self, report):
+        assert report.violations == []
+
+    def test_injected_faults_fired_their_alerts(self, report):
+        # The seed-7 plan injects stalls, rejections, churn and flaps;
+        # each class must surface as its labelled detector firing.
+        assert "block-stall" in report.alerts_fired
+        assert "tx-retry-burn" in report.alerts_fired
+        assert "dht-replication" in report.alerts_fired
+        assert "radio-send-failure" in report.alerts_fired
+
     def test_check_raises_chaos_error(self):
         with pytest.raises(ChaosError, match="went wrong"):
             _check(False, "went wrong")
+
+    def test_deliberately_dropped_proof_fails_the_run(self):
+        """Regression: the watchtower's proof-liveness invariant replaces
+        the old counter-match assertions, so a proof that is tracked but
+        never resolved must still fail the chaos run."""
+        from repro.obs.monitor import Watchtower
+        from repro.obs.recorder import Recorder
+
+        class DroppingWatchtower(Watchtower):
+            def __init__(self, recorder):
+                super().__init__(recorder)
+                self.dropped = None
+
+            def resolve_proof(self, key):
+                if self.dropped is None:
+                    self.dropped = key  # swallow the first resolution
+                    return
+                super().resolve_proof(key)
+
+        recorder = Recorder()
+        watchtower = DroppingWatchtower(recorder)
+        with pytest.raises(ChaosError, match="proof_liveness"):
+            run_chaos(
+                NETWORK, USERS, seed=1, fault_seed=FAULT_SEED,
+                recorder=recorder, watchtower=watchtower,
+            )
+        assert watchtower.dropped is not None
 
 
 class TestChaosDeterminism:

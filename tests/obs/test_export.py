@@ -70,6 +70,14 @@ class TestChromeTrace:
         assert (0, 2) in values
         assert (12_000_000, 0) in values
 
+    def test_counter_track_label_values_escaped(self):
+        recorder = Recorder()
+        recorder.gauge("depth", 1, chain='evil"name\nwith{stuff}')
+        trace = to_chrome_trace(recorder)
+        (counter,) = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counter["name"] == 'depth{chain="evil\\"name\\nwith{stuff}"}'
+        assert "\n" not in counter["name"]
+
     def test_open_span_event_is_valid_and_carries_trace_args(self):
         trace = to_chrome_trace(build_recorder())
         (begin,) = [e for e in trace["traceEvents"] if e["ph"] == "B"]
@@ -118,9 +126,37 @@ class TestPrometheus:
         text = to_prometheus(build_recorder())
         for line in text.strip().splitlines():
             if line.startswith("#"):
-                assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$", line)
+                assert re.match(
+                    r"^# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)"
+                    r"|HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*"
+                    r"|EOF)$",
+                    line,
+                ), line
             else:
                 assert SAMPLE_RE.match(line), line
+
+    def test_help_precedes_type_and_exposition_ends_with_eof(self):
+        text = to_prometheus(build_recorder())
+        lines = text.strip().splitlines()
+        assert lines[-1] == "# EOF"
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert lines[index - 1].startswith(f"# HELP {family} "), line
+
+    def test_registered_help_text_used(self):
+        recorder = Recorder()
+        recorder.counter("chain_tx_rejected_total", chain="goerli")
+        text = to_prometheus(recorder)
+        assert (
+            "# HELP chain_tx_rejected_total "
+            "Submissions rejected by the chain or provider." in text
+        )
+
+    def test_unregistered_family_gets_fallback_help(self):
+        recorder = Recorder()
+        recorder.counter("made_up_total")
+        assert "# HELP made_up_total Simulation metric made_up_total." in to_prometheus(recorder)
 
     def test_counter_gauge_and_histogram_families(self):
         text = to_prometheus(build_recorder())

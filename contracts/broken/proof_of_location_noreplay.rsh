@@ -1,0 +1,91 @@
+// DELIBERATELY BROKEN -- the model checker's golden counterexample
+// sample.  This is proof_of_location.rsh with the replay screen on
+// insert_data removed *in the source*: the artifact accepts a second
+// create for an already-anchored DID and overwrites the record, so
+// the bounded sweep must refute MC-SAFETY-ANCHOR and emit an MC-CEX.
+// tests/reach/test_modelcheck.py pins the minimized schedule this
+// produces (tests/reach/golden/noreplay_cex.json); CI re-lints the
+// sample and diffs the bundle, keeping the checker's output format
+// and its refutation power pinned at the same time.
+//
+// It lives under contracts/broken/ (not contracts/) because the lint
+// gate over contracts/ must stay clean -- the CLI expands only the
+// directory given, never recursively.
+
+contract "proof-of-location-noreplay" {
+    participant Creator;
+
+    global sits = 4;
+    global pending = 0;
+    global reward = 10000;
+    global position = "";
+    global anchored = 0;
+
+    map easy_map : UInt => Bytes(512);
+    map batch_map : UInt => Bytes(64);
+
+    publish(pos: Bytes(128), did: UInt, data_inserted: Bytes(512)) {
+        position := pos;
+        easy_map[did] = data_inserted;
+        sits := 3;
+        pending := 1;
+        emit reportData(did, data_inserted);
+    }
+
+    phase attach while (sits > 0) timeout (86400) {}
+    {
+        api attacherAPI {
+            insert_data(data: Bytes(512), did: UInt) returns UInt {
+                // BUG: no `require(!easy_map.has(did))` screen, and the
+                // write is unconditional -- a replayed create for an
+                // anchored DID silently replaces the proof record.
+                easy_map[did] = data;
+                sits := sits - 1;
+                pending := pending + 1;
+                emit reportData(did, data);
+                return sits;
+            }
+            insert_batch(root: Bytes(64), count: UInt, batch_id: UInt) returns UInt {
+                require(!batch_map.has(batch_id), "batch id already anchored");
+                require(count > 0, "empty batch");
+                require(count <= sits, "not enough seats for the batch");
+                batch_map[batch_id] = root;
+                anchored := anchored + count;
+                sits := sits - count;
+                emit reportBatch(batch_id, count);
+                return sits;
+            }
+        }
+    }
+
+    phase verify while (pending > 0) timeout (86400) {
+        transfer(balance()).to(creator);
+    }
+    {
+        api verifierAPI {
+            insert_money(amount: UInt) returns UInt pays amount {
+                require(amount > 0, "must insert a positive amount");
+                return amount;
+            }
+            verify(did: UInt, wallet: Address) returns Address {
+                require(easy_map.has(did), "unknown DID");
+                if (balance() >= reward) {
+                    transfer(reward).to(wallet);
+                    delete easy_map[did];
+                    pending := pending - 1;
+                    emit reportVerification(did, this);
+                    if (pending == 0) {
+                        transfer(balance()).to(creator);
+                    }
+                } else {
+                    emit issueDuringVerification(did);
+                }
+                return wallet;
+            }
+        }
+    }
+
+    view getCtcBalance = balance();
+    view getReward = reward;
+    view getAnchored = anchored;
+}

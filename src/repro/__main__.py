@@ -490,7 +490,12 @@ def _cmd_lint(args) -> int:
     from dataclasses import replace
     from pathlib import Path
 
-    from repro.reach.absint import drop_teal_store, lint_compiled, neutralize_evm_sstore
+    from repro.reach.absint import (
+        drop_teal_store,
+        lint_compiled,
+        neutralize_evm_sstore,
+        weaken_replay_screen,
+    )
     from repro.reach.absint.lint import Finding, LintReport
     from repro.reach.compiler import CompileError, compile_program
     from repro.reach.parser import ParseError, parse_contract_file
@@ -537,7 +542,12 @@ def _cmd_lint(args) -> int:
             if args.mutate_evm_sstore is not None:
                 mutated = neutralize_evm_sstore(compiled.evm_code, args.mutate_evm_sstore)
                 compiled = replace(compiled, evm_code=mutated, _lint=None)
-            report = lint_compiled(compiled, source=name)
+            if args.mutate_reorder is not None:
+                # Protocol self-test: strip the Nth replay screen from
+                # BOTH artifacts (backends stay equivalent) so only the
+                # model checker's interleaving sweep can catch it.
+                compiled = weaken_replay_screen(compiled, args.mutate_reorder)
+            report = lint_compiled(compiled, source=name, mc_depth=args.mc_depth)
         except (CompileError, ValueError) as exc:
             report = LintReport(
                 contract=path.stem,
@@ -559,6 +569,7 @@ def _cmd_lint(args) -> int:
                         "theorem": f.theorem,
                         "message": f.message,
                         "span": list(f.span) if f.span else None,
+                        "data": f.data,
                     }
                     for f in report.findings
                 ],
@@ -787,6 +798,15 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument(
         "--mutate-evm-sstore", type=int, default=None, metavar="N",
         help="neutralize the Nth EVM SSTORE before linting (equivalence self-test)",
+    )
+    lint.add_argument(
+        "--mutate-reorder", type=int, default=None, metavar="N",
+        help="weaken the Nth replay screen in BOTH artifacts before linting "
+        "(model-checker self-test: replays/front-runs become accepted)",
+    )
+    lint.add_argument(
+        "--mc-depth", type=int, default=None, metavar="D",
+        help="override the model checker's interleaving depth bound",
     )
 
     subparsers.add_parser("attacks", help="run the attack gauntlet")

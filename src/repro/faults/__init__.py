@@ -19,18 +19,31 @@ product:
 - :mod:`repro.faults.chaos` -- the end-to-end chaos harness behind the
   bench CLI's ``--faults`` flag, asserting the resilience invariants
   (no lost proofs, all handles settle, telemetry matches the injected
-  plan).
+  plan);
+- :mod:`repro.faults.adversary` -- the model-checker bridge: replays a
+  minimized ``MC-CEX`` schedule through the production client on a
+  simulated network, turning every refuted protocol theorem into a
+  runnable chaos regression.
 
 Everything is off by default: without an installed injector the hooks
 are no-ops and simulation output is byte-identical to an unfaulted run.
 """
 
+from repro.faults.adversary import (
+    AdversaryReport,
+    AdversarySchedule,
+    AdversaryStep,
+    run_adversary,
+)
 from repro.faults.chaos import ChaosError, ChaosReport, run_chaos
 from repro.faults.inject import ChainFaultInjector, DhtFaultInjector, RadioFaultInjector
 from repro.faults.plan import FaultPlan, FaultWindow
 from repro.faults.policy import RetryPolicy
 
 __all__ = [
+    "AdversaryReport",
+    "AdversarySchedule",
+    "AdversaryStep",
     "ChainFaultInjector",
     "ChaosError",
     "ChaosReport",

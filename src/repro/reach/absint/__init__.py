@@ -12,7 +12,11 @@ and interval domains (:mod:`domains`), and three analyses on top:
   every ``transfer`` is funded by a dominating guard (the semantic
   upgrade of the verifier's syntactic ``_guards_cover_amount``);
 - :mod:`equiv` -- differential execution of the emitted EVM code and
-  TEAL over shared IR-derived vectors, diffing observable effects.
+  TEAL over shared IR-derived vectors, diffing observable effects;
+- :mod:`modelcheck` -- bounded explicit-state protocol model checking:
+  both artifacts executed over every adversarial interleaving (replays,
+  front-run anchors, clock rushes, silent participants), proving the
+  ``MC-SAFETY-*``/``MC-LIVE-*`` theorems or minimizing an ``MC-CEX``.
 
 :mod:`lint` aggregates everything into the findings report behind the
 ``repro lint`` CLI and the runtime's deploy gate.
@@ -23,6 +27,12 @@ from repro.reach.absint.cost import CostReport, EntryCost, analyze_costs
 from repro.reach.absint.domains import AbsVal, Interval
 from repro.reach.absint.equiv import check_equivalence, drop_teal_store, neutralize_evm_sstore
 from repro.reach.absint.lint import Finding, LintReport, lint_compiled
+from repro.reach.absint.modelcheck import (
+    MCConfig,
+    ProtocolReport,
+    check_protocol,
+    weaken_replay_screen,
+)
 
 __all__ = [
     "AbsVal",
@@ -32,10 +42,14 @@ __all__ = [
     "Finding",
     "Interval",
     "LintReport",
+    "MCConfig",
+    "ProtocolReport",
     "analyze_balance",
     "analyze_costs",
     "check_equivalence",
+    "check_protocol",
     "drop_teal_store",
     "lint_compiled",
     "neutralize_evm_sstore",
+    "weaken_replay_screen",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.reach.absint.cfg import build_ir_cfg
+from repro.reach.absint.cfg import BasicBlock, build_ir_cfg
 from repro.reach.absint.domains import (
     AbsVal,
     Interval,
@@ -327,7 +327,7 @@ class _FunctionAnalysis:
         initial.budget = []
         run_fixpoint(cfg, initial.freeze(), self._transfer_block, _join, _widen)
 
-    def _transfer_block(self, block, state: _State):
+    def _transfer_block(self, block: BasicBlock, state: _State) -> list[_State | None]:
         m = _M(state)
         instrs = self.function.instrs
         dead = False

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.chain.algorand.teal import TealProgram, assemble
 from repro.chain.ethereum.evm import EVM, EvmCode, Instr, serialize_code
@@ -33,7 +34,7 @@ from repro.chain.ethereum.gas import (
     code_deposit_gas,
     intrinsic_gas,
 )
-from repro.reach.absint.cfg import Edge, path_bounds
+from repro.reach.absint.cfg import Edge, SuccessorFn, path_bounds
 from repro.reach.absint.domains import Interval
 from repro.reach.analysis import AVM_CALL_BUDGET, AVM_MAX_POOL
 
@@ -103,7 +104,7 @@ class CostReport:
 # -- EVM side ------------------------------------------------------------------
 
 
-def _evm_successors(instrs: list[Instr]):
+def _evm_successors(instrs: list[Instr]) -> SuccessorFn:
     def successors(index: int) -> list[Edge]:
         instr = instrs[index]
         if instr.op in ("RETURN", "STOP", "REVERT"):
@@ -119,7 +120,7 @@ def _evm_successors(instrs: list[Instr]):
     return successors
 
 
-def _evm_cost_of(instrs: list[Instr], schedule: GasSchedule):
+def _evm_cost_of(instrs: list[Instr], schedule: GasSchedule) -> Callable[[int], tuple[int, int]]:
     def cost_of(index: int) -> tuple[int, int]:
         instr = instrs[index]
         op = instr.op
@@ -194,7 +195,7 @@ _AVM_DISPATCH_PREFIX = 4
 _AVM_COMPARE_OPS = 4
 
 
-def _teal_successors(program: TealProgram):
+def _teal_successors(program: TealProgram) -> SuccessorFn:
     instrs = program.instrs
 
     def successors(index: int) -> list[Edge]:

@@ -1,0 +1,87 @@
+"""Canonical encoding of observable contract state, shared by analyses.
+
+Both differential layers -- the per-vector equivalence check
+(:mod:`repro.reach.absint.equiv`) and the protocol model checker
+(:mod:`repro.reach.absint.modelcheck`) -- must agree on what "the same
+state" means across connectors.  The EVM stores scalars as Python ints
+under ``g:<name>`` storage keys and Map entries under hashed slots; the
+AVM stores ``itob`` bytes in global state and Map entries in boxes.
+This module is the single place that flattens those representations to
+comparable bytes, so representation differences never count as state
+differences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.crypto.hashing import sha256
+from repro.reach.absint.domains import U64_MAX
+from repro.reach.ir import IRContract
+
+
+def canon(value: Any) -> bytes:
+    """Connector-independent byte encoding of one stored value."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode()
+    if isinstance(value, int):
+        return value.to_bytes(8 if value <= U64_MAX else 32, "big")
+    return repr(value).encode()
+
+
+def is_absent(value: Any) -> bool:
+    """Zero/empty encodes Map absence on the EVM side."""
+    if isinstance(value, int):
+        return value == 0
+    return not value
+
+
+def uint_of(value: Any) -> int:
+    """Decode a stored scalar back to a uint (int or itob bytes)."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, bytes):
+        return int.from_bytes(value, "big")
+    if isinstance(value, str):
+        return int(value) if value.isdigit() else 0
+    return 0
+
+
+def evm_map_key(slot: int, key: int) -> bytes:
+    """The hashed EVM storage key of Map ``slot`` at ``key``."""
+    return sha256(int(slot).to_bytes(32, "big") + key.to_bytes(32, "big"))
+
+
+def avm_box_key(slot: int, key: int) -> bytes:
+    """The AVM box name of Map ``slot`` at ``key``."""
+    return f"m{slot}:".encode() + key.to_bytes(8, "big")
+
+
+def scalar_names(ir: IRContract) -> list[str]:
+    """Every scalar global, declared plus runtime-reserved."""
+    return [*ir.globals_init.keys(), "_phase", "_deadline", "_creator"]
+
+
+def state_digest(
+    scalars: Iterable[tuple[str, bytes]],
+    maps: Iterable[tuple[tuple[int, int], bytes | None]],
+    balance: int,
+    now: int,
+) -> bytes:
+    """One canonical hash over the full observable contract state.
+
+    ``scalars`` and ``maps`` must be iterated in a deterministic order
+    (the model checker passes sorted items); absent Map entries encode
+    as a fixed absence marker so "deleted" and "never written" hash
+    identically.
+    """
+    parts: list[bytes] = []
+    for name, value in scalars:
+        parts.append(b"s:" + name.encode() + b"=" + value + b";")
+    for (slot, key), value in maps:
+        marker = b"\x00<absent>" if value is None else value
+        parts.append(b"m:%d:%d=" % (slot, key) + marker + b";")
+    parts.append(b"b:%d;t:%d" % (balance, now))
+    return sha256(b"".join(parts))

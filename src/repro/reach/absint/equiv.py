@@ -37,6 +37,13 @@ from repro.chain.ethereum.evm import (
     serialize_code,
 )
 from repro.reach.absint.domains import U64_MAX
+from repro.reach.absint.encode import (
+    avm_box_key as _avm_box_key,
+    canon as _canon,
+    evm_map_key as _evm_map_key,
+    is_absent as _is_absent,
+    scalar_names as _scalar_names,
+)
 from repro.reach.ir import IRFunction
 
 _CREATOR = "0x" + "ca" * 20
@@ -58,8 +65,8 @@ class _Vector:
     label: str
     caller: str
     value: int
-    args: tuple
-    globals: tuple  # ((name, value), ...) scalar state before the call
+    args: tuple[Any, ...]
+    globals: tuple[tuple[str, Any], ...]  # scalar state before the call
     seed_maps: bool
     timestamp: int
     balance: int
@@ -75,23 +82,6 @@ class _Outcome:
     transfers: tuple
     events: tuple
     ret: bytes | None
-
-
-def _canon(value: Any) -> bytes:
-    if isinstance(value, bytes):
-        return value
-    if isinstance(value, str):
-        return value.encode()
-    if isinstance(value, int):
-        return value.to_bytes(8 if value <= U64_MAX else 32, "big")
-    return repr(value).encode()
-
-
-def _is_absent(value: Any) -> bool:
-    """Zero/empty encodes Map absence on the EVM side."""
-    if isinstance(value, int):
-        return value == 0
-    return not value
 
 
 # -- vector construction -------------------------------------------------------
@@ -139,7 +129,18 @@ def _vectors_for(function: IRFunction, ir) -> list[_Vector]:
     # timestamp serves every entry point.
     timestamp = 5_000
 
-    def vec(label, *, caller=_OTHER, value=value, args=args, phase=phase, seed_maps=False, balance=_BALANCE, timestamp=timestamp, globals_base=None):
+    def vec(
+        label: str,
+        *,
+        caller: str = _OTHER,
+        value: int = value,
+        args: tuple[Any, ...] = args,
+        phase: int = phase,
+        seed_maps: bool = False,
+        balance: int = _BALANCE,
+        timestamp: int = timestamp,
+        globals_base: tuple[tuple[str, Any], ...] | None = None,
+    ) -> _Vector:
         scalars = list(globals_base if globals_base is not None else base_globals)
         scalars.append(("_phase", phase))
         return _Vector(
@@ -181,10 +182,6 @@ def _candidate_keys(vector: _Vector) -> list[int]:
 
 
 # -- the EVM side --------------------------------------------------------------
-
-
-def _evm_map_key(slot: int, key: int) -> bytes:
-    return sha256(int(slot).to_bytes(32, "big") + key.to_bytes(32, "big"))
 
 
 def _run_evm(code: EvmCode, function: IRFunction, ir, vector: _Vector) -> _Outcome:
@@ -234,10 +231,6 @@ def _run_evm(code: EvmCode, function: IRFunction, ir, vector: _Vector) -> _Outco
 
 
 # -- the AVM side --------------------------------------------------------------
-
-
-def _avm_box_key(slot: int, key: int) -> bytes:
-    return f"m{slot}:".encode() + key.to_bytes(8, "big")
 
 
 def _run_avm(teal_source: str, function: IRFunction, ir, vector: _Vector) -> _Outcome:
@@ -321,10 +314,6 @@ def _parse_avm_logs(logs: list[bytes]) -> tuple[tuple, bytes | None]:
             ret_log = entry
             index += 1
     return tuple(events), ret_log
-
-
-def _scalar_names(ir) -> list[str]:
-    return [*ir.globals_init.keys(), "_phase", "_deadline", "_creator"]
 
 
 # -- the check -----------------------------------------------------------------

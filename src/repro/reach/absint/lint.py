@@ -35,7 +35,20 @@ class Finding:
     theorem: str  # stable id, e.g. "EQ-DIVERGE", "ABSINT-BAL-TRANSFER"
     message: str
     source: str = ""  # file path or contract name
-    span: tuple | None = None  # (line, col) in the source, when known
+    span: tuple[int, int] | None = None  # (line, col) in the source, when known
+    #: optional machine-readable payload (e.g. the replayable schedule
+    #: of an ``MC-CEX``); serialized verbatim by ``repro lint --json``.
+    data: dict[str, object] | None = None
+
+    def __post_init__(self) -> None:
+        # Validate at construction so ranking/rendering can never hit
+        # an unknown severity deep inside a report (SEVERITIES.index
+        # used to raise ValueError at render time instead).
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown finding severity {self.severity!r} for {self.theorem}; "
+                f"expected one of {SEVERITIES}"
+            )
 
     def render(self) -> str:
         location = self.source
@@ -52,6 +65,7 @@ class LintReport:
     source: str = ""
     findings: list[Finding] = field(default_factory=list)
     costs: object = None  # CostReport | None
+    protocol: object = None  # modelcheck.ProtocolReport | None
 
     @property
     def has_errors(self) -> bool:
@@ -81,8 +95,12 @@ class LintReport:
         return "\n".join(lines)
 
 
-def lint_compiled(compiled, source: str = "") -> LintReport:
-    """Run every analysis layer and collect the findings."""
+def lint_compiled(compiled, source: str = "", mc_depth: int | None = None) -> LintReport:
+    """Run every analysis layer and collect the findings.
+
+    ``mc_depth`` overrides the model checker's BFS depth bound (the
+    CLI's ``--mc-depth``); ``None`` uses the :class:`MCConfig` default.
+    """
     from repro.reach.absint.balance import analyze_balance
     from repro.reach.absint.cost import analyze_costs
     from repro.reach.absint.equiv import check_equivalence
@@ -201,4 +219,15 @@ def lint_compiled(compiled, source: str = "") -> LintReport:
             )
         )
 
-    return LintReport(contract=compiled.name, source=source, findings=findings, costs=costs)
+    # 5. protocol model checking: bounded adversarial-interleaving
+    # exploration of both emitted artifacts.  Proved safety/liveness
+    # theorems report as [info]; every refuted theorem is an [error]
+    # MC-CEX whose data payload carries the replayable schedule.
+    from repro.reach.absint.modelcheck import MCConfig, check_protocol, protocol_findings
+
+    protocol = check_protocol(compiled, MCConfig(depth=mc_depth) if mc_depth is not None else None)
+    findings.extend(protocol_findings(protocol, source))
+
+    return LintReport(
+        contract=compiled.name, source=source, findings=findings, costs=costs, protocol=protocol
+    )

@@ -1,0 +1,122 @@
+"""Counterexample handling: minimize, render as a journey, export.
+
+A raw violation from the explorer is an action-index path.  BFS parent
+chains are already shortest-by-construction *to the violating state*,
+but not every step on them is load-bearing -- a funds trace may carry
+an irrelevant Map insert.  :func:`minimize` greedily drops steps and
+keeps only those whose removal makes the violation disappear under
+replay, so the journey a human reads (and the chaos regression the
+faults harness replays) is the essential attack and nothing else.
+
+:meth:`CounterExample.schedule_steps` exports the trace in the neutral
+``(actor, entry, args, value, expect)`` form consumed by
+:class:`repro.faults.adversary.AdversarySchedule`, which turns every
+refuted property into a runnable chaos regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reach.absint.modelcheck.exec import BackendModel
+from repro.reach.absint.modelcheck.explore import Trace
+from repro.reach.absint.modelcheck.props import check_transition
+from repro.reach.absint.modelcheck.universe import CREATOR, ActionTemplate, Universe
+
+
+@dataclass(frozen=True)
+class CexStep:
+    """One replayable step of a counterexample."""
+
+    action: ActionTemplate
+    expect: str = "accepted"  # every CEX step was an accepted transition
+    note: str = ""  # theorem id when this is the violating step
+
+
+@dataclass(frozen=True)
+class CounterExample:
+    """A minimized, replayable refutation of one theorem."""
+
+    theorem: str
+    message: str
+    backend: str
+    steps: tuple[CexStep, ...]
+
+    def journey(self) -> str:
+        """Render the trace as a numbered participant journey."""
+        lines = [f"counterexample for {self.theorem} ({self.backend.upper()}, {len(self.steps)} steps):"]
+        for number, step in enumerate(self.steps, start=1):
+            action = step.action
+            if action.kind == "clock":
+                actor = "clock"
+            elif action.caller == CREATOR:
+                actor = "creator"
+            else:
+                actor = "adversary"
+            marker = f"  << {step.note}" if step.note else ""
+            lines.append(f"  {number}. [{actor}] {action.name} -> {step.expect}{marker}")
+        lines.append(f"  violates {self.theorem}: {self.message}")
+        return "\n".join(lines)
+
+    def schedule_steps(self) -> tuple[tuple[str, str, tuple, int, str], ...]:
+        """Neutral (actor, entry, args, value, expect) tuples."""
+        exported = []
+        for step in self.steps:
+            action = step.action
+            entry = "@clock" if action.kind == "clock" else action.fn
+            exported.append((action.caller, entry, action.args, action.value, step.expect))
+        return tuple(exported)
+
+
+def replay_trace(
+    model: BackendModel,
+    universe: Universe,
+    phase_count: int,
+    actions: tuple[ActionTemplate, ...],
+    theorem: str,
+) -> int | None:
+    """Replay actions from deploy; index of the step firing ``theorem``."""
+    state = model.deploy().state
+    for index, action in enumerate(actions):
+        result = model.step(state, action)
+        hits = check_transition(universe, phase_count, state, action, result)
+        if any(found == theorem for found, _message in hits):
+            return index
+        if result.status == "ok":
+            state = result.state
+    return None
+
+
+def minimize(
+    model: BackendModel,
+    universe: Universe,
+    phase_count: int,
+    trace: Trace,
+) -> CounterExample:
+    """Greedy delta-debug: drop every step the violation survives without."""
+    actions = tuple(universe.templates[index] for index in trace.steps)
+
+    if trace.theorem == "MC-LIVE-VERIFY" or not actions:
+        # Liveness refutations are about the *reached* state, not the
+        # final transition; the BFS path is already shortest.
+        steps = tuple(CexStep(action=action) for action in actions)
+        return CounterExample(theorem=trace.theorem, message=trace.message, backend=model.backend, steps=steps)
+
+    fired = replay_trace(model, universe, phase_count, actions, trace.theorem)
+    if fired is not None:
+        actions = actions[: fired + 1]
+
+    cursor = 0
+    while cursor < len(actions) - 1:  # the final, violating step stays
+        candidate = actions[:cursor] + actions[cursor + 1 :]
+        fired = replay_trace(model, universe, phase_count, candidate, trace.theorem)
+        if fired is not None:
+            actions = candidate[: fired + 1]
+        else:
+            cursor += 1
+
+    steps = tuple(
+        CexStep(action=action, note=trace.theorem if number == len(actions) - 1 else "")
+        for number, action in enumerate(actions)
+    )
+    return CounterExample(theorem=trace.theorem, message=trace.message, backend=model.backend, steps=steps)

@@ -1,0 +1,300 @@
+"""Backend execution models: one checker semantics, two real VMs.
+
+The model checker does not interpret the IR abstractly -- it runs the
+*emitted artifacts* on the same EVM and AVM implementations production
+traffic uses, so a theorem proved here is a theorem about the code that
+ships.  Each model wraps one backend behind a tiny interface:
+
+- :meth:`deploy` runs the constructor and returns the initial state;
+- :meth:`step` applies one :class:`ActionTemplate` to a state and
+  reports accept/reject plus the successor;
+- :meth:`digest` hashes a state canonically, via
+  :mod:`repro.reach.absint.encode`, so the same protocol state produces
+  the same digest on both backends (the cross-backend state-space
+  equality check rides on this).
+
+States are immutable snapshots (:class:`MCState`); the VMs' write sets
+are overlaid functionally, never mutated in place, so the explorer can
+fan a state out over every enabled action.  The TEAL artifact is
+assembled exactly once per model -- assembly dominates AVM call cost by
+~3x, and a checking run makes thousands of calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.algorand.avm import AVM, Application, AvmError, AvmPanic, CallContext
+from repro.chain.algorand.teal import assemble
+from repro.chain.ethereum.evm import EVM, EvmContract, VMError, VMRevert
+from repro.reach.absint.encode import canon, is_absent, state_digest, uint_of
+from repro.reach.absint.encode import avm_box_key, evm_map_key, scalar_names
+from repro.reach.absint.modelcheck.universe import (
+    CREATOR,
+    GENESIS_NOW,
+    ActionTemplate,
+    Universe,
+)
+from repro.reach.ir import IRContract
+
+_APP_ADDRESS = "0x" + "aa" * 20
+_GAS_LIMIT = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class MCState:
+    """One immutable protocol state, in backend-native representation.
+
+    ``scalars`` holds every runtime global sorted by name; ``maps``
+    holds only *present* entries, sorted by (slot, key).  ``balance``
+    and ``now`` live outside the VM stores: the VMs treat both as
+    per-call inputs, so the checker owns them.
+    """
+
+    scalars: tuple[tuple[str, object], ...]
+    maps: tuple[tuple[tuple[int, int], object], ...]
+    balance: int
+    now: int
+
+    def scalar(self, name: str) -> object:
+        for key, value in self.scalars:
+            if key == name:
+                return value
+        return 0
+
+    def phase(self) -> int:
+        return uint_of(self.scalar("_phase"))
+
+    def deadline(self) -> int:
+        return uint_of(self.scalar("_deadline"))
+
+    def map_value(self, slot: int, key: int) -> object | None:
+        for entry_key, value in self.maps:
+            if entry_key == (slot, key):
+                return value
+        return None
+
+    def with_clock(self, now: int) -> "MCState":
+        return MCState(scalars=self.scalars, maps=self.maps, balance=self.balance, now=now)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Observable outcome of applying one action to one state."""
+
+    status: str  # "ok" | "rejected" | "machine-error"
+    state: MCState  # the successor (== the input state unless "ok")
+    transfers: tuple[tuple[str, int], ...] = ()
+    error: str = ""
+
+    @property
+    def paid_out(self) -> int:
+        return sum(amount for _to, amount in self.transfers)
+
+
+class BackendModel:
+    """Shared state plumbing; subclasses supply the VM call."""
+
+    backend = "?"
+
+    def __init__(self, ir: IRContract, universe: Universe):
+        self.ir = ir
+        self.universe = universe
+        self._names = sorted(scalar_names(ir))
+        self._slots = sorted(ir.map_slots.values())
+
+    # -- subclass surface ----------------------------------------------------
+
+    def _execute(self, state: MCState, template: ActionTemplate) -> StepResult:
+        raise NotImplementedError
+
+    def deploy(self) -> StepResult:
+        raise NotImplementedError
+
+    # -- common --------------------------------------------------------------
+
+    def step(self, state: MCState, template: ActionTemplate) -> StepResult:
+        if template.kind == "clock":
+            deadline = state.deadline()
+            if state.now > deadline:
+                return StepResult(status="rejected", state=state, error="clock already past deadline")
+            return StepResult(status="ok", state=state.with_clock(deadline + 1))
+        return self._execute(state, template)
+
+    def digest(self, state: MCState) -> bytes:
+        scalars = [(name, canon(value)) for name, value in state.scalars]
+        maps: list[tuple[tuple[int, int], bytes | None]] = [
+            (entry_key, canon(value)) for entry_key, value in state.maps
+        ]
+        return state_digest(scalars, maps, state.balance, state.now)
+
+    def _snapshot(
+        self,
+        scalar_of,
+        map_of,
+        balance: int,
+        now: int,
+    ) -> MCState:
+        """Assemble an MCState by probing reader callbacks."""
+        scalars = tuple((name, scalar_of(name)) for name in self._names)
+        maps = []
+        for slot in self._slots:
+            for key in self.universe.keys:
+                value = map_of(slot, key)
+                if value is not None and not is_absent(value):
+                    maps.append(((slot, key), value))
+        return MCState(scalars=scalars, maps=tuple(maps), balance=balance, now=now)
+
+
+class EvmModel(BackendModel):
+    """The Ethereum side: emitted EVM code on the gas-metered VM."""
+
+    backend = "evm"
+
+    def __init__(self, compiled, universe: Universe):
+        super().__init__(compiled.ir, universe)
+        self.code = compiled.evm_code
+        self.vm = EVM()
+
+    def deploy(self) -> StepResult:
+        contract = EvmContract(address=_APP_ADDRESS, code=self.code, creator=CREATOR)
+        result = self.vm.execute(
+            contract,
+            entry=self.code.init_entry,
+            args=[],
+            caller=CREATOR,
+            value=0,
+            gas_limit=_GAS_LIMIT,
+            block_number=1,
+            timestamp=float(GENESIS_NOW),
+            self_balance=0,
+            intrinsic=0,
+        )
+        overlay = dict(contract.storage)
+        overlay.update(result.storage_writes)
+        state = self._snapshot(
+            lambda name: overlay.get(b"g:" + name.encode(), 0),
+            lambda slot, key: overlay.get(evm_map_key(slot, key), 0),
+            balance=0,
+            now=GENESIS_NOW,
+        )
+        return StepResult(status="ok", state=state)
+
+    def _execute(self, state: MCState, template: ActionTemplate) -> StepResult:
+        contract = EvmContract(address=_APP_ADDRESS, code=self.code, creator=CREATOR)
+        for name, value in state.scalars:
+            contract.storage[b"g:" + name.encode()] = value
+        for (slot, key), value in state.maps:
+            contract.storage[evm_map_key(slot, key)] = value
+        try:
+            result = self.vm.execute(
+                contract,
+                entry=self.code.methods[template.fn],
+                args=list(template.args),
+                caller=template.caller,
+                value=template.value,
+                gas_limit=_GAS_LIMIT,
+                block_number=1,
+                timestamp=float(state.now),
+                self_balance=state.balance,
+                intrinsic=0,
+            )
+        except VMRevert as revert:
+            return StepResult(status="rejected", state=state, error=str(revert))
+        except VMError as error:
+            return StepResult(status="machine-error", state=state, error=str(error))
+        overlay = dict(contract.storage)
+        overlay.update(result.storage_writes)
+        transfers = tuple(result.transfers)
+        paid = sum(amount for _to, amount in transfers)
+        successor = self._snapshot(
+            lambda name: overlay.get(b"g:" + name.encode(), 0),
+            lambda slot, key: overlay.get(evm_map_key(slot, key), 0),
+            balance=state.balance + template.value - paid,
+            now=state.now,
+        )
+        return StepResult(status="ok", state=successor, transfers=transfers)
+
+
+class AvmModel(BackendModel):
+    """The Algorand side: assembled TEAL on the budget-metered AVM."""
+
+    backend = "avm"
+
+    def __init__(self, compiled, universe: Universe):
+        super().__init__(compiled.ir, universe)
+        # Assemble once; reuse across every call of the run.
+        self.program = assemble(compiled.teal_source)
+        self.vm = AVM()
+
+    def deploy(self) -> StepResult:
+        app = Application(app_id=0, approval=self.program, creator=CREATOR, address=_APP_ADDRESS)
+        ctx = CallContext(
+            sender=CREATOR,
+            application_id=0,
+            app_args=[],
+            amount=0,
+            round=1,
+            timestamp=float(GENESIS_NOW),
+            app_address=_APP_ADDRESS,
+            app_balance=0,
+            budget_pool=16,
+        )
+        result = self.vm.execute(app, ctx)
+        overlay = dict(app.global_state)
+        overlay.update(result.global_writes)
+        boxes = dict(app.boxes)
+        boxes.update(result.box_writes)
+        state = self._snapshot(
+            lambda name: overlay.get(b"g:" + name.encode(), 0),
+            lambda slot, key: boxes.get(avm_box_key(slot, key)),
+            balance=0,
+            now=GENESIS_NOW,
+        )
+        return StepResult(status="ok", state=state)
+
+    def _execute(self, state: MCState, template: ActionTemplate) -> StepResult:
+        app = Application(app_id=1, approval=self.program, creator=CREATOR, address=_APP_ADDRESS)
+        for name, value in state.scalars:
+            app.global_state[b"g:" + name.encode()] = value
+        for (slot, key), value in state.maps:
+            app.boxes[avm_box_key(slot, key)] = value
+        ctx = CallContext(
+            sender=template.caller,
+            application_id=1,
+            app_args=[template.fn, *template.args],
+            amount=template.value,
+            round=1,
+            timestamp=float(state.now),
+            app_address=_APP_ADDRESS,
+            app_balance=state.balance,
+            budget_pool=16,
+        )
+        try:
+            result = self.vm.execute(app, ctx)
+        except AvmPanic as panic:
+            return StepResult(status="rejected", state=state, error=str(panic))
+        except AvmError as error:
+            return StepResult(status="machine-error", state=state, error=str(error))
+        overlay = dict(app.global_state)
+        overlay.update(result.global_writes)
+        for dead in result.global_deletes:
+            overlay.pop(dead, None)
+        boxes = dict(app.boxes)
+        boxes.update(result.box_writes)
+        for dead in result.box_deletes:
+            boxes.pop(dead, None)
+        transfers = tuple(result.inner_payments)
+        paid = sum(amount for _to, amount in transfers)
+        successor = self._snapshot(
+            lambda name: overlay.get(b"g:" + name.encode(), 0),
+            lambda slot, key: boxes.get(avm_box_key(slot, key)),
+            balance=state.balance + template.value - paid,
+            now=state.now,
+        )
+        return StepResult(status="ok", state=successor, transfers=transfers)
+
+
+def make_models(compiled, universe: Universe) -> tuple[EvmModel, AvmModel]:
+    """Both backend models for one compiled contract."""
+    return EvmModel(compiled, universe), AvmModel(compiled, universe)

@@ -1,0 +1,89 @@
+"""Seeded protocol-bug mutations for model-checker self-tests.
+
+The equivalence layer's mutators (``drop_teal_store``,
+``neutralize_evm_sstore``) break *one* backend so the differential
+check must notice.  Protocol bugs are sneakier: a miscompiled guard
+that is wrong *identically on both backends* sails through every
+per-vector differential -- only the interleaving sweep can catch it.
+
+:func:`weaken_replay_screen` manufactures exactly that: it strips the
+n-th replay screen (the ``ARG; MHAS; NOT; REQUIRE`` quartet -- a
+stack-neutral deletion) from a *copy* of the IR and regenerates both
+backend artifacts from the weakened copy, while the
+:class:`~repro.reach.compiler.CompiledContract` keeps its original IR.
+The screen scan in :mod:`universe` still sees the declared screen (the
+source-level intent), the shipped artifacts no longer enforce it, the
+backends still agree with each other -- and the checker must produce
+an ``MC-CEX`` for the accepted replay.  This is the lint CLI's
+``--mutate-reorder`` flag and the CI mutation-grep self-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.reach.compiler import CompiledContract
+from repro.reach.ir import IRContract, IRFunction
+
+
+def _strip_screen(fn: IRFunction, arg_index: int, slot: int) -> IRFunction:
+    """A copy of ``fn`` without its ``ARG; MHAS; NOT; REQUIRE`` screen."""
+    ops = fn.instrs
+    for i in range(len(ops) - 3):
+        if (
+            ops[i].op == "ARG"
+            and ops[i].arg == arg_index
+            and ops[i + 1].op == "MHAS"
+            and ops[i + 1].arg == slot
+            and ops[i + 2].op == "NOT"
+            and ops[i + 3].op == "REQUIRE"
+        ):
+            # ARG(+1) MHAS(0) NOT(0) REQUIRE(-1): deleting the whole
+            # quartet leaves the operand stack balanced.
+            stripped = ops[:i] + ops[i + 4 :]
+            return IRFunction(
+                name=fn.name,
+                params=fn.params,
+                ret_kind=fn.ret_kind,
+                pay_index=fn.pay_index,
+                instrs=stripped,
+                phase=fn.phase,
+            )
+    raise ValueError(f"{fn.name}: screen (arg {arg_index}, slot {slot}) not found in IR")
+
+
+def weaken_replay_screen(compiled: CompiledContract, n: int = 0) -> CompiledContract:
+    """Regenerate both artifacts with the ``n``-th replay screen removed.
+
+    The returned contract's ``ir`` (and ``program``) are unchanged --
+    the declared protocol still promises the screen -- but the EVM and
+    TEAL artifacts were emitted from a weakened IR that accepts
+    replayed screened creates.  Backends stay equivalent to each other,
+    so only the model checker can flag the bug.
+    """
+    from repro.reach.absint.modelcheck.universe import find_screens
+    from repro.reach.backends.evm import generate_evm
+    from repro.reach.backends.teal import generate_teal
+
+    screens = find_screens(compiled.ir)
+    if not 0 <= n < len(screens):
+        raise ValueError(
+            f"contract {compiled.name!r} has {len(screens)} replay screens; no screen #{n}"
+        )
+    screen = screens[n]
+    weakened_fns = dict(compiled.ir.functions)
+    weakened_fns[screen.fn] = _strip_screen(weakened_fns[screen.fn], screen.arg_index, screen.slot)
+    weakened_ir = IRContract(
+        name=compiled.ir.name,
+        functions=weakened_fns,
+        globals_init=dict(compiled.ir.globals_init),
+        map_slots=dict(compiled.ir.map_slots),
+        view_exprs=dict(compiled.ir.view_exprs),
+        phase_count=compiled.ir.phase_count,
+    )
+    return replace(
+        compiled,
+        evm_code=generate_evm(weakened_ir),
+        teal_source=generate_teal(weakened_ir),
+        _lint=None,
+    )

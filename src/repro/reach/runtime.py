@@ -308,6 +308,15 @@ class DeployedContract:
             return value.decode("utf-8", errors="replace")
         return value
 
+    def global_value(self, name: str) -> Any:
+        """Read one contract global for free (e.g. ``_phase``, ``_deadline``).
+
+        The protocol globals drive the adversary replay harness: the
+        phase counter decides halt, the deadline decides how far a
+        ``@clock`` schedule step must advance the simulated clock.
+        """
+        return _StateReader(self.client, self).get_global(name)
+
     @property
     def balance(self) -> int:
         """The contract account's balance in base units."""

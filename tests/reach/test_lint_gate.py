@@ -74,6 +74,25 @@ class TestExitCodes:
         lo, hi = entries["constructor"]["evm_gas"]
         assert 0 < lo <= hi
 
+    def test_info_only_findings_exit_zero(self, capsys):
+        # A clean contract still reports [info] findings (amortization,
+        # proved MC theorems); info alone never gates.
+        assert main(["lint", POL]) == 0
+        out = capsys.readouterr().out
+        assert "[info]" in out
+        assert "[error]" not in out and "[warning]" not in out
+        for theorem in ("MC-SAFETY-FUNDS", "MC-SAFETY-REPLAY", "MC-LIVE-VERIFY"):
+            assert f"[info] {theorem}" in out
+
+    def test_json_findings_carry_data_field(self, capsys):
+        import json
+
+        assert main(["lint", CROWDFUNDING, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Every finding exposes the machine-readable payload slot; it is
+        # null except for MC-CEX schedules.
+        assert all("data" in f for f in payload[0]["findings"])
+
 
 class TestDeployGate:
     def test_runtime_refuses_divergent_artifacts(self):
